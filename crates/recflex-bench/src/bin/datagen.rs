@@ -1,0 +1,42 @@
+//! Dataset generation — the equivalent of the artifact's
+//! `SC_artifact/datagen.sh` / `data_synthesis/data_generate.py`: writes the
+//! models and datasets of Table I (at the configured scale) to JSON files
+//! that every other experiment binary could replay.
+//!
+//! Usage: `cargo run --release -p recflex-bench --bin datagen [out_dir]`
+
+use recflex_bench::Scale;
+use recflex_data::{save_dataset, save_model, Dataset, ModelPreset};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf =
+        std::env::args().nth(1).map(Into::into).unwrap_or_else(|| "datasets".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let scale = Scale::from_env();
+
+    for preset in [
+        ModelPreset::A,
+        ModelPreset::B,
+        ModelPreset::C,
+        ModelPreset::D,
+        ModelPreset::E,
+        ModelPreset::MLPerfLike,
+    ] {
+        let model = scale.model(preset);
+        let ds = Dataset::synthesize(&model, scale.eval_batches, scale.batch_size, 0xDA7A);
+        let model_path = out_dir.join(format!("model_{}.json", preset.name()));
+        let data_path = out_dir.join(format!("dataset_{}.json", preset.name()));
+        save_model(&model_path, &model).expect("write model");
+        save_dataset(&data_path, &model, &ds).expect("write dataset");
+        println!(
+            "{}: {} features, {} batches of {} -> {}",
+            preset.name(),
+            model.num_features(),
+            ds.len(),
+            scale.batch_size,
+            data_path.display()
+        );
+    }
+    println!("\ndone; replay with recflex_data::load_dataset(..)");
+}

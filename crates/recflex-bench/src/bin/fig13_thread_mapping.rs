@@ -1,0 +1,99 @@
+//! Figure 13: runtime thread mapping vs static (average / maximum
+//! historical workload) mapping, on models A–E plus the long-tail request
+//! experiment of Section VI-D.
+//!
+//! Paper: runtime mapping wins up to 1.41× over the average strategy and
+//! 1.50× over the maximum strategy; on an unsplit 2 560-sample request the
+//! static strategies degrade by 50.5 % / 40.4 %.
+
+use recflex_bench::{geomean, long_tail_batch, Fixture, Scale};
+use recflex_compiler::MappingStrategy;
+use recflex_data::ModelPreset;
+use recflex_embedding::analyze_batch;
+use recflex_sim::{launch, GpuArch};
+
+fn main() {
+    let scale = Scale::from_env();
+    let arch = GpuArch::v100();
+    println!("== Fig.13: runtime vs static thread mapping (V100) ==");
+    println!(
+        "{:<8} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "model", "runtime (us)", "static-avg", "static-max", "vs avg", "vs max"
+    );
+
+    let mut avg_ratios = Vec::new();
+    let mut max_ratios = Vec::new();
+    for preset in ModelPreset::TABLE1 {
+        let fixture = Fixture::prepare(preset, &arch, &scale);
+        let engine = fixture.tune_recflex(&scale);
+        let history: Vec<_> =
+            fixture.history.batches().iter().map(|b| analyze_batch(&fixture.model, b)).collect();
+
+        let mut totals = [0.0f64; 3];
+        for batch in fixture.eval.batches() {
+            for (i, strat) in [
+                MappingStrategy::Runtime,
+                MappingStrategy::StaticAverage,
+                MappingStrategy::StaticMax,
+            ]
+            .iter()
+            .enumerate()
+            {
+                let bound = engine.object.bind_static(
+                    &fixture.model,
+                    &fixture.tables,
+                    batch,
+                    &history,
+                    *strat,
+                );
+                totals[i] +=
+                    launch(&bound, &arch, &engine.object.launch_config()).unwrap().latency_us;
+            }
+        }
+        let (rt, avg, max) = (totals[0], totals[1], totals[2]);
+        avg_ratios.push(avg / rt);
+        max_ratios.push(max / rt);
+        println!(
+            "{:<8} {:>13.1} {:>13.1} {:>13.1} {:>8.2}x {:>8.2}x",
+            preset.name(),
+            rt,
+            avg,
+            max,
+            avg / rt,
+            max / rt
+        );
+    }
+    println!(
+        "\naverage improvement of runtime mapping: {:.2}x vs static-avg, {:.2}x vs static-max",
+        geomean(&avg_ratios),
+        geomean(&max_ratios)
+    );
+    println!("paper: up to 1.41x and 1.50x respectively");
+
+    // Long-tail request: one unsplit 2 560-sample batch (model A).
+    let fixture = Fixture::prepare(ModelPreset::A, &arch, &scale);
+    let engine = fixture.tune_recflex(&scale);
+    let history: Vec<_> =
+        fixture.history.batches().iter().map(|b| analyze_batch(&fixture.model, b)).collect();
+    let tail = long_tail_batch(&fixture.model);
+    let mut lat = [0.0f64; 3];
+    for (i, strat) in [
+        MappingStrategy::Runtime,
+        MappingStrategy::StaticAverage,
+        MappingStrategy::StaticMax,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let bound =
+            engine.object.bind_static(&fixture.model, &fixture.tables, &tail, &history, *strat);
+        lat[i] = launch(&bound, &arch, &engine.object.launch_config()).unwrap().latency_us;
+    }
+    println!("\n-- long-tail request (2560 samples, model A) --");
+    println!("runtime {:.1} us | static-avg {:.1} us | static-max {:.1} us", lat[0], lat[1], lat[2]);
+    println!(
+        "static degradation: avg {:.1}%, max {:.1}%  (paper: 50.5% and 40.4%)",
+        100.0 * (lat[1] / lat[0] - 1.0),
+        100.0 * (lat[2] / lat[0] - 1.0)
+    );
+}

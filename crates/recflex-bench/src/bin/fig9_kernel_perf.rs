@@ -1,0 +1,44 @@
+//! Figure 9: embedding-kernel performance of RecFlex vs TensorFlow, RECom,
+//! HugeCTR and TorchRec on V100 and A100.
+//!
+//! Prints one normalized-performance table per (architecture, model) — the
+//! bars of Figures 9(a)/9(b) — and the pooled average speedups the paper
+//! headline cites (35.40×/11.31×/20.77×/2.64×).
+
+use recflex_bench::{both_archs, print_average_speedups, print_normalized, Fixture, Row, Scale};
+use recflex_data::ModelPreset;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut pools: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+
+    for arch in both_archs() {
+        println!("\n#### {} ####", arch.name);
+        for preset in ModelPreset::TABLE1 {
+            let fixture = Fixture::prepare(preset, &arch, &scale);
+            let engine = fixture.tune_recflex(&scale);
+
+            let mut rows = Vec::new();
+            let ours = fixture
+                .total_latency(&engine)
+                .expect("RecFlex always supports the model");
+            rows.push(Row { name: "RecFlex".into(), latency_us: ours });
+            for b in fixture.baselines() {
+                if let Some(lat) = fixture.total_latency(b.as_ref()) {
+                    pools.entry(b.name().to_string()).or_default().push(lat / ours);
+                    rows.push(Row { name: b.name().to_string(), latency_us: lat });
+                }
+            }
+            print_normalized(
+                &format!("Fig.9 {} / model {} (batch {})", arch.name, preset.name(), scale.batch_size),
+                &rows,
+            );
+        }
+    }
+
+    let pooled: Vec<(String, Vec<f64>)> = pools.into_iter().collect();
+    print_average_speedups("RecFlex (kernel)", &pooled);
+    println!("\nPaper reference: 35.40x over TensorFlow, 11.31x over RECom,");
+    println!("20.77x over HugeCTR, 2.64x over TorchRec (two-platform averages).");
+}

@@ -1,0 +1,145 @@
+//! Fusion-scope experiment (paper Section VII, "Larger fusion scopes"):
+//! preprocess operators (hash + clamp per feature) run either as a
+//! separate elementwise kernel producing an intermediate index tensor, or
+//! inlined into the fused embedding kernel.
+//!
+//! Fusing removes one kernel launch and the intermediate tensor's
+//! round trip through DRAM, at the price of extra issue slots inside the
+//! embedding schedules — the intra-/inter-feature interference trade-off
+//! the paper flags as future work.
+
+use recflex_bench::Scale;
+use recflex_data::{Batch, ModelPreset};
+use recflex_embedding::{analyze_batch, PreprocessPipeline};
+use recflex_sim::{
+    launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, ProfileCtx, SimKernel,
+};
+
+/// The separate elementwise preprocess kernel: streams every lookup ID
+/// through the op chain and writes the transformed tensor back.
+struct PreprocessKernel<'a> {
+    batch: &'a Batch,
+    pipeline: &'a PreprocessPipeline,
+    ids_per_block: u64,
+    total_ids: u64,
+}
+
+impl SimKernel for PreprocessKernel<'_> {
+    fn name(&self) -> &str {
+        "preprocess_elementwise"
+    }
+    fn grid_blocks(&self) -> u32 {
+        (self.total_ids.div_ceil(self.ids_per_block)).max(1) as u32
+    }
+    fn resources(&self) -> BlockResources {
+        BlockResources::new(256, 24, 0)
+    }
+    fn profile_block(&self, block_idx: u32, _ctx: &ProfileCtx) -> BlockProfile {
+        let lo = block_idx as u64 * self.ids_per_block;
+        let n = self.ids_per_block.min(self.total_ids.saturating_sub(lo));
+        // Average op cost over features, weighted by their lookup counts.
+        let avg_cost: f64 = {
+            let mut cost = 0.0;
+            let mut total = 0.0;
+            for (f, fb) in self.batch.features.iter().enumerate() {
+                let l = fb.total_lookups() as f64;
+                cost += l * self.pipeline.fused_issue_cost(f);
+                total += l;
+            }
+            if total > 0.0 {
+                cost / total
+            } else {
+                0.0
+            }
+        };
+        let bytes = n * 8; // read raw id + write cooked id
+        let mut p = BlockProfile {
+            issue_cycles: n as f64 / 32.0 * (2.0 + avg_cost) + 20.0,
+            mem_transactions: bytes.div_ceil(32) + 2,
+            bytes_accessed: n * 4 + 64,
+            unique_bytes: n * 4 + 64,
+            bytes_written: n * 4,
+            active_warps: 8,
+            thread_active_sum: n,
+            thread_useful_sum: n,
+            thread_slot_sum: n.next_multiple_of(32),
+            mlp: 6.0,
+            critical_mem_chain: (n / (8 * 32)).max(1) + 2,
+            ..Default::default()
+        };
+        p.flops = n;
+        p
+    }
+}
+
+/// The fused embedding kernel with preprocess inlined: wraps the bound
+/// kernel and adds the op chain's issue slots per lookup.
+struct FusedWithPreprocess<'a, K: SimKernel> {
+    inner: &'a K,
+    extra_issue_per_block: f64,
+}
+
+impl<K: SimKernel> SimKernel for FusedWithPreprocess<'_, K> {
+    fn name(&self) -> &str {
+        "recflex_fused_with_preprocess"
+    }
+    fn grid_blocks(&self) -> u32 {
+        self.inner.grid_blocks()
+    }
+    fn resources(&self) -> BlockResources {
+        self.inner.resources()
+    }
+    fn profile_block(&self, block_idx: u32, ctx: &ProfileCtx) -> BlockProfile {
+        let mut p = self.inner.profile_block(block_idx, ctx);
+        p.issue_cycles += self.extra_issue_per_block;
+        p
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let arch = GpuArch::v100();
+    let model = scale.model(ModelPreset::A);
+    let history = recflex_data::Dataset::synthesize(&model, 3, scale.batch_size, 7);
+    let engine = recflex_core::RecFlexEngine::tune(&model, &history, &arch, &scale.tuner);
+    let pipeline = PreprocessPipeline::standard(&model);
+    let batch = Batch::generate(&model, scale.batch_size, 42);
+    let cooked = pipeline.apply(&batch);
+
+    // Unfused: preprocess kernel + embedding kernel on the cooked tensor.
+    let total_ids = batch.total_lookups();
+    let pre = PreprocessKernel { batch: &batch, pipeline: &pipeline, ids_per_block: 4096, total_ids };
+    let pre_report = launch(&pre, &arch, &LaunchConfig::default()).unwrap();
+    let emb_bound = engine.object.bind(&model, &engine.tables, &cooked);
+    let emb_report = launch(&emb_bound, &arch, &engine.object.launch_config()).unwrap();
+    let unfused = pre_report.latency_us + emb_report.latency_us;
+
+    // Fused: ops inlined into the embedding schedules (issue cost per
+    // lookup, amortized per block via the average lookups per block).
+    let workloads = analyze_batch(&model, &cooked);
+    let total_blocks: u64 = engine
+        .object
+        .spec
+        .schedules
+        .iter()
+        .zip(&workloads)
+        .map(|(s, w)| s.required_blocks(w) as u64)
+        .sum();
+    let avg_cost: f64 = (0..model.features.len())
+        .map(|f| workloads[f].total_lookups as f64 * pipeline.fused_issue_cost(f))
+        .sum::<f64>()
+        / total_blocks.max(1) as f64
+        / 32.0; // warp-level issue
+    let fused_kernel = FusedWithPreprocess { inner: &emb_bound, extra_issue_per_block: avg_cost };
+    let fused =
+        launch(&fused_kernel, &arch, &engine.object.launch_config()).unwrap().latency_us;
+
+    println!("== fusion scope: preprocess ops ({} ops) + embedding (model A) ==", pipeline.total_ops());
+    println!("unfused (2 kernels, intermediate tensor): {unfused:>10.1} us");
+    println!("  - preprocess kernel : {:>10.1} us", pre_report.latency_us);
+    println!("  - embedding kernel  : {:>10.1} us", emb_report.latency_us);
+    println!("fused (ops inlined in schedules)        : {fused:>10.1} us");
+    println!("fusion speedup: {:.2}x", unfused / fused);
+    println!("\n(the paper leaves larger fusion scopes as future work because the");
+    println!(" extra in-kernel work also perturbs the schedule-tuning problem)");
+}

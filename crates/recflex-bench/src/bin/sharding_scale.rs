@@ -1,0 +1,27 @@
+//! Multi-GPU sharding (paper Section VII "Larger model sizes"): balance
+//! the embedding tables over several simulated GPUs, tune RecFlex per
+//! shard, and measure the scaling of the embedding stage.
+
+use recflex_bench::Scale;
+use recflex_core::ShardedEngine;
+use recflex_data::{Batch, Dataset, ModelPreset};
+use recflex_sim::GpuArch;
+
+fn main() {
+    let scale = Scale::from_env();
+    let arch = GpuArch::v100();
+    let model = scale.model(ModelPreset::A);
+    let history = Dataset::synthesize(&model, 3, scale.batch_size, 5);
+    let batch = Batch::generate(&model, scale.batch_size, 77);
+
+    println!("== multi-GPU sharding, model A ({} features) ==", model.num_features());
+    println!("{:>8} {:>14} {:>10}", "devices", "latency (us)", "speedup");
+    let mut base = None;
+    for devices in [1usize, 2, 4, 8] {
+        let sharded = ShardedEngine::tune(&model, &history, &arch, &scale.tuner, devices);
+        let (_, latency) = sharded.run(&batch).unwrap();
+        let baseline = *base.get_or_insert(latency);
+        println!("{devices:>8} {latency:>14.1} {:>9.2}x", baseline / latency);
+    }
+    println!("\n(the paper composes RecFlex with table placement for models beyond one GPU's memory)");
+}

@@ -1,0 +1,28 @@
+//! Table I: basic statistics of the evaluated models and datasets.
+
+use recflex_bench::Scale;
+use recflex_data::ModelPreset;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table I: evaluated models (scale = {}) ==", scale.model_frac);
+    println!(
+        "{:<8} {:>10} {:>10} {:>11} {:>10}",
+        "Model", "# Features", "# One-hot", "# Multi-hot", "Emb. Dim."
+    );
+    for preset in ModelPreset::TABLE1 {
+        let m = scale.model(preset);
+        let (lo, hi) = m.dim_range();
+        let dims = if lo == hi { format!("{lo}") } else { format!("{lo}-{hi}") };
+        println!(
+            "{:<8} {:>10} {:>10} {:>11} {:>10}",
+            m.name,
+            m.num_features(),
+            m.num_one_hot(),
+            m.num_multi_hot(),
+            dims
+        );
+    }
+    println!("\nPaper reference (full scale): A 1000/500/500 4-128, B 1200/1000/200 4-128,");
+    println!("C 800/0/800 4-128, D 1000/500/500 dim 8, E 1000/500/500 dim 32.");
+}

@@ -1,0 +1,234 @@
+//! # recflex-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §7 for the
+//! index). Every binary prints the same rows/series the paper reports;
+//! EXPERIMENTS.md records paper-vs-measured.
+//!
+//! ## Scaling
+//!
+//! The paper's full configuration (1000-feature models, 128 batches of up
+//! to 512 samples, eight tuning GPUs) is reproducible but slow on a laptop.
+//! The harness therefore reads:
+//!
+//! * `RECFLEX_SCALE`  — fraction of each model's feature count (default 0.1),
+//! * `RECFLEX_BATCH`  — evaluation batch size (default 256),
+//! * `RECFLEX_EVAL_BATCHES` — evaluation batches (default 16, paper 128),
+//!
+//! so `RECFLEX_SCALE=1.0 RECFLEX_BATCH=512 RECFLEX_EVAL_BATCHES=128` runs
+//! the paper-size experiments. Relative results (who wins, by how much) are
+//! stable across scales because every backend sees the same inputs.
+
+use recflex_baselines::{Backend, HugeCtrBackend, RecomBackend, TensorFlowBackend, TorchRecBackend};
+use recflex_core::RecFlexEngine;
+use recflex_data::{Batch, Dataset, ModelConfig, ModelPreset};
+use recflex_embedding::TableSet;
+use recflex_sim::GpuArch;
+use recflex_tuner::TunerConfig;
+
+/// Experiment scaling knobs (see crate docs).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Fraction of each preset's feature count.
+    pub model_frac: f64,
+    /// Evaluation batch size.
+    pub batch_size: u32,
+    /// Number of evaluation batches.
+    pub eval_batches: usize,
+    /// Tuner configuration.
+    pub tuner: TunerConfig,
+}
+
+impl Scale {
+    /// Read the knobs from the environment.
+    pub fn from_env() -> Self {
+        let model_frac = std::env::var("RECFLEX_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.1);
+        let batch_size = std::env::var("RECFLEX_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let eval_batches = std::env::var("RECFLEX_EVAL_BATCHES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16);
+        let tuner = TunerConfig {
+            occupancy_levels: Some(vec![1, 2, 4, 8, 16]),
+            tuning_batches: 3,
+            pad_fill: 2.0,
+        };
+        Scale { model_frac, batch_size, eval_batches, tuner }
+    }
+
+    /// Build a preset at this scale.
+    pub fn model(&self, preset: ModelPreset) -> ModelConfig {
+        preset.scaled(self.model_frac)
+    }
+}
+
+/// A fully prepared experiment fixture for one model on one architecture.
+pub struct Fixture {
+    /// The (scaled) model.
+    pub model: ModelConfig,
+    /// Its tables.
+    pub tables: TableSet,
+    /// Historical batches for tuning/compilation.
+    pub history: Dataset,
+    /// Fresh evaluation batches.
+    pub eval: Dataset,
+    /// Target architecture.
+    pub arch: GpuArch,
+}
+
+impl Fixture {
+    /// Prepare model, tables, tuning history and evaluation split.
+    ///
+    /// Evaluation batches cycle through varying request sizes around the
+    /// configured batch size — online serving never sees one fixed size
+    /// (Section II-C "the varied batch sizes … contribute to the
+    /// dynamics"), and this variation is what the Figure 13 mapping
+    /// ablation exploits.
+    pub fn prepare(preset: ModelPreset, arch: &GpuArch, scale: &Scale) -> Self {
+        let model = scale.model(preset);
+        let tables = TableSet::for_model(&model);
+        let bs = scale.batch_size;
+        let hist_sizes: Vec<u32> = [1.0, 0.5, 0.75]
+            .iter()
+            .cycle()
+            .take(scale.tuner.tuning_batches.max(2))
+            .map(|f| ((bs as f64 * f) as u32).max(1))
+            .collect();
+        let history = Dataset::synthesize_varied(&model, &hist_sizes, 0xA11CE);
+        let eval_sizes: Vec<u32> = [1.0, 0.25, 0.5, 1.0, 0.125, 0.75]
+            .iter()
+            .cycle()
+            .take(scale.eval_batches)
+            .map(|f| ((bs as f64 * f) as u32).max(1))
+            .collect();
+        let eval = Dataset::synthesize_varied(&model, &eval_sizes, 0xE7A1 ^ 0xA11CE);
+        Fixture { model, tables, history, eval, arch: arch.clone() }
+    }
+
+    /// Tune a RecFlex engine on the fixture's history.
+    pub fn tune_recflex(&self, scale: &Scale) -> RecFlexEngine {
+        RecFlexEngine::tune(&self.model, &self.history, &self.arch, &scale.tuner)
+    }
+
+    /// Total embedding-stage latency of `backend` over all eval batches.
+    pub fn total_latency(&self, backend: &dyn Backend) -> Option<f64> {
+        if !backend.supports(&self.model) {
+            return None;
+        }
+        let mut total = 0.0;
+        for b in self.eval.batches() {
+            total += backend.run(&self.model, &self.tables, b, &self.arch).ok()?.latency_us;
+        }
+        Some(total)
+    }
+
+    /// All baselines applicable to this model, freshly compiled.
+    pub fn baselines(&self) -> Vec<Box<dyn Backend>> {
+        let mut v: Vec<Box<dyn Backend>> = vec![
+            Box::new(TensorFlowBackend),
+            Box::new(RecomBackend::compile(&self.model, &self.history)),
+            Box::new(TorchRecBackend::compile(&self.model)),
+        ];
+        if HugeCtrBackend.supports(&self.model) {
+            v.push(Box::new(HugeCtrBackend));
+        }
+        v
+    }
+}
+
+/// One row of a comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System name.
+    pub name: String,
+    /// Total latency over the evaluation set, µs.
+    pub latency_us: f64,
+}
+
+/// Print a normalized performance table (fastest = 1.00, as in Figures
+/// 9/10) and return `(name, normalized_perf)` pairs.
+pub fn print_normalized(title: &str, rows: &[Row]) -> Vec<(String, f64)> {
+    let best = rows.iter().map(|r| r.latency_us).fold(f64::INFINITY, f64::min);
+    println!("\n== {title} ==");
+    println!("{:<12} {:>14} {:>12}", "system", "latency (us)", "normalized");
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        let norm = best / r.latency_us;
+        println!("{:<12} {:>14.1} {:>12.3}", r.name, r.latency_us, norm);
+        out.push((r.name.clone(), norm));
+    }
+    out
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Pretty-print average speedups of `reference` over each other system,
+/// pooled across experiments (the paper's "average speedups of …" lines).
+pub fn print_average_speedups(reference: &str, pools: &[(String, Vec<f64>)]) {
+    println!("\n-- average speedups of {reference} --");
+    for (name, ratios) in pools {
+        if !ratios.is_empty() {
+            println!("  over {:<12} {:>8.2}x  (n={})", name, geomean(ratios), ratios.len());
+        }
+    }
+}
+
+/// Both testbed architectures, in paper order.
+pub fn both_archs() -> Vec<GpuArch> {
+    vec![GpuArch::v100(), GpuArch::a100()]
+}
+
+/// Generate a single long-tail request (Section VI-D's 2 560-sample batch).
+pub fn long_tail_batch(model: &ModelConfig) -> Batch {
+    Batch::generate(model, 2560, 0x1077A11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn fixture_prepares_consistent_shapes() {
+        let scale = Scale {
+            model_frac: 0.005,
+            batch_size: 32,
+            eval_batches: 2,
+            tuner: TunerConfig::fast(),
+        };
+        let f = Fixture::prepare(ModelPreset::A, &GpuArch::v100(), &scale);
+        assert_eq!(f.tables.len(), f.model.features.len());
+        assert_eq!(f.eval.len(), 2);
+        assert!(f.history.len() >= 2);
+    }
+
+    #[test]
+    fn total_latency_none_for_unsupported() {
+        let scale = Scale {
+            model_frac: 0.005,
+            batch_size: 32,
+            eval_batches: 1,
+            tuner: TunerConfig::fast(),
+        };
+        let f = Fixture::prepare(ModelPreset::A, &GpuArch::v100(), &scale);
+        assert!(f.total_latency(&HugeCtrBackend).is_none(), "mixed dims unsupported");
+        assert!(f.total_latency(&TensorFlowBackend).is_some());
+    }
+}

@@ -1,0 +1,386 @@
+//! The fused kernel object and its batch-bound executable form.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+use recflex_data::{Batch, ModelConfig};
+use recflex_embedding::{analyze_batch, FeatureWorkload, FusedOutput, TableSet};
+use recflex_schedules::ScheduleInstance;
+use recflex_sim::{
+    launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, LaunchReport, ProfileCtx,
+    SimKernel,
+};
+
+use crate::thread_map::{static_counts, MappingStrategy, TaskMap};
+
+/// How the fused kernel dispatches blocks to schedules (paper Section IV-B
+/// "If-else branches vs function pointer array").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Block-level if-else chain; every schedule inlines, overhead is
+    /// negligible even with thousands of branches. The paper's choice.
+    #[default]
+    IfElse,
+    /// Indirect call through a `__device__` function-pointer array —
+    /// prevents inlining and costs ~45 % on issue-bound kernels; kept for
+    /// the ablation.
+    FnPtrArray,
+}
+
+/// Compile-time inputs of the fusion compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSpec {
+    /// One selected schedule per feature (the tuner's output `s`).
+    pub schedules: Vec<ScheduleInstance>,
+    /// Explicit occupancy control (blocks/SM), the global-stage decision.
+    pub occupancy_target: Option<u32>,
+    /// Dispatch mechanism.
+    pub dispatch: DispatchMode,
+}
+
+impl FusedSpec {
+    /// Spec with runtime defaults (if-else dispatch, natural occupancy).
+    pub fn new(schedules: Vec<ScheduleInstance>) -> Self {
+        FusedSpec { schedules, occupancy_target: None, dispatch: DispatchMode::IfElse }
+    }
+}
+
+/// The compiled fused kernel: schedule dedup table, resource union and
+/// launch parameters. Independent of any particular batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedKernelObject {
+    /// The spec this object was compiled from.
+    pub spec: FusedSpec,
+    /// `feature_idx → unique schedule id` (Figure 8's `schedule_map`).
+    /// Features with identical schedules share one device function,
+    /// shrinking code size and compile time.
+    pub schedule_map: Vec<usize>,
+    /// The deduplicated schedules, in first-appearance order.
+    pub unique: Vec<ScheduleInstance>,
+    /// `__launch_bounds__` resource union: max threads, max registers,
+    /// max shared memory (the smem union of Figure 8 lines 12–15).
+    pub resources: BlockResources,
+}
+
+impl FusedKernelObject {
+    /// Compile a spec: deduplicate schedules and take the resource union.
+    pub fn compile(spec: FusedSpec) -> Self {
+        assert!(!spec.schedules.is_empty(), "cannot fuse zero features");
+        let mut unique: Vec<ScheduleInstance> = Vec::new();
+        let mut by_inst: HashMap<ScheduleInstance, usize> = HashMap::new();
+        let mut schedule_map = Vec::with_capacity(spec.schedules.len());
+        for s in &spec.schedules {
+            let id = *by_inst.entry(*s).or_insert_with(|| {
+                unique.push(*s);
+                unique.len() - 1
+            });
+            schedule_map.push(id);
+        }
+        let mut resources = unique
+            .iter()
+            .map(|s| s.resources())
+            .reduce(|a, b| a.union(&b))
+            .expect("at least one schedule");
+        if spec.dispatch == DispatchMode::FnPtrArray {
+            // Indirect calls block inlining: every schedule pays the ABI
+            // register footprint, constraining the whole kernel's occupancy
+            // (Section IV-B's 45 % penalty has two halves — this one and
+            // the per-call issue overhead added in `profile_block`).
+            resources.regs_per_thread = (resources.regs_per_thread + 26).min(255);
+        }
+        FusedKernelObject { spec, schedule_map, unique, resources }
+    }
+
+    /// The launch configuration implied by the compile decisions.
+    pub fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            occupancy_target: self.spec.occupancy_target,
+            extra_l2_pressure: 0,
+            issue_multiplier: match self.spec.dispatch {
+                DispatchMode::IfElse => 1.0,
+                DispatchMode::FnPtrArray => 1.45,
+            },
+        }
+    }
+
+    /// Bind to a live batch with **runtime thread mapping** (the RecFlex
+    /// path): analyze the workload host-side, build the exact task map.
+    pub fn bind<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        tables: &'a TableSet,
+        batch: &'a Batch,
+    ) -> BoundFusedKernel<'a> {
+        let workloads = analyze_batch(model, batch);
+        let task_map = TaskMap::runtime(&self.spec.schedules, &workloads);
+        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+    }
+
+    /// Bind with UVM-resident tables: lookups missing `plan`'s hot rows
+    /// travel over the host interconnect (paper Section VII's hot-embedding
+    /// cache composition).
+    pub fn bind_uvm<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        tables: &'a TableSet,
+        batch: &'a Batch,
+        plan: &recflex_embedding::CachePlan,
+    ) -> BoundFusedKernel<'a> {
+        let workloads: Vec<FeatureWorkload> = analyze_batch(model, batch)
+            .into_iter()
+            .enumerate()
+            .map(|(f, w)| {
+                let cold = plan.cold_fraction(f, &batch.features[f]);
+                w.with_uvm_cold_frac(cold)
+            })
+            .collect();
+        let task_map = TaskMap::runtime(&self.spec.schedules, &workloads);
+        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+    }
+
+    /// Bind with a **static** mapping computed from historical workloads
+    /// (the Figure 13 ablation). Allocated blocks serialize extra rounds
+    /// when the live batch needs more; surplus blocks idle.
+    pub fn bind_static<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        tables: &'a TableSet,
+        batch: &'a Batch,
+        history: &[Vec<FeatureWorkload>],
+        strategy: MappingStrategy,
+    ) -> BoundFusedKernel<'a> {
+        let workloads = analyze_batch(model, batch);
+        let task_map = match strategy {
+            MappingStrategy::Runtime => TaskMap::runtime(&self.spec.schedules, &workloads),
+            s => TaskMap::static_map(static_counts(&self.spec.schedules, history, s)),
+        };
+        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+    }
+
+    /// Run one batch end to end: simulate the launch and execute
+    /// functionally.
+    pub fn run(
+        &self,
+        model: &ModelConfig,
+        tables: &TableSet,
+        batch: &Batch,
+        arch: &GpuArch,
+    ) -> Result<(FusedOutput, LaunchReport), recflex_sim::launch::LaunchError> {
+        let bound = self.bind(model, tables, batch);
+        let report = launch(&bound, arch, &self.launch_config())?;
+        Ok((bound.execute(), report))
+    }
+}
+
+/// A fused kernel bound to one batch: implements [`SimKernel`] for timing
+/// and executes functionally.
+pub struct BoundFusedKernel<'a> {
+    /// The compiled kernel.
+    pub obj: &'a FusedKernelObject,
+    /// The model (feature specs).
+    pub model: &'a ModelConfig,
+    /// Embedding tables.
+    pub tables: &'a TableSet,
+    /// The live batch.
+    pub batch: &'a Batch,
+    /// Host-side workload analysis of the batch.
+    pub workloads: Vec<FeatureWorkload>,
+    /// The thread mapping in force.
+    pub task_map: TaskMap,
+}
+
+impl BoundFusedKernel<'_> {
+    /// Functional execution: every feature pooled by its schedule, in
+    /// parallel across features (disjoint output regions).
+    pub fn execute(&self) -> FusedOutput {
+        let mut out = FusedOutput::zeros(self.model, self.batch.batch_size);
+        {
+            let parts = out.split_features_mut();
+            parts.into_par_iter().enumerate().for_each(|(f, dst)| {
+                self.obj.spec.schedules[f].execute(
+                    self.tables.table(f),
+                    &self.batch.features[f],
+                    dst,
+                );
+            });
+        }
+        out
+    }
+}
+
+impl SimKernel for BoundFusedKernel<'_> {
+    fn name(&self) -> &str {
+        "recflex_fused"
+    }
+
+    fn grid_blocks(&self) -> u32 {
+        self.task_map.grid_blocks()
+    }
+
+    fn resources(&self) -> BlockResources {
+        self.obj.resources
+    }
+
+    fn profile_block(&self, block_idx: u32, ctx: &ProfileCtx) -> BlockProfile {
+        let (f, rel) = self.task_map.entries[block_idx as usize];
+        let f = f as usize;
+        let sched = &self.obj.spec.schedules[f];
+        let w = &self.workloads[f];
+        let fb = &self.batch.features[f];
+        let allocated = self.task_map.blocks_per_feature[f];
+        let required = sched.required_blocks(w);
+        if rel >= required {
+            // Over-provisioned static mapping: this block finds no work.
+            return BlockProfile::idle();
+        }
+        // Under-provisioned static mapping: block `rel` also executes the
+        // work of logical blocks rel + allocated, rel + 2·allocated, …
+        let mut p = sched.block_profile(fb, w, rel, ctx.reg_cap);
+        let mut logical = rel + allocated;
+        while logical < required {
+            let extra = sched.block_profile(fb, w, logical, ctx.reg_cap);
+            p.accumulate(&extra);
+            logical += allocated;
+        }
+        match self.obj.spec.dispatch {
+            // If-else dispatch: one comparison per preceding unique
+            // schedule; inlined, so the cost is a handful of issue slots
+            // (the paper measured it negligible even with thousands of
+            // branches).
+            DispatchMode::IfElse => p.issue_cycles += self.obj.schedule_map[f] as f64 * 0.05,
+            // Function-pointer dispatch: call setup/teardown per block,
+            // spilled ABI state, and no cross-call load reordering.
+            DispatchMode::FnPtrArray => {
+                p.issue_cycles += 60.0;
+                p.mlp = (p.mlp * 0.6).max(1.0);
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{Dataset, ModelPreset};
+    use recflex_embedding::reference_model_output;
+    use recflex_schedules::enumerate_candidates;
+
+    fn compile_first_candidates(model: &ModelConfig) -> FusedKernelObject {
+        let schedules: Vec<ScheduleInstance> = model
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| enumerate_candidates(i, f).candidates[0])
+            .collect();
+        FusedKernelObject::compile(FusedSpec::new(schedules))
+    }
+
+    #[test]
+    fn dedup_shares_identical_schedules() {
+        let m = ModelPreset::D.scaled(0.02); // uniform dim 8 → heavy sharing
+        let obj = compile_first_candidates(&m);
+        assert!(obj.unique.len() < m.features.len(), "uniform model must dedup");
+        assert_eq!(obj.schedule_map.len(), m.features.len());
+        for (f, &id) in obj.schedule_map.iter().enumerate() {
+            assert_eq!(obj.unique[id], obj.spec.schedules[f]);
+        }
+    }
+
+    #[test]
+    fn resource_union_bounds_every_schedule() {
+        let m = ModelPreset::A.scaled(0.02);
+        let obj = compile_first_candidates(&m);
+        for s in &obj.unique {
+            let r = s.resources();
+            assert!(r.threads_per_block <= obj.resources.threads_per_block);
+            assert!(r.regs_per_thread <= obj.resources.regs_per_thread);
+            assert!(r.smem_per_block <= obj.resources.smem_per_block);
+        }
+    }
+
+    #[test]
+    fn fused_output_matches_reference() {
+        let m = ModelPreset::A.scaled(0.02);
+        let tables = TableSet::for_model(&m);
+        let batch = Batch::generate(&m, 48, 17);
+        let obj = compile_first_candidates(&m);
+        let (out, report) = obj.run(&m, &tables, &batch, &GpuArch::v100()).unwrap();
+        let golden = reference_model_output(&m, &tables, &batch);
+        assert_eq!(out.max_abs_diff(&golden), 0.0);
+        assert!(report.latency_us > 0.0);
+    }
+
+    #[test]
+    fn runtime_binding_profiles_every_block_non_idle() {
+        let m = ModelPreset::C.scaled(0.02);
+        let tables = TableSet::for_model(&m);
+        let batch = Batch::generate(&m, 64, 7);
+        let obj = compile_first_candidates(&m);
+        let bound = obj.bind(&m, &tables, &batch);
+        let ctx = ProfileCtx::default();
+        for b in 0..bound.grid_blocks() {
+            let p = bound.profile_block(b, &ctx);
+            assert!(!p.is_idle(), "runtime mapping never over-provisions (block {b})");
+        }
+    }
+
+    #[test]
+    fn static_average_mapping_serializes_or_idles() {
+        let m = ModelPreset::C.scaled(0.02);
+        let tables = TableSet::for_model(&m);
+        let ds = Dataset::synthesize(&m, 3, 64, 5);
+        let history: Vec<Vec<FeatureWorkload>> =
+            ds.batches().iter().map(|b| analyze_batch(&m, b)).collect();
+        let big = Batch::generate(&m, 256, 99); // larger than history
+        let obj = compile_first_candidates(&m);
+        let rt = obj.bind(&m, &tables, &big);
+        let avg = obj.bind_static(&m, &tables, &big, &history, MappingStrategy::StaticAverage);
+        assert!(avg.grid_blocks() < rt.grid_blocks(), "avg mapping under-provisions");
+        // Total work must be conserved: the serialized blocks pick it up.
+        let ctx = ProfileCtx::default();
+        let rt_flops: u64 = (0..rt.grid_blocks()).map(|b| rt.profile_block(b, &ctx).flops).sum();
+        let avg_flops: u64 =
+            (0..avg.grid_blocks()).map(|b| avg.profile_block(b, &ctx).flops).sum();
+        assert_eq!(rt_flops, avg_flops, "work is conserved under static mapping");
+    }
+
+    #[test]
+    fn static_max_mapping_idles_on_small_batches() {
+        let m = ModelPreset::C.scaled(0.02);
+        let tables = TableSet::for_model(&m);
+        let ds = Dataset::synthesize(&m, 3, 256, 5);
+        let history: Vec<Vec<FeatureWorkload>> =
+            ds.batches().iter().map(|b| analyze_batch(&m, b)).collect();
+        let small = Batch::generate(&m, 32, 1);
+        let obj = compile_first_candidates(&m);
+        let bound = obj.bind_static(&m, &tables, &small, &history, MappingStrategy::StaticMax);
+        let ctx = ProfileCtx::default();
+        let idle = (0..bound.grid_blocks())
+            .filter(|&b| bound.profile_block(b, &ctx).is_idle())
+            .count();
+        assert!(idle > 0, "max mapping must leave idle blocks on small batches");
+    }
+
+    #[test]
+    fn fnptr_dispatch_raises_issue_multiplier() {
+        let m = ModelPreset::A.scaled(0.01);
+        let mut obj = compile_first_candidates(&m);
+        assert_eq!(obj.launch_config().issue_multiplier, 1.0);
+        obj.spec.dispatch = DispatchMode::FnPtrArray;
+        assert!((obj.launch_config().issue_multiplier - 1.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_target_propagates() {
+        let m = ModelPreset::A.scaled(0.01);
+        let mut obj = compile_first_candidates(&m);
+        obj.spec.occupancy_target = Some(4);
+        assert_eq!(obj.launch_config().occupancy_target, Some(4));
+        let tables = TableSet::for_model(&m);
+        let batch = Batch::generate(&m, 32, 2);
+        let bound = obj.bind(&m, &tables, &batch);
+        let report = launch(&bound, &GpuArch::v100(), &obj.launch_config()).unwrap();
+        assert!(report.occupancy.blocks_per_sm <= 4);
+    }
+}

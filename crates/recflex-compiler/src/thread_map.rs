@@ -1,0 +1,188 @@
+//! Thread mapping: which blocks serve which feature.
+//!
+//! Heterogeneous schedules need different block counts per feature, and the
+//! counts depend on the live workload — so RecFlex computes the mapping on
+//! the host per batch (paper Section IV-B "Runtime thread mapping with
+//! host-side workload analysis"). The static alternatives the paper ablates
+//! in Figure 13 (allocate by average / maximum historical workload) are
+//! implemented here too.
+
+use recflex_embedding::FeatureWorkload;
+use recflex_schedules::ScheduleInstance;
+
+/// How block allocation reacts to the live workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingStrategy {
+    /// Recompute the task map from each batch's actual workload (RecFlex).
+    Runtime,
+    /// Fix per-feature blocks to the *average* historical requirement;
+    /// under-provisioned blocks serialize extra rounds of work.
+    StaticAverage,
+    /// Fix per-feature blocks to the *maximum* historical requirement;
+    /// over-provisioned blocks idle.
+    StaticMax,
+}
+
+/// The `d_task_map` / `d_blocks_map` pair of the fused kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMap {
+    /// Per block: `(feature_idx, rel_bidx)` — Figure 8 line 9.
+    pub entries: Vec<(u32, u32)>,
+    /// Per feature: blocks allocated — Figure 8 line 10 (`d_blocks_map`).
+    pub blocks_per_feature: Vec<u32>,
+}
+
+impl TaskMap {
+    /// Build the runtime mapping: exactly `required_blocks` per feature
+    /// from the live workload analysis. One linear pass, mirroring the
+    /// cheap CPU-side analysis the paper hides in input preprocessing.
+    pub fn runtime(schedules: &[ScheduleInstance], workloads: &[FeatureWorkload]) -> Self {
+        assert_eq!(schedules.len(), workloads.len());
+        let blocks_per_feature: Vec<u32> = schedules
+            .iter()
+            .zip(workloads)
+            .map(|(s, w)| s.required_blocks(w))
+            .collect();
+        Self::from_counts(blocks_per_feature)
+    }
+
+    /// Build a static mapping from fixed per-feature block counts
+    /// (historical averages or maxima).
+    pub fn static_map(counts: Vec<u32>) -> Self {
+        Self::from_counts(counts.into_iter().map(|c| c.max(1)).collect())
+    }
+
+    fn from_counts(blocks_per_feature: Vec<u32>) -> Self {
+        let total: u32 = blocks_per_feature.iter().sum();
+        let mut entries = Vec::with_capacity(total as usize);
+        for (f, &nb) in blocks_per_feature.iter().enumerate() {
+            for rel in 0..nb {
+                entries.push((f as u32, rel));
+            }
+        }
+        TaskMap { entries, blocks_per_feature }
+    }
+
+    /// Grid size of the fused kernel.
+    pub fn grid_blocks(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Validate structural invariants (used by tests and debug builds):
+    /// every feature owns a contiguous run of `blocks_per_feature[f]`
+    /// blocks with relative indices `0..n`.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![0u32; self.blocks_per_feature.len()];
+        for &(f, rel) in &self.entries {
+            let f = f as usize;
+            if f >= seen.len() {
+                return Err(format!("feature index {f} out of range"));
+            }
+            if rel != seen[f] {
+                return Err(format!("feature {f}: rel_bidx {rel}, expected {}", seen[f]));
+            }
+            seen[f] += 1;
+        }
+        for (f, (&got, &want)) in seen.iter().zip(&self.blocks_per_feature).enumerate() {
+            if got != want {
+                return Err(format!("feature {f}: {got} blocks mapped, {want} declared"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compute static per-feature block counts from historical workloads.
+///
+/// `history` is indexed `[batch][feature]`. Returns, per feature, the mean
+/// (for [`MappingStrategy::StaticAverage`]) or max (for
+/// [`MappingStrategy::StaticMax`]) of the blocks the schedule would have
+/// needed on each historical batch.
+pub fn static_counts(
+    schedules: &[ScheduleInstance],
+    history: &[Vec<FeatureWorkload>],
+    strategy: MappingStrategy,
+) -> Vec<u32> {
+    assert!(!history.is_empty(), "static mapping needs history");
+    let nf = schedules.len();
+    let mut counts = vec![0u32; nf];
+    for (f, sched) in schedules.iter().enumerate() {
+        let per_batch: Vec<u32> = history.iter().map(|ws| sched.required_blocks(&ws[f])).collect();
+        counts[f] = match strategy {
+            MappingStrategy::StaticAverage => {
+                let sum: u64 = per_batch.iter().map(|&c| c as u64).sum();
+                ((sum as f64 / per_batch.len() as f64).round() as u32).max(1)
+            }
+            MappingStrategy::StaticMax => per_batch.iter().copied().max().unwrap_or(1).max(1),
+            MappingStrategy::Runtime => {
+                unreachable!("runtime mapping does not use static counts")
+            }
+        };
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{Batch, ModelPreset};
+    use recflex_embedding::analyze_batch;
+    use recflex_schedules::enumerate_candidates;
+
+    fn setup() -> (Vec<ScheduleInstance>, Vec<FeatureWorkload>) {
+        let m = ModelPreset::A.scaled(0.01);
+        let batch = Batch::generate(&m, 64, 3);
+        let ws = analyze_batch(&m, &batch);
+        let schedules: Vec<ScheduleInstance> = m
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| enumerate_candidates(i, f).candidates[0])
+            .collect();
+        (schedules, ws)
+    }
+
+    #[test]
+    fn runtime_map_is_exact_and_valid() {
+        let (schedules, ws) = setup();
+        let map = TaskMap::runtime(&schedules, &ws);
+        map.validate().unwrap();
+        for (f, s) in schedules.iter().enumerate() {
+            assert_eq!(map.blocks_per_feature[f], s.required_blocks(&ws[f]));
+        }
+        assert_eq!(map.grid_blocks() as usize, map.entries.len());
+    }
+
+    #[test]
+    fn static_counts_avg_and_max() {
+        let (schedules, _) = setup();
+        let m = ModelPreset::A.scaled(0.01);
+        let history: Vec<Vec<FeatureWorkload>> = (0..4)
+            .map(|i| analyze_batch(&m, &Batch::generate(&m, 32 + i * 32, 100 + i as u64)))
+            .collect();
+        let avg = static_counts(&schedules, &history, MappingStrategy::StaticAverage);
+        let max = static_counts(&schedules, &history, MappingStrategy::StaticMax);
+        for f in 0..schedules.len() {
+            assert!(avg[f] <= max[f], "avg must not exceed max for feature {f}");
+            assert!(avg[f] >= 1);
+        }
+        TaskMap::static_map(max).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let (schedules, ws) = setup();
+        let mut map = TaskMap::runtime(&schedules, &ws);
+        map.entries[0].1 = 99;
+        assert!(map.validate().is_err());
+        let mut map2 = TaskMap::runtime(&schedules, &ws);
+        map2.blocks_per_feature[0] += 1;
+        assert!(map2.validate().is_err());
+    }
+
+    #[test]
+    fn map_deterministic() {
+        let (schedules, ws) = setup();
+        assert_eq!(TaskMap::runtime(&schedules, &ws), TaskMap::runtime(&schedules, &ws));
+    }
+}

@@ -1,0 +1,178 @@
+//! The tuned, compiled, servable RecFlex engine.
+
+use recflex_baselines::{Backend, BackendError, BackendRun};
+use recflex_compiler::{DispatchMode, FusedKernelObject, FusedSpec};
+use recflex_data::{Batch, Dataset, ModelConfig};
+use recflex_embedding::{FusedOutput, TableSet};
+use recflex_sim::{launch, GpuArch, LaunchReport};
+use recflex_tuner::{tune_two_stage, TuneResult, TunerConfig};
+
+/// A tuned RecFlex deployment for one model on one architecture.
+pub struct RecFlexEngine {
+    /// The model served.
+    pub model: ModelConfig,
+    /// Its embedding tables.
+    pub tables: TableSet,
+    /// The compiled fused kernel.
+    pub object: FusedKernelObject,
+    /// The architecture tuned for.
+    pub arch: GpuArch,
+    /// The tuning decision record.
+    pub tune_result: TuneResult,
+}
+
+impl RecFlexEngine {
+    /// Tune schedules on `dataset` (the recent historical inputs,
+    /// Section IV-A3) and compile the fused kernel.
+    pub fn tune(model: &ModelConfig, dataset: &Dataset, arch: &GpuArch, cfg: &TunerConfig) -> Self {
+        let tune_result = tune_two_stage(model, dataset, arch, cfg);
+        Self::from_tune_result(model, arch, tune_result)
+    }
+
+    /// Build an engine from a previously computed tuning decision.
+    pub fn from_tune_result(model: &ModelConfig, arch: &GpuArch, tune_result: TuneResult) -> Self {
+        let mut spec = FusedSpec::new(tune_result.schedules.clone());
+        spec.occupancy_target = tune_result.occupancy;
+        spec.dispatch = DispatchMode::IfElse;
+        let object = FusedKernelObject::compile(spec);
+        RecFlexEngine {
+            model: model.clone(),
+            tables: TableSet::for_model(model),
+            object,
+            arch: arch.clone(),
+            tune_result,
+        }
+    }
+
+    /// Serve one batch: host-side workload analysis, runtime thread
+    /// mapping, fused launch, functional execution.
+    pub fn run(&self, batch: &Batch) -> Result<(FusedOutput, LaunchReport), BackendError> {
+        let bound = self.object.bind(&self.model, &self.tables, batch);
+        let report = launch(&bound, &self.arch, &self.object.launch_config())
+            .map_err(|e| BackendError::Launch(e.to_string()))?;
+        Ok((bound.execute(), report))
+    }
+
+    /// Re-tune on fresh historical data — the paper's periodic re-tuning
+    /// against distribution shift (Section IV-A3). Returns the previous
+    /// tuning decision.
+    pub fn retune(&mut self, dataset: &Dataset, cfg: &TunerConfig) -> TuneResult {
+        let new = tune_two_stage(&self.model, dataset, &self.arch, cfg);
+        let old = std::mem::replace(&mut self.tune_result, new);
+        let mut spec = FusedSpec::new(self.tune_result.schedules.clone());
+        spec.occupancy_target = self.tune_result.occupancy;
+        self.object = FusedKernelObject::compile(spec);
+        old
+    }
+
+    /// The CUDA translation unit the deployment corresponds to (Figure 8).
+    pub fn cuda_source(&self) -> String {
+        self.object.cuda_source()
+    }
+}
+
+impl Backend for RecFlexEngine {
+    fn name(&self) -> &'static str {
+        "RecFlex"
+    }
+
+    fn run(
+        &self,
+        model: &ModelConfig,
+        tables: &TableSet,
+        batch: &Batch,
+        arch: &GpuArch,
+    ) -> Result<BackendRun, BackendError> {
+        let bound = self.object.bind(model, tables, batch);
+        let report = launch(&bound, arch, &self.object.launch_config())
+            .map_err(|e| BackendError::Launch(e.to_string()))?;
+        Ok(BackendRun { output: bound.execute(), latency_us: report.latency_us, kernel_launches: 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::ModelPreset;
+    use recflex_embedding::reference_model_output;
+
+    fn engine() -> (RecFlexEngine, Dataset) {
+        let m = ModelPreset::A.scaled(0.01);
+        let ds = Dataset::synthesize(&m, 3, 48, 5);
+        let e = RecFlexEngine::tune(&m, &ds, &GpuArch::v100(), &TunerConfig::fast());
+        (e, ds)
+    }
+
+    #[test]
+    fn engine_serves_correct_output() {
+        let (e, ds) = engine();
+        let batch = &ds.batches()[2];
+        let (out, report) = e.run(batch).unwrap();
+        let golden = reference_model_output(&e.model, &e.tables, batch);
+        assert_eq!(out.max_abs_diff(&golden), 0.0);
+        assert!(report.latency_us > 0.0);
+        assert!(report.occupancy.blocks_per_sm >= 1);
+    }
+
+    #[test]
+    fn engine_is_a_backend() {
+        let (e, ds) = engine();
+        let run = Backend::run(&e, &e.model, &e.tables, &ds.batches()[0], &e.arch).unwrap();
+        assert_eq!(run.kernel_launches, 1);
+        assert_eq!(Backend::name(&e), "RecFlex");
+    }
+
+    #[test]
+    fn retune_swaps_decision() {
+        let (mut e, _) = engine();
+        let fresh = Dataset::synthesize(&e.model, 2, 48, 777);
+        let model = e.model.clone();
+        let old = e.retune(&fresh, &TunerConfig::fast());
+        assert_eq!(old.schedules.len(), model.features.len());
+        assert_eq!(e.tune_result.schedules.len(), model.features.len());
+        // The engine still serves correctly after the swap.
+        let batch = Batch::generate(&model, 32, 9);
+        let (out, _) = e.run(&batch).unwrap();
+        let golden = reference_model_output(&e.model, &e.tables, &batch);
+        assert_eq!(out.max_abs_diff(&golden), 0.0);
+    }
+
+    #[test]
+    fn cuda_source_reflects_tuning() {
+        let (e, _) = engine();
+        let src = e.cuda_source();
+        assert!(src.contains("FusedKernel"));
+        assert!(src.contains(&format!(
+            "__launch_bounds__({}",
+            e.object.resources.threads_per_block
+        )));
+    }
+
+    #[test]
+    fn beats_every_applicable_baseline_on_heterogeneous_model() {
+        // The paper's headline claim, on a scaled-down model A.
+        let m = ModelPreset::A.scaled(0.02);
+        let ds = Dataset::synthesize(&m, 3, 64, 5);
+        let arch = GpuArch::v100();
+        let engine = RecFlexEngine::tune(&m, &ds, &arch, &TunerConfig::fast());
+        let tables = TableSet::for_model(&m);
+        let batch = Batch::generate(&m, 64, 99);
+
+        let ours = Backend::run(&engine, &m, &tables, &batch, &arch).unwrap().latency_us;
+        let torchrec = recflex_baselines::TorchRecBackend::compile(&m)
+            .run(&m, &tables, &batch, &arch)
+            .unwrap()
+            .latency_us;
+        let recom = recflex_baselines::RecomBackend::compile(&m, &ds)
+            .run(&m, &tables, &batch, &arch)
+            .unwrap()
+            .latency_us;
+        let tf = recflex_baselines::TensorFlowBackend
+            .run(&m, &tables, &batch, &arch)
+            .unwrap()
+            .latency_us;
+        assert!(ours < torchrec, "RecFlex {ours} vs TorchRec {torchrec}");
+        assert!(ours < recom, "RecFlex {ours} vs RECom {recom}");
+        assert!(ours < tf, "RecFlex {ours} vs TensorFlow {tf}");
+    }
+}

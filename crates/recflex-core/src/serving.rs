@@ -1,0 +1,215 @@
+//! Online-serving simulation: batching, splitting and tail latency.
+//!
+//! The paper's evaluation context is inference serving (Section VI-D):
+//! "it is common for industrial serving systems to split batches exceeding
+//! a specific threshold", while systems like DeepRecSys dispatch unsplit
+//! long-tail requests. This module provides that serving layer over any
+//! embedding backend so the long-tail and thread-mapping experiments run
+//! in their natural habitat, and so a downstream user gets a ready-made
+//! request loop with latency statistics.
+
+use recflex_baselines::{Backend, BackendError};
+use recflex_data::{Batch, FeatureBatch, ModelConfig};
+use recflex_embedding::TableSet;
+use recflex_sim::GpuArch;
+
+/// Latency statistics over a served request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingStats {
+    /// Per-request latencies, µs, in arrival order.
+    pub request_latencies: Vec<f64>,
+    /// Kernel launches issued.
+    pub kernel_launches: u32,
+}
+
+impl ServingStats {
+    /// Mean request latency.
+    pub fn mean_us(&self) -> f64 {
+        if self.request_latencies.is_empty() {
+            return 0.0;
+        }
+        self.request_latencies.iter().sum::<f64>() / self.request_latencies.len() as f64
+    }
+
+    /// Latency percentile (`q` in `[0, 1]`), nearest-rank.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.request_latencies.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.request_latencies.clone();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 * q).ceil() as usize).clamp(1, v.len()) - 1;
+        v[idx]
+    }
+}
+
+/// A serving front-end over one embedding backend.
+pub struct ServingSimulator<'a> {
+    /// The backend under test.
+    pub backend: &'a dyn Backend,
+    /// The model served.
+    pub model: &'a ModelConfig,
+    /// Its tables.
+    pub tables: &'a TableSet,
+    /// The simulated device.
+    pub arch: GpuArch,
+    /// Requests above this many samples are split into chunks of at most
+    /// this size (the industrial practice of Section VI-D). `None`
+    /// forwards requests unsplit, DeepRecSys-style.
+    pub max_batch: Option<u32>,
+}
+
+impl ServingSimulator<'_> {
+    /// Serve a request stream; each request is processed (split if
+    /// configured) and its chunks run sequentially on the device.
+    pub fn serve(&self, requests: &[Batch]) -> Result<ServingStats, BackendError> {
+        let mut latencies = Vec::with_capacity(requests.len());
+        let mut launches = 0u32;
+        for req in requests {
+            let chunks = match self.max_batch {
+                Some(cap) if req.batch_size > cap => split_batch(req, cap),
+                _ => vec![req.clone()],
+            };
+            let mut total = 0.0f64;
+            for chunk in &chunks {
+                let run = self.backend.run(self.model, self.tables, chunk, &self.arch)?;
+                total += run.latency_us;
+                launches += run.kernel_launches;
+            }
+            latencies.push(total);
+        }
+        Ok(ServingStats { request_latencies: latencies, kernel_launches: launches })
+    }
+}
+
+/// Split a batch into chunks of at most `cap` samples, preserving sample
+/// order and CSR validity.
+pub fn split_batch(batch: &Batch, cap: u32) -> Vec<Batch> {
+    assert!(cap >= 1);
+    let n = batch.batch_size;
+    let mut out = Vec::with_capacity(n.div_ceil(cap) as usize);
+    let mut start = 0u32;
+    while start < n {
+        let end = (start + cap).min(n);
+        let features = batch
+            .features
+            .iter()
+            .map(|fb| slice_csr(fb, start, end))
+            .collect();
+        out.push(Batch { batch_size: end - start, features });
+        start = end;
+    }
+    out
+}
+
+fn slice_csr(fb: &FeatureBatch, start: u32, end: u32) -> FeatureBatch {
+    let lo = fb.offsets[start as usize];
+    let hi = fb.offsets[end as usize];
+    let offsets = fb.offsets[start as usize..=end as usize]
+        .iter()
+        .map(|&o| o - lo)
+        .collect();
+    let indices = fb.indices[lo as usize..hi as usize].to_vec();
+    FeatureBatch { offsets, indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RecFlexEngine;
+    use recflex_data::{Dataset, ModelPreset};
+    use recflex_embedding::reference_pooled;
+    use recflex_tuner::TunerConfig;
+
+    fn setup() -> (ModelConfig, TableSet, RecFlexEngine) {
+        let m = ModelPreset::A.scaled(0.01);
+        let t = TableSet::for_model(&m);
+        let ds = Dataset::synthesize(&m, 2, 64, 5);
+        let e = RecFlexEngine::tune(&m, &ds, &GpuArch::v100(), &TunerConfig::fast());
+        (m, t, e)
+    }
+
+    #[test]
+    fn split_preserves_csr_semantics() {
+        let m = ModelPreset::C.scaled(0.01);
+        let batch = Batch::generate(&m, 100, 7);
+        let chunks = split_batch(&batch, 32);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.batch_size).sum::<u32>(), 100);
+        for c in &chunks {
+            c.validate(&m).unwrap();
+        }
+        // Lookups are conserved and in order.
+        let total: u32 = chunks.iter().map(|c| c.features[0].total_lookups()).sum();
+        assert_eq!(total, batch.features[0].total_lookups());
+        // Per-sample pooling matches across the split boundary.
+        let tables = TableSet::for_model(&m);
+        let dim = m.features[0].emb_dim as usize;
+        let mut whole = vec![0.0f32; 100 * dim];
+        reference_pooled(tables.table(0), &batch.features[0], &mut whole);
+        let mut stitched = Vec::new();
+        for c in &chunks {
+            let mut part = vec![0.0f32; c.batch_size as usize * dim];
+            reference_pooled(tables.table(0), &c.features[0], &mut part);
+            stitched.extend(part);
+        }
+        assert_eq!(whole, stitched);
+    }
+
+    #[test]
+    fn serving_splits_long_requests() {
+        let (m, t, e) = setup();
+        let server = ServingSimulator {
+            backend: &e,
+            model: &m,
+            tables: &t,
+            arch: GpuArch::v100(),
+            max_batch: Some(128),
+        };
+        let long = Batch::generate(&m, 512, 3);
+        let stats = server.serve(std::slice::from_ref(&long)).unwrap();
+        assert_eq!(stats.request_latencies.len(), 1);
+        assert_eq!(stats.kernel_launches, 4, "512 split into 4 chunks of 128");
+    }
+
+    #[test]
+    fn unsplit_mode_forwards_whole_batches() {
+        let (m, t, e) = setup();
+        let server = ServingSimulator {
+            backend: &e,
+            model: &m,
+            tables: &t,
+            arch: GpuArch::v100(),
+            max_batch: None,
+        };
+        let long = Batch::generate(&m, 512, 3);
+        let stats = server.serve(std::slice::from_ref(&long)).unwrap();
+        assert_eq!(stats.kernel_launches, 1);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let stats = ServingStats {
+            request_latencies: vec![10.0, 50.0, 20.0, 90.0, 30.0],
+            kernel_launches: 5,
+        };
+        assert!(stats.percentile_us(0.5) <= stats.percentile_us(0.99));
+        assert_eq!(stats.percentile_us(1.0), 90.0);
+        assert!((stats.mean_us() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let (m, t, e) = setup();
+        let server = ServingSimulator {
+            backend: &e,
+            model: &m,
+            tables: &t,
+            arch: GpuArch::v100(),
+            max_batch: Some(64),
+        };
+        let stats = server.serve(&[]).unwrap();
+        assert_eq!(stats.mean_us(), 0.0);
+        assert_eq!(stats.percentile_us(0.99), 0.0);
+    }
+}

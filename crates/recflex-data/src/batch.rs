@@ -1,0 +1,247 @@
+//! CSR-encoded input batches.
+//!
+//! A batch carries, per feature, the classic ragged layout of embedding
+//! inputs: `offsets[s]..offsets[s+1]` are the positions in `indices` holding
+//! sample `s`'s lookup IDs. This is the structure the host-side workload
+//! analysis (paper Section IV-B) scans to build the runtime thread mapping.
+
+use crate::feature::{FeatureSpec, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Lookup indices of one feature for one batch, in CSR form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureBatch {
+    /// `batch_size + 1` monotone offsets into `indices`.
+    pub offsets: Vec<u32>,
+    /// Concatenated lookup row IDs.
+    pub indices: Vec<u32>,
+}
+
+impl FeatureBatch {
+    /// An empty CSR for `batch_size` samples (feature absent everywhere).
+    pub fn empty(batch_size: u32) -> Self {
+        FeatureBatch { offsets: vec![0; batch_size as usize + 1], indices: Vec::new() }
+    }
+
+    /// Number of samples.
+    pub fn batch_size(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Total lookups across the batch.
+    pub fn total_lookups(&self) -> u32 {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Pooling factor of sample `s`.
+    pub fn pooling_factor(&self, s: u32) -> u32 {
+        self.offsets[s as usize + 1] - self.offsets[s as usize]
+    }
+
+    /// Lookup IDs of sample `s`.
+    pub fn sample_indices(&self, s: u32) -> &[u32] {
+        let lo = self.offsets[s as usize] as usize;
+        let hi = self.offsets[s as usize + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// Maximum pooling factor in the batch.
+    pub fn max_pooling_factor(&self) -> u32 {
+        (0..self.batch_size()).map(|s| self.pooling_factor(s)).max().unwrap_or(0)
+    }
+
+    /// Count of distinct rows touched (sort-based, exact).
+    pub fn unique_rows(&self) -> u32 {
+        if self.indices.is_empty() {
+            return 0;
+        }
+        let mut v = self.indices.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len() as u32
+    }
+
+    /// Validate CSR invariants against a table size; used by tests and the
+    /// debug asserts of the kernels.
+    pub fn validate(&self, table_rows: u32) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets empty".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if !self.offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.indices.len() {
+            return Err("last offset must equal indices length".into());
+        }
+        if let Some(&bad) = self.indices.iter().find(|&&i| i >= table_rows) {
+            return Err(format!("index {bad} out of table range {table_rows}"));
+        }
+        Ok(())
+    }
+
+    /// Generate a CSR for `spec` with `batch_size` samples from `seed`.
+    pub fn generate(spec: &FeatureSpec, batch_size: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(batch_size as usize + 1);
+        let mut indices = Vec::new();
+        offsets.push(0u32);
+        for _ in 0..batch_size {
+            let present = spec.coverage >= 1.0 || rng.gen_range(0.0..1.0) < spec.coverage;
+            if present {
+                let pf = spec.pooling.sample(&mut rng);
+                for _ in 0..pf {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let row = (spec.table_rows as f64 * u.powf(1.0 + spec.row_skew)) as u32;
+                    indices.push(row.min(spec.table_rows - 1));
+                }
+            }
+            offsets.push(indices.len() as u32);
+        }
+        FeatureBatch { offsets, indices }
+    }
+}
+
+/// One inference request: a CSR per feature, all with the same batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Samples in the request.
+    pub batch_size: u32,
+    /// Per-feature CSR inputs, in model feature order.
+    pub features: Vec<FeatureBatch>,
+}
+
+impl Batch {
+    /// Synthesize one batch for `model` (parallel across features,
+    /// deterministic: each feature derives its own seed).
+    pub fn generate(model: &ModelConfig, batch_size: u32, seed: u64) -> Self {
+        let features: Vec<FeatureBatch> = model
+            .features
+            .par_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let fseed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64)
+                    .rotate_left(17);
+                FeatureBatch::generate(spec, batch_size, fseed)
+            })
+            .collect();
+        Batch { batch_size, features }
+    }
+
+    /// Total lookups across all features.
+    pub fn total_lookups(&self) -> u64 {
+        self.features.iter().map(|f| f.total_lookups() as u64).sum()
+    }
+
+    /// Validate every feature CSR against the model.
+    pub fn validate(&self, model: &ModelConfig) -> Result<(), String> {
+        if self.features.len() != model.features.len() {
+            return Err("feature count mismatch".into());
+        }
+        for (i, (fb, spec)) in self.features.iter().zip(&model.features).enumerate() {
+            if fb.batch_size() != self.batch_size {
+                return Err(format!("feature {i} batch size mismatch"));
+            }
+            fb.validate(spec.table_rows).map_err(|e| format!("feature {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::PoolingDist;
+
+    fn spec(pooling: PoolingDist, coverage: f64) -> FeatureSpec {
+        FeatureSpec {
+            name: "t".into(),
+            table_rows: 1000,
+            emb_dim: 16,
+            pooling,
+            coverage,
+            row_skew: 0.0,
+        }
+    }
+
+    #[test]
+    fn csr_invariants_hold() {
+        let s = spec(PoolingDist::Normal { mean: 20.0, std: 5.0, max: 100 }, 0.7);
+        let fb = FeatureBatch::generate(&s, 256, 99);
+        fb.validate(1000).unwrap();
+        assert_eq!(fb.batch_size(), 256);
+    }
+
+    #[test]
+    fn one_hot_full_coverage_has_one_per_sample() {
+        let s = spec(PoolingDist::OneHot, 1.0);
+        let fb = FeatureBatch::generate(&s, 128, 3);
+        assert_eq!(fb.total_lookups(), 128);
+        assert!((0..128).all(|i| fb.pooling_factor(i) == 1));
+    }
+
+    #[test]
+    fn coverage_leaves_samples_empty() {
+        let s = spec(PoolingDist::Fixed(10), 0.3);
+        let fb = FeatureBatch::generate(&s, 2000, 5);
+        let present = (0..2000).filter(|&i| fb.pooling_factor(i) > 0).count();
+        assert!((400..800).contains(&present), "≈30% of 2000, got {present}");
+        assert!((0..2000).all(|i| fb.pooling_factor(i) == 0 || fb.pooling_factor(i) == 10));
+    }
+
+    #[test]
+    fn row_skew_concentrates_lookups() {
+        let uniform = FeatureBatch::generate(&spec(PoolingDist::Fixed(50), 1.0), 256, 11);
+        let mut skewed_spec = spec(PoolingDist::Fixed(50), 1.0);
+        skewed_spec.row_skew = 3.0;
+        let skewed = FeatureBatch::generate(&skewed_spec, 256, 11);
+        assert!(skewed.unique_rows() < uniform.unique_rows());
+    }
+
+    #[test]
+    fn batch_generation_deterministic_and_valid() {
+        let model = ModelConfig {
+            name: "m".into(),
+            features: vec![
+                spec(PoolingDist::OneHot, 1.0),
+                spec(PoolingDist::Fixed(7), 0.5),
+                spec(PoolingDist::PowerLaw { alpha: 1.2, max: 200 }, 0.9),
+            ],
+        };
+        let a = Batch::generate(&model, 64, 42);
+        let b = Batch::generate(&model, 64, 42);
+        assert_eq!(a, b);
+        a.validate(&model).unwrap();
+        let c = Batch::generate(&model, 64, 43);
+        assert_ne!(a, c, "different seeds give different batches");
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let s = spec(PoolingDist::Fixed(3), 1.0);
+        let mut fb = FeatureBatch::generate(&s, 8, 1);
+        fb.indices[0] = 5000; // out of range
+        assert!(fb.validate(1000).is_err());
+        let mut fb2 = FeatureBatch::generate(&s, 8, 1);
+        fb2.offsets[3] = fb2.offsets[4] + 1; // non-monotone
+        assert!(fb2.validate(1000).is_err());
+    }
+
+    #[test]
+    fn sample_indices_slices_match_offsets() {
+        let s = spec(PoolingDist::Uniform { lo: 1, hi: 5 }, 1.0);
+        let fb = FeatureBatch::generate(&s, 32, 9);
+        let mut total = 0;
+        for i in 0..32 {
+            total += fb.sample_indices(i).len();
+        }
+        assert_eq!(total as u32, fb.total_lookups());
+    }
+}

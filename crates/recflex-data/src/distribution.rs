@@ -1,0 +1,272 @@
+//! Pooling-factor distributions.
+//!
+//! The pooling factor — how many embedding rows one sample looks up for one
+//! feature — is the primary axis of workload heterogeneity in the paper
+//! (Figure 2b). The generator supports the distribution families the paper's
+//! data-synthesis script exposes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of per-sample pooling factors for one feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PoolingDist {
+    /// One-hot feature: always exactly one lookup (user ID, item ID, …).
+    OneHot,
+    /// Fixed multi-hot pooling factor, e.g. the paper's feature 1 in
+    /// Figure 3 with a constant 50.
+    Fixed(u32),
+    /// Truncated normal `N(mean, std²)` clamped to `[1, max]`, the paper's
+    /// canonical multi-hot distribution (`N(50, 10²)` in Figure 3).
+    Normal {
+        /// Distribution mean.
+        mean: f64,
+        /// Distribution standard deviation.
+        std: f64,
+        /// Upper truncation bound.
+        max: u32,
+    },
+    /// Discrete power law on `[1, max]` with exponent `alpha > 0`: heavier
+    /// `alpha` concentrates mass near 1 with a long tail, which models the
+    /// "standard deviation up to hundreds" behaviour in Section II-C.
+    PowerLaw {
+        /// Tail exponent; larger is heavier-headed.
+        alpha: f64,
+        /// Upper bound of the support.
+        max: u32,
+    },
+    /// Uniform integer in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound (≥ 1).
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+}
+
+impl PoolingDist {
+    /// Draw one pooling factor (always ≥ 1; absence is modelled separately
+    /// by the feature's coverage).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        match *self {
+            PoolingDist::OneHot => 1,
+            PoolingDist::Fixed(k) => k.max(1),
+            PoolingDist::Normal { mean, std, max } => {
+                // Box–Muller using two uniforms; deterministic under a
+                // seeded RNG and good enough for workload synthesis.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = mean + std * z;
+                (v.round().max(1.0) as u32).min(max.max(1))
+            }
+            PoolingDist::PowerLaw { alpha, max } => {
+                // Inverse-CDF sampling of p(k) ∝ k^-alpha on [1, max].
+                let max = max.max(1) as f64;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let k = if (alpha - 1.0).abs() < 1e-9 {
+                    max.powf(u)
+                } else {
+                    let a = 1.0 - alpha;
+                    ((max.powf(a) - 1.0) * u + 1.0).powf(1.0 / a)
+                };
+                (k.floor().max(1.0) as u32).min(max as u32)
+            }
+            PoolingDist::Uniform { lo, hi } => {
+                let lo = lo.max(1);
+                let hi = hi.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// Expected pooling factor, used by static thread mapping (the
+    /// `StaticAverage` strategy of the Figure 13 ablation) and by sizing
+    /// heuristics.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            PoolingDist::OneHot => 1.0,
+            PoolingDist::Fixed(k) => k.max(1) as f64,
+            PoolingDist::Normal { mean, max, .. } => mean.clamp(1.0, max.max(1) as f64),
+            PoolingDist::PowerLaw { alpha, max } => {
+                // E[k] = ∫₁^m k·k^{-α} dk / ∫₁^m k^{-α} dk for the
+                // truncated continuous power law; both integrals have a
+                // logarithmic special case (α = 2 and α = 1 respectively).
+                fn power_integral(p: f64, m: f64) -> f64 {
+                    if (p + 1.0).abs() < 1e-7 {
+                        m.ln()
+                    } else {
+                        (m.powf(p + 1.0) - 1.0) / (p + 1.0)
+                    }
+                }
+                let m = max.max(1) as f64;
+                if m <= 1.0 {
+                    1.0
+                } else {
+                    power_integral(1.0 - alpha, m) / power_integral(-alpha, m)
+                }
+            }
+            PoolingDist::Uniform { lo, hi } => (lo.max(1) + hi.max(lo)) as f64 / 2.0,
+        }
+    }
+
+    /// Upper bound of the support, used by the `StaticMax` mapping strategy.
+    pub fn max(&self) -> u32 {
+        match *self {
+            PoolingDist::OneHot => 1,
+            PoolingDist::Fixed(k) => k.max(1),
+            PoolingDist::Normal { max, .. } => max.max(1),
+            PoolingDist::PowerLaw { max, .. } => max.max(1),
+            PoolingDist::Uniform { lo, hi } => hi.max(lo.max(1)),
+        }
+    }
+
+    /// Whether this is a one-hot (single-lookup) feature.
+    pub fn is_one_hot(&self) -> bool {
+        matches!(self, PoolingDist::OneHot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn one_hot_is_always_one() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(PoolingDist::OneHot.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut r = rng();
+        let d = PoolingDist::Fixed(50);
+        assert!((0..100).all(|_| d.sample(&mut r) == 50));
+        assert_eq!(d.mean(), 50.0);
+        assert_eq!(d.max(), 50);
+    }
+
+    #[test]
+    fn normal_concentrates_near_mean() {
+        let mut r = rng();
+        let d = PoolingDist::Normal { mean: 50.0, std: 10.0, max: 500 };
+        let n = 20_000;
+        let samples: Vec<u32> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "empirical mean {mean}");
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 10.0).abs() < 1.0, "empirical std {}", var.sqrt());
+        assert!(samples.iter().all(|&x| (1..=500).contains(&x)));
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let mut r = rng();
+        let d = PoolingDist::PowerLaw { alpha: 1.5, max: 1000 };
+        let n = 50_000;
+        let samples: Vec<u32> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let ones = samples.iter().filter(|&&x| x <= 2).count();
+        let big = samples.iter().filter(|&&x| x > 100).count();
+        assert!(ones > n / 3, "mass near 1: {ones}/{n}");
+        assert!(big > 0, "tail must be populated");
+        assert!(samples.iter().all(|&x| (1..=1000).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_in_bounds_and_mean() {
+        let mut r = rng();
+        let d = PoolingDist::Uniform { lo: 10, hi: 20 };
+        assert!((0..1000).all(|_| (10..=20).contains(&d.sample(&mut r))));
+        assert_eq!(d.mean(), 15.0);
+    }
+
+    #[test]
+    fn samples_never_below_one() {
+        let mut r = rng();
+        for d in [
+            PoolingDist::Normal { mean: 1.0, std: 30.0, max: 100 },
+            PoolingDist::PowerLaw { alpha: 3.0, max: 10 },
+            PoolingDist::Fixed(0),
+            PoolingDist::Uniform { lo: 0, hi: 0 },
+        ] {
+            for _ in 0..500 {
+                assert!(d.sample(&mut r) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let d = PoolingDist::Normal { mean: 80.0, std: 25.0, max: 400 };
+        let a: Vec<u32> = { let mut r = rng(); (0..64).map(|_| d.sample(&mut r)).collect() };
+        let b: Vec<u32> = { let mut r = rng(); (0..64).map(|_| d.sample(&mut r)).collect() };
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_mean_near_special_alphas() {
+        // The truncated-power-law mean has removable singularities at
+        // alpha = 1 and alpha = 2; the formula must be continuous there.
+        for max in [50u32, 500] {
+            for center in [1.0f64, 2.0] {
+                let below = PoolingDist::PowerLaw { alpha: center - 1e-6, max }.mean();
+                let at = PoolingDist::PowerLaw { alpha: center, max }.mean();
+                let above = PoolingDist::PowerLaw { alpha: center + 1e-6, max }.mean();
+                assert!(below.is_finite() && at.is_finite() && above.is_finite());
+                assert!(
+                    (below - above).abs() / at < 0.01,
+                    "discontinuity at alpha={center}, max={max}: {below} vs {above}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_empirical_mean_tracks_formula() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for alpha in [1.2f64, 1.8, 2.4] {
+            let d = PoolingDist::PowerLaw { alpha, max: 300 };
+            let n = 60_000;
+            let emp: f64 =
+                (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let model = d.mean();
+            let rel = (emp - model).abs() / model;
+            assert!(rel < 0.15, "alpha {alpha}: empirical {emp} vs formula {model}");
+        }
+    }
+
+    #[test]
+    fn normal_with_tiny_max_clamps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = PoolingDist::Normal { mean: 100.0, std: 50.0, max: 3 };
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((1..=3).contains(&v));
+        }
+        assert!(d.mean() <= 3.0);
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = PoolingDist::Uniform { lo: 5, hi: 5 };
+        assert!((0..50).all(|_| d.sample(&mut rng) == 5));
+        let swapped = PoolingDist::Uniform { lo: 9, hi: 2 };
+        assert!((0..50).all(|_| swapped.sample(&mut rng) == 9), "hi < lo clamps to lo");
+    }
+}

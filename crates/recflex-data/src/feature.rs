@@ -1,0 +1,131 @@
+//! Feature-field and model specifications.
+
+use crate::distribution::PoolingDist;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one feature field (the paper's "feature"): its embedding
+/// table shape and its input-workload statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Feature name, e.g. `"f0042"`.
+    pub name: String,
+    /// Rows in the embedding table.
+    pub table_rows: u32,
+    /// Embedding dimension (row vector length); 4–128 in Table I.
+    pub emb_dim: u32,
+    /// Per-sample pooling-factor distribution.
+    pub pooling: PoolingDist,
+    /// Probability that the feature is present in a sample ("coverage" in
+    /// the paper, 0.3 for Figure 3's feature 0). Absent samples contribute
+    /// an empty lookup segment (pooled output = 0).
+    pub coverage: f64,
+    /// Row-popularity skew in `[0, ∞)`: 0 draws lookup rows uniformly;
+    /// larger values concentrate lookups on few hot rows (drawn as
+    /// `rows · u^(1+skew)`), which raises L2 reuse exactly like production
+    /// hot-embedding behaviour.
+    pub row_skew: f64,
+}
+
+impl FeatureSpec {
+    /// Bytes of one embedding row (f32 elements).
+    pub fn row_bytes(&self) -> u64 {
+        self.emb_dim as u64 * 4
+    }
+
+    /// Expected lookups for one sample (coverage × mean pooling factor).
+    pub fn expected_lookups_per_sample(&self) -> f64 {
+        self.coverage * self.pooling.mean()
+    }
+}
+
+/// A recommendation model: an ordered list of feature fields. The order is
+/// the concatenation order of the embedding outputs fed to the DNN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name, e.g. `"A"`.
+    pub name: String,
+    /// Feature fields in concatenation order.
+    pub features: Vec<FeatureSpec>,
+}
+
+impl ModelConfig {
+    /// Number of feature fields.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Σ of embedding dimensions — the width of the concatenated embedding
+    /// vector entering the DNN.
+    pub fn concat_dim(&self) -> u32 {
+        self.features.iter().map(|f| f.emb_dim).sum()
+    }
+
+    /// Count of one-hot features (Table I's "# One-hot").
+    pub fn num_one_hot(&self) -> usize {
+        self.features.iter().filter(|f| f.pooling.is_one_hot()).count()
+    }
+
+    /// Count of multi-hot features (Table I's "# Multi-hot").
+    pub fn num_multi_hot(&self) -> usize {
+        self.num_features() - self.num_one_hot()
+    }
+
+    /// `(min, max)` embedding dimension across features.
+    pub fn dim_range(&self) -> (u32, u32) {
+        let min = self.features.iter().map(|f| f.emb_dim).min().unwrap_or(0);
+        let max = self.features.iter().map(|f| f.emb_dim).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Whether all features share one embedding dimension (the HugeCTR
+    /// requirement; true for models D and E).
+    pub fn uniform_dim(&self) -> Option<u32> {
+        let (lo, hi) = self.dim_range();
+        (lo == hi && lo > 0).then_some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(dim: u32, pooling: PoolingDist) -> FeatureSpec {
+        FeatureSpec {
+            name: format!("f{dim}"),
+            table_rows: 1000,
+            emb_dim: dim,
+            pooling,
+            coverage: 1.0,
+            row_skew: 0.0,
+        }
+    }
+
+    #[test]
+    fn concat_dim_sums() {
+        let m = ModelConfig {
+            name: "t".into(),
+            features: vec![feat(4, PoolingDist::OneHot), feat(32, PoolingDist::Fixed(10))],
+        };
+        assert_eq!(m.concat_dim(), 36);
+        assert_eq!(m.num_one_hot(), 1);
+        assert_eq!(m.num_multi_hot(), 1);
+        assert_eq!(m.dim_range(), (4, 32));
+        assert_eq!(m.uniform_dim(), None);
+    }
+
+    #[test]
+    fn uniform_dim_detected() {
+        let m = ModelConfig {
+            name: "t".into(),
+            features: vec![feat(8, PoolingDist::OneHot), feat(8, PoolingDist::Fixed(3))],
+        };
+        assert_eq!(m.uniform_dim(), Some(8));
+    }
+
+    #[test]
+    fn expected_lookups_blends_coverage() {
+        let mut f = feat(16, PoolingDist::Fixed(50));
+        f.coverage = 0.3;
+        assert!((f.expected_lookups_per_sample() - 15.0).abs() < 1e-12);
+    }
+}

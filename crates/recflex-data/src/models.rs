@@ -1,0 +1,214 @@
+//! Model presets: Table I of the paper plus the extra evaluation sets.
+//!
+//! | Model | # Features | # One-hot | # Multi-hot | Emb. Dim. |
+//! |-------|-----------|-----------|-------------|-----------|
+//! | A     | 1000      | 500       | 500         | 4–128     |
+//! | B     | 1200      | 1000      | 200         | 4–128     |
+//! | C     | 800       | 0         | 800         | 4–128     |
+//! | D     | 1000      | 500       | 500         | 8         |
+//! | E     | 1000      | 500       | 500         | 32        |
+//!
+//! plus `Scale10k` (10 000 features, Section VI-B scalability) and
+//! `MLPerfLike` (26 homogeneous multi-hot features, the low-heterogeneity
+//! MLPerf/criteo-style set on which RecFlex ties TorchRec).
+//!
+//! The presets are generated from a fixed internal seed so every run of the
+//! reproduction sees the identical models.
+
+use crate::distribution::PoolingDist;
+use crate::feature::{FeatureSpec, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The evaluation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelPreset {
+    /// 1000 features, 500 one-hot / 500 multi-hot, dims 4–128.
+    A,
+    /// 1200 features, 1000 one-hot / 200 multi-hot, dims 4–128.
+    B,
+    /// 800 features, all multi-hot, dims 4–128.
+    C,
+    /// 1000 features, 500/500, uniform dim 8 (HugeCTR-compatible).
+    D,
+    /// 1000 features, 500/500, uniform dim 32 (HugeCTR-compatible).
+    E,
+    /// 10 000 features for the scalability experiment.
+    Scale10k,
+    /// 26 homogeneous multi-hot features (MLPerf DLRM-style).
+    MLPerfLike,
+}
+
+impl ModelPreset {
+    /// All Table I models, in paper order.
+    pub const TABLE1: [ModelPreset; 5] =
+        [ModelPreset::A, ModelPreset::B, ModelPreset::C, ModelPreset::D, ModelPreset::E];
+
+    /// Preset name as printed in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelPreset::A => "A",
+            ModelPreset::B => "B",
+            ModelPreset::C => "C",
+            ModelPreset::D => "D",
+            ModelPreset::E => "E",
+            ModelPreset::Scale10k => "Scale10k",
+            ModelPreset::MLPerfLike => "MLPerfLike",
+        }
+    }
+
+    /// Build the full-size model.
+    pub fn build(&self) -> ModelConfig {
+        self.scaled(1.0)
+    }
+
+    /// Build a model with `frac` of the preset's feature count (≥ 4
+    /// features), preserving the one-hot/multi-hot mix and dim spread.
+    /// Tests and examples use small fractions so functional execution
+    /// stays fast.
+    pub fn scaled(&self, frac: f64) -> ModelConfig {
+        let (one_hot, multi_hot, dims): (usize, usize, &[u32]) = match self {
+            ModelPreset::A => (500, 500, &[4, 8, 16, 32, 64, 128]),
+            ModelPreset::B => (1000, 200, &[4, 8, 16, 32, 64, 128]),
+            ModelPreset::C => (0, 800, &[4, 8, 16, 32, 64, 128]),
+            ModelPreset::D => (500, 500, &[8]),
+            ModelPreset::E => (500, 500, &[32]),
+            ModelPreset::Scale10k => (5000, 5000, &[4, 8, 16, 32, 64, 128]),
+            ModelPreset::MLPerfLike => (0, 26, &[128]),
+        };
+        let scale = frac.clamp(0.0, 1.0);
+        let n_one = ((one_hot as f64 * scale).round() as usize).min(one_hot);
+        let mut n_multi = ((multi_hot as f64 * scale).round() as usize).min(multi_hot);
+        if n_one + n_multi < 4 {
+            n_multi = (4 - n_one).min(multi_hot.max(4));
+        }
+
+        // Fixed seed per preset: the models are part of the benchmark
+        // definition, not of any experiment's randomness.
+        let mut rng = StdRng::seed_from_u64(0x5EC_F1EC ^ (*self as u64));
+        let mut features = Vec::with_capacity(n_one + n_multi);
+        for i in 0..n_one {
+            features.push(Self::one_hot_feature(i, dims, &mut rng));
+        }
+        for i in 0..n_multi {
+            features.push(self.multi_hot_feature(n_one + i, dims, &mut rng));
+        }
+        ModelConfig { name: self.name().to_string(), features }
+    }
+
+    fn one_hot_feature(idx: usize, dims: &[u32], rng: &mut StdRng) -> FeatureSpec {
+        // One-hot fields are ID-like: large tables, skewed popularity.
+        let emb_dim = dims[rng.gen_range(0..dims.len())];
+        let table_rows = *[20_000u32, 100_000, 500_000][..].get(rng.gen_range(0..3)).unwrap();
+        FeatureSpec {
+            name: format!("f{idx:05}"),
+            table_rows,
+            emb_dim,
+            pooling: PoolingDist::OneHot,
+            coverage: 1.0,
+            row_skew: rng.gen_range(0.5..2.0),
+        }
+    }
+
+    fn multi_hot_feature(&self, idx: usize, dims: &[u32], rng: &mut StdRng) -> FeatureSpec {
+        let emb_dim = dims[rng.gen_range(0..dims.len())];
+        if matches!(self, ModelPreset::MLPerfLike) {
+            // Homogeneous: identical distribution across all 26 fields.
+            return FeatureSpec {
+                name: format!("f{idx:05}"),
+                table_rows: 40_000,
+                emb_dim,
+                pooling: PoolingDist::Fixed(20),
+                coverage: 1.0,
+                row_skew: 1.0,
+            };
+        }
+        // Heterogeneous multi-hot: wide spread of pooling behaviour, the
+        // phenomenon of paper Figure 2(b).
+        let pooling = match rng.gen_range(0..4) {
+            0 => PoolingDist::Fixed(rng.gen_range(5..=80)),
+            1 => {
+                let mean = rng.gen_range(10.0..200.0);
+                PoolingDist::Normal { mean, std: mean / 4.0, max: (mean * 4.0) as u32 }
+            }
+            2 => PoolingDist::PowerLaw { alpha: rng.gen_range(1.1..2.0), max: rng.gen_range(100..800) },
+            _ => PoolingDist::Uniform { lo: 1, hi: rng.gen_range(20..150) },
+        };
+        let table_rows = *[2_000u32, 20_000, 100_000][..].get(rng.gen_range(0..3)).unwrap();
+        FeatureSpec {
+            name: format!("f{idx:05}"),
+            table_rows,
+            emb_dim,
+            pooling,
+            coverage: if rng.gen_bool(0.5) { 1.0 } else { rng.gen_range(0.3..1.0) },
+            row_skew: rng.gen_range(0.0..1.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_statistics_match_paper() {
+        let a = ModelPreset::A.build();
+        assert_eq!(a.num_features(), 1000);
+        assert_eq!(a.num_one_hot(), 500);
+        assert_eq!(a.num_multi_hot(), 500);
+        let (lo, hi) = a.dim_range();
+        assert_eq!((lo, hi), (4, 128));
+
+        let b = ModelPreset::B.build();
+        assert_eq!((b.num_features(), b.num_one_hot(), b.num_multi_hot()), (1200, 1000, 200));
+
+        let c = ModelPreset::C.build();
+        assert_eq!((c.num_features(), c.num_one_hot()), (800, 0));
+
+        let d = ModelPreset::D.build();
+        assert_eq!(d.uniform_dim(), Some(8));
+        assert_eq!((d.num_one_hot(), d.num_multi_hot()), (500, 500));
+
+        let e = ModelPreset::E.build();
+        assert_eq!(e.uniform_dim(), Some(32));
+    }
+
+    #[test]
+    fn scale10k_and_mlperf() {
+        // Scale10k is big; just check the scaled variant's mix.
+        let s = ModelPreset::Scale10k.scaled(0.01);
+        assert_eq!(s.num_features(), 100);
+        let m = ModelPreset::MLPerfLike.build();
+        assert_eq!(m.num_features(), 26);
+        assert_eq!(m.uniform_dim(), Some(128));
+    }
+
+    #[test]
+    fn presets_are_reproducible() {
+        assert_eq!(ModelPreset::A.build(), ModelPreset::A.build());
+        assert_eq!(ModelPreset::C.scaled(0.1), ModelPreset::C.scaled(0.1));
+    }
+
+    #[test]
+    fn scaling_preserves_mix() {
+        let a = ModelPreset::A.scaled(0.05);
+        assert_eq!(a.num_features(), 50);
+        assert_eq!(a.num_one_hot(), 25);
+    }
+
+    #[test]
+    fn scaling_floors_at_four_features() {
+        let tiny = ModelPreset::C.scaled(0.0001);
+        assert!(tiny.num_features() >= 4);
+    }
+
+    #[test]
+    fn heterogeneity_present_in_a_absent_in_mlperf() {
+        let a = ModelPreset::A.scaled(0.1);
+        let dims: std::collections::BTreeSet<u32> = a.features.iter().map(|f| f.emb_dim).collect();
+        assert!(dims.len() >= 4, "model A must be heterogeneous, dims {dims:?}");
+        let m = ModelPreset::MLPerfLike.build();
+        let mdims: std::collections::BTreeSet<u32> = m.features.iter().map(|f| f.emb_dim).collect();
+        assert_eq!(mdims.len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Distribution shift, for the periodic-retuning experiment.
+//!
+//! "Recent works point out that the input data of a recommendation model
+//! follow the same distribution in a certain time period", and RecFlex
+//! re-tunes periodically (e.g. every few days) to track the drift (paper
+//! Section IV-A3). This module derives a *shifted* version of a model —
+//! pooling factors scaled, coverage shuffled toward different features —
+//! the synthetic stand-in for a few days of traffic drift.
+
+use crate::distribution::PoolingDist;
+use crate::feature::ModelConfig;
+
+/// Produce a drifted model: multi-hot pooling intensities scale by
+/// `pf_scale` (e.g. 2.0 = users interact twice as much) and coverages move
+/// `coverage_shift` toward/away from presence.
+pub fn shift_distribution(model: &ModelConfig, pf_scale: f64, coverage_shift: f64) -> ModelConfig {
+    let features = model
+        .features
+        .iter()
+        .map(|f| {
+            let mut f = f.clone();
+            f.pooling = scale_pooling(&f.pooling, pf_scale);
+            if !f.pooling.is_one_hot() {
+                f.coverage = (f.coverage + coverage_shift).clamp(0.05, 1.0);
+            }
+            f
+        })
+        .collect();
+    ModelConfig { name: format!("{}-shifted", model.name), features }
+}
+
+fn scale_pooling(p: &PoolingDist, s: f64) -> PoolingDist {
+    let scale_u = |x: u32| ((x as f64 * s).round() as u32).max(1);
+    match *p {
+        PoolingDist::OneHot => PoolingDist::OneHot,
+        PoolingDist::Fixed(k) => PoolingDist::Fixed(scale_u(k)),
+        PoolingDist::Normal { mean, std, max } => PoolingDist::Normal {
+            mean: (mean * s).max(1.0),
+            std: (std * s).max(0.5),
+            max: scale_u(max),
+        },
+        PoolingDist::PowerLaw { alpha, max } => {
+            PoolingDist::PowerLaw { alpha, max: scale_u(max) }
+        }
+        PoolingDist::Uniform { lo, hi } => {
+            PoolingDist::Uniform { lo: scale_u(lo), hi: scale_u(hi) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelPreset;
+
+    #[test]
+    fn one_hot_features_unchanged() {
+        let m = ModelPreset::A.scaled(0.02);
+        let shifted = shift_distribution(&m, 2.0, -0.2);
+        for (a, b) in m.features.iter().zip(&shifted.features) {
+            if a.pooling.is_one_hot() {
+                assert_eq!(a.pooling, b.pooling);
+                assert_eq!(a.coverage, b.coverage);
+            }
+        }
+    }
+
+    #[test]
+    fn pf_scale_raises_means() {
+        let m = ModelPreset::C.scaled(0.02);
+        let shifted = shift_distribution(&m, 2.0, 0.0);
+        let before: f64 = m.features.iter().map(|f| f.pooling.mean()).sum();
+        let after: f64 = shifted.features.iter().map(|f| f.pooling.mean()).sum();
+        assert!(after > before * 1.5, "{after} vs {before}");
+    }
+
+    #[test]
+    fn coverage_stays_in_bounds() {
+        let m = ModelPreset::A.scaled(0.02);
+        for shift in [-1.0, -0.3, 0.3, 1.0] {
+            let s = shift_distribution(&m, 1.0, shift);
+            assert!(s.features.iter().all(|f| (0.05..=1.0).contains(&f.coverage)));
+        }
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let m = ModelPreset::B.scaled(0.01);
+        let s = shift_distribution(&m, 3.0, 0.1);
+        assert_eq!(s.features.len(), m.features.len());
+        for (a, b) in m.features.iter().zip(&s.features) {
+            assert_eq!(a.emb_dim, b.emb_dim);
+            assert_eq!(a.table_rows, b.table_rows);
+        }
+    }
+}

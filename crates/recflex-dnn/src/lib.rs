@@ -1,0 +1,19 @@
+//! # recflex-dnn — the dense half of the recommendation model
+//!
+//! The paper's end-to-end evaluation (Figure 10) appends an MLP with hidden
+//! sizes 1024/256/128 to the embedding layer. RecFlex does not optimize the
+//! DNN — which is exactly why end-to-end speedups (1.85×–7.74×) are smaller
+//! than kernel speedups (2.64×–35.4×) — so this crate provides a plain,
+//! schedule-independent GEMM + bias + ReLU stack with:
+//!
+//! * a simulator cost model ([`Mlp::latency_us`]) used by the Figure 10
+//!   harness: identical for every backend, it dilutes the embedding-stage
+//!   speedup exactly as on real hardware;
+//! * functional execution ([`Mlp::forward`]) with hash-derived weights for
+//!   correctness tests on small models.
+
+pub mod gemm;
+pub mod mlp;
+
+pub use gemm::GemmKernel;
+pub use mlp::{Linear, Mlp};

@@ -1,0 +1,33 @@
+//! # recflex-embedding — tables, reference pooling and workload analysis
+//!
+//! The embedding operation (paper Figure 1, dotted box): for each sample,
+//! gather the embedding-table rows named by its lookup IDs and reduce them
+//! element-wise (sum pooling) into one vector per feature. This crate holds:
+//!
+//! * [`EmbTable`] — the table abstraction. [`VirtualTable`] produces
+//!   deterministic values from a hash so thousand-feature models need no
+//!   gigabytes of weights; [`DenseTable`] is a materialized variant for
+//!   small tests.
+//! * [`reference_pooled`] — the golden scalar implementation every schedule
+//!   and every baseline must match bit-for-bit (all implementations sum in
+//!   CSR order, so equality is exact).
+//! * [`FeatureWorkload`] — the host-side workload analysis of paper
+//!   Section IV-B: one cheap pass over a batch's CSR computes the lookup
+//!   counts, unique-row footprints and pooling statistics that drive both
+//!   the runtime thread mapping and the simulator's memory model.
+//! * [`FusedOutput`] — the concatenated output layout (feature-major,
+//!   sample-row-major inside a feature) that the DNN consumes.
+
+pub mod cache;
+pub mod output;
+pub mod preprocess;
+pub mod reference;
+pub mod table;
+pub mod workload;
+
+pub use cache::CachePlan;
+pub use preprocess::{PreprocessOp, PreprocessPipeline};
+pub use output::FusedOutput;
+pub use reference::{reference_model_output, reference_pooled};
+pub use table::{DenseTable, EmbTable, TableSet, VirtualTable};
+pub use workload::{analyze_batch, FeatureWorkload};

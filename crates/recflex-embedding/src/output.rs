@@ -1,0 +1,159 @@
+//! Concatenated embedding output layout.
+//!
+//! The pooled vectors of all features are concatenated per sample before
+//! entering the DNN (paper Figure 1). We store the buffer feature-major —
+//! feature `f` owns a contiguous `batch × dim_f` region — because that is
+//! what the fused kernel's per-feature block groups write, and it lets the
+//! functional executor hand each feature a disjoint `&mut [f32]` for safe
+//! parallel writes.
+
+use recflex_data::ModelConfig;
+
+/// Output buffer of one fused embedding launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOutput {
+    data: Vec<f32>,
+    /// Per-feature start offsets into `data`; `offsets[f+1] - offsets[f] =
+    /// batch × dim_f`. Length `num_features + 1`.
+    offsets: Vec<usize>,
+    dims: Vec<u32>,
+    batch_size: u32,
+}
+
+impl FusedOutput {
+    /// Allocate a zeroed output for `model` and `batch_size`.
+    pub fn zeros(model: &ModelConfig, batch_size: u32) -> Self {
+        let mut offsets = Vec::with_capacity(model.features.len() + 1);
+        let mut dims = Vec::with_capacity(model.features.len());
+        let mut acc = 0usize;
+        offsets.push(0);
+        for f in &model.features {
+            acc += batch_size as usize * f.emb_dim as usize;
+            offsets.push(acc);
+            dims.push(f.emb_dim);
+        }
+        FusedOutput { data: vec![0.0; acc], offsets, dims, batch_size }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Feature `f`'s region: `batch × dim_f`, sample-row-major.
+    pub fn feature(&self, f: usize) -> &[f32] {
+        &self.data[self.offsets[f]..self.offsets[f + 1]]
+    }
+
+    /// Pooled vector of `(feature, sample)`.
+    pub fn sample(&self, f: usize, s: u32) -> &[f32] {
+        let dim = self.dims[f] as usize;
+        let base = self.offsets[f] + s as usize * dim;
+        &self.data[base..base + dim]
+    }
+
+    /// Split the buffer into one mutable region per feature, enabling
+    /// data-race-free parallel execution across features.
+    pub fn split_features_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::with_capacity(self.dims.len());
+        let mut rest: &mut [f32] = &mut self.data;
+        let mut prev = 0usize;
+        for f in 0..self.dims.len() {
+            let len = self.offsets[f + 1] - prev;
+            let (head, tail) = rest.split_at_mut(len);
+            out.push(head);
+            rest = tail;
+            prev = self.offsets[f + 1];
+        }
+        out
+    }
+
+    /// Concatenated row of sample `s` across all features, in feature
+    /// order — the DNN input row. Allocates; used at the embedding→DNN
+    /// boundary and in tests.
+    pub fn concat_sample(&self, s: u32) -> Vec<f32> {
+        let mut row = Vec::with_capacity(self.offsets.last().copied().unwrap_or(0) / self.batch_size.max(1) as usize);
+        for f in 0..self.num_features() {
+            row.extend_from_slice(self.sample(f, s));
+        }
+        row
+    }
+
+    /// Maximum absolute difference against another output of identical
+    /// shape (test helper).
+    pub fn max_abs_diff(&self, other: &FusedOutput) -> f32 {
+        assert_eq!(self.offsets, other.offsets, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Raw data (read-only).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::ModelPreset;
+
+    #[test]
+    fn layout_offsets_are_consistent() {
+        let m = ModelPreset::A.scaled(0.01);
+        let out = FusedOutput::zeros(&m, 32);
+        assert_eq!(out.num_features(), m.features.len());
+        let total: usize = m.features.iter().map(|f| 32 * f.emb_dim as usize).sum();
+        assert_eq!(out.data().len(), total);
+        for (f, spec) in m.features.iter().enumerate() {
+            assert_eq!(out.feature(f).len(), 32 * spec.emb_dim as usize);
+            assert_eq!(out.sample(f, 5).len(), spec.emb_dim as usize);
+        }
+    }
+
+    #[test]
+    fn split_features_mut_partitions_exactly() {
+        let m = ModelPreset::B.scaled(0.005);
+        let mut out = FusedOutput::zeros(&m, 16);
+        let expected: Vec<usize> =
+            m.features.iter().map(|f| 16 * f.emb_dim as usize).collect();
+        let parts = out.split_features_mut();
+        let got: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn writes_through_split_are_visible() {
+        let m = ModelPreset::A.scaled(0.005);
+        let mut out = FusedOutput::zeros(&m, 4);
+        {
+            let mut parts = out.split_features_mut();
+            parts[1][0] = 42.0;
+        }
+        assert_eq!(out.feature(1)[0], 42.0);
+        assert_eq!(out.feature(0).iter().copied().fold(0.0f32, f32::max), 0.0);
+    }
+
+    #[test]
+    fn concat_sample_width_is_model_concat_dim() {
+        let m = ModelPreset::C.scaled(0.01);
+        let out = FusedOutput::zeros(&m, 8);
+        assert_eq!(out.concat_sample(0).len(), m.concat_dim() as usize);
+    }
+
+    #[test]
+    fn max_abs_diff_of_identical_is_zero() {
+        let m = ModelPreset::A.scaled(0.005);
+        let a = FusedOutput::zeros(&m, 8);
+        let b = FusedOutput::zeros(&m, 8);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Numerical preprocess operators on lookup IDs (paper Section VII,
+//! "Larger fusion scopes").
+//!
+//! Production inputs often pass through per-feature preprocess operators —
+//! hashing raw IDs into the table range, clamping out-of-vocabulary IDs to
+//! a default row, bucketizing numerical values — before the embedding
+//! lookup. The paper notes these "can be clustered" into the fused kernel;
+//! this module provides the operators, their functional application, and
+//! their per-lookup issue cost so the fusion-scope experiment can compare
+//! running them as a separate elementwise kernel versus inlined into the
+//! embedding schedules.
+
+use recflex_data::{Batch, FeatureBatch, ModelConfig};
+
+/// One preprocess operator over a lookup ID.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessOp {
+    /// `id % modulus` — the standard hashing trick into the table range.
+    HashMod {
+        /// Table range.
+        modulus: u32,
+    },
+    /// Clamp out-of-vocabulary IDs to a default row.
+    Clamp {
+        /// Highest valid row; larger IDs map to `default`.
+        max_id: u32,
+        /// The OOV row.
+        default: u32,
+    },
+    /// Bucketize a numerical value by boundaries (ascending): the output
+    /// row is the number of boundaries ≤ the value (right-inclusive
+    /// buckets).
+    Bucketize {
+        /// Ascending bucket boundaries.
+        boundaries: Vec<u32>,
+    },
+}
+
+impl PreprocessOp {
+    /// Apply to one raw ID.
+    pub fn apply(&self, id: u32) -> u32 {
+        match self {
+            PreprocessOp::HashMod { modulus } => {
+                // splitmix-style avalanche then fold into range.
+                let mut x = id as u64;
+                x = (x ^ (x >> 16)).wrapping_mul(0x45D9_F3B5);
+                (x % (*modulus).max(1) as u64) as u32
+            }
+            PreprocessOp::Clamp { max_id, default } => {
+                if id > *max_id {
+                    *default
+                } else {
+                    id
+                }
+            }
+            PreprocessOp::Bucketize { boundaries } => {
+                boundaries.partition_point(|&b| b <= id) as u32
+            }
+        }
+    }
+
+    /// Extra warp-instruction issue slots per lookup when inlined into the
+    /// embedding schedule (the fused-scope cost).
+    pub fn issue_cost(&self) -> f64 {
+        match self {
+            PreprocessOp::HashMod { .. } => 6.0,  // mul, shifts, xor, mod
+            PreprocessOp::Clamp { .. } => 2.0,    // cmp + select
+            PreprocessOp::Bucketize { boundaries } => {
+                // Branchless binary search.
+                (boundaries.len().max(2) as f64).log2().ceil() * 3.0
+            }
+        }
+    }
+}
+
+/// The preprocess pipeline of one model: zero or more ops per feature.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PreprocessPipeline {
+    /// Per-feature operator chains, in application order.
+    pub per_feature: Vec<Vec<PreprocessOp>>,
+}
+
+impl PreprocessPipeline {
+    /// The standard production pipeline for a model: hash every feature's
+    /// raw IDs into its table range, then clamp defensively.
+    pub fn standard(model: &ModelConfig) -> Self {
+        let per_feature = model
+            .features
+            .iter()
+            .map(|f| {
+                vec![
+                    PreprocessOp::HashMod { modulus: f.table_rows },
+                    PreprocessOp::Clamp { max_id: f.table_rows - 1, default: 0 },
+                ]
+            })
+            .collect();
+        PreprocessPipeline { per_feature }
+    }
+
+    /// Apply the whole pipeline to a batch, producing the transformed
+    /// lookup indices (the unfused path's intermediate tensor).
+    pub fn apply(&self, batch: &Batch) -> Batch {
+        assert_eq!(self.per_feature.len(), batch.features.len());
+        let features = batch
+            .features
+            .iter()
+            .zip(&self.per_feature)
+            .map(|(fb, ops)| {
+                let indices = fb
+                    .indices
+                    .iter()
+                    .map(|&id| ops.iter().fold(id, |x, op| op.apply(x)))
+                    .collect();
+                FeatureBatch { offsets: fb.offsets.clone(), indices }
+            })
+            .collect();
+        Batch { batch_size: batch.batch_size, features }
+    }
+
+    /// Extra issue slots per lookup of feature `f` when fused inline.
+    pub fn fused_issue_cost(&self, f: usize) -> f64 {
+        self.per_feature[f].iter().map(|op| op.issue_cost()).sum()
+    }
+
+    /// Total ops across the model (reporting).
+    pub fn total_ops(&self) -> usize {
+        self.per_feature.iter().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::ModelPreset;
+
+    #[test]
+    fn hash_mod_stays_in_range_and_is_deterministic() {
+        let op = PreprocessOp::HashMod { modulus: 1000 };
+        for id in [0u32, 1, 999, 12345, u32::MAX] {
+            let r = op.apply(id);
+            assert!(r < 1000);
+            assert_eq!(r, op.apply(id));
+        }
+    }
+
+    #[test]
+    fn clamp_maps_oov_to_default() {
+        let op = PreprocessOp::Clamp { max_id: 99, default: 7 };
+        assert_eq!(op.apply(50), 50);
+        assert_eq!(op.apply(99), 99);
+        assert_eq!(op.apply(100), 7);
+    }
+
+    #[test]
+    fn bucketize_matches_partition_point() {
+        let op = PreprocessOp::Bucketize { boundaries: vec![10, 100, 1000] };
+        assert_eq!(op.apply(5), 0);
+        assert_eq!(op.apply(10), 1, "boundary itself falls in the next bucket");
+        assert_eq!(op.apply(500), 2);
+        assert_eq!(op.apply(99999), 3);
+    }
+
+    #[test]
+    fn standard_pipeline_produces_valid_batches() {
+        let m = ModelPreset::A.scaled(0.01);
+        let pipeline = PreprocessPipeline::standard(&m);
+        // Raw IDs outside the table range, as production traffic has.
+        let mut raw = Batch::generate(&m, 32, 5);
+        for fb in &mut raw.features {
+            for id in &mut fb.indices {
+                *id = id.wrapping_mul(2654435761); // arbitrary raw ID space
+            }
+        }
+        let cooked = pipeline.apply(&raw);
+        cooked.validate(&m).unwrap();
+        assert_eq!(cooked.total_lookups(), raw.total_lookups());
+    }
+
+    #[test]
+    fn fused_cost_sums_the_chain() {
+        let m = ModelPreset::A.scaled(0.01);
+        let p = PreprocessPipeline::standard(&m);
+        for f in 0..m.features.len() {
+            assert!((p.fused_issue_cost(f) - 8.0).abs() < 1e-12, "hash(6) + clamp(2)");
+        }
+        assert_eq!(p.total_ops(), 2 * m.features.len());
+    }
+}

@@ -1,0 +1,215 @@
+//! Embedding tables.
+//!
+//! Production models hold hundreds of gigabytes of embedding weights; the
+//! values themselves are irrelevant to kernel performance. [`VirtualTable`]
+//! therefore derives every element deterministically from a hash of
+//! `(table seed, row, dim)` — O(1) memory, yet every lookup is a concrete
+//! reproducible `f32`, so functional correctness of schedules is fully
+//! testable. [`DenseTable`] materializes real weights for small tests.
+
+use recflex_data::ModelConfig;
+
+/// Read-only embedding table.
+pub trait EmbTable: Sync {
+    /// Row vector length.
+    fn dim(&self) -> u32;
+    /// Number of rows.
+    fn rows(&self) -> u32;
+    /// Element at `(row, d)`. Callers guarantee `row < rows(), d < dim()`.
+    fn value(&self, row: u32, d: u32) -> f32;
+
+    /// Copy row `row` into `out` (length `dim()`).
+    fn read_row(&self, row: u32, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim() as usize);
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot = self.value(row, d as u32);
+        }
+    }
+}
+
+/// splitmix64 — small, fast, well-distributed; the standard choice for
+/// deriving deterministic pseudo-data.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash-defined table: `value(row, d)` is a deterministic f32 in `(-1, 1)`.
+#[derive(Debug, Clone)]
+pub struct VirtualTable {
+    seed: u64,
+    rows: u32,
+    dim: u32,
+}
+
+impl VirtualTable {
+    /// Create a virtual table.
+    pub fn new(seed: u64, rows: u32, dim: u32) -> Self {
+        VirtualTable { seed, rows, dim }
+    }
+}
+
+impl EmbTable for VirtualTable {
+    fn dim(&self) -> u32 {
+        self.dim
+    }
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+    #[inline]
+    fn value(&self, row: u32, d: u32) -> f32 {
+        debug_assert!(row < self.rows && d < self.dim);
+        let h = splitmix64(self.seed ^ ((row as u64) << 32) ^ d as u64);
+        // Map the top 24 bits to (-1, 1).
+        let m = (h >> 40) as f32 / (1u64 << 24) as f32;
+        2.0 * m - 1.0
+    }
+}
+
+/// Materialized table backed by a `Vec<f32>` (row-major).
+#[derive(Debug, Clone)]
+pub struct DenseTable {
+    data: Vec<f32>,
+    rows: u32,
+    dim: u32,
+}
+
+impl DenseTable {
+    /// Create from row-major data; `data.len() == rows × dim`.
+    pub fn new(data: Vec<f32>, rows: u32, dim: u32) -> Self {
+        assert_eq!(data.len(), rows as usize * dim as usize);
+        DenseTable { data, rows, dim }
+    }
+
+    /// Materialize a [`VirtualTable`] (small tables only — tests).
+    pub fn from_virtual(v: &VirtualTable) -> Self {
+        let mut data = Vec::with_capacity(v.rows() as usize * v.dim() as usize);
+        for r in 0..v.rows() {
+            for d in 0..v.dim() {
+                data.push(v.value(r, d));
+            }
+        }
+        DenseTable::new(data, v.rows(), v.dim())
+    }
+}
+
+impl EmbTable for DenseTable {
+    fn dim(&self) -> u32 {
+        self.dim
+    }
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+    #[inline]
+    fn value(&self, row: u32, d: u32) -> f32 {
+        self.data[row as usize * self.dim as usize + d as usize]
+    }
+}
+
+/// All embedding tables of one model, seeded from the model name so every
+/// component (RecFlex, every baseline, the reference) reads identical
+/// weights.
+pub struct TableSet {
+    tables: Vec<VirtualTable>,
+}
+
+impl TableSet {
+    /// Build the tables for `model`.
+    pub fn for_model(model: &ModelConfig) -> Self {
+        let base = model.name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01B3)
+        });
+        let tables = model
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| VirtualTable::new(splitmix64(base ^ i as u64), f.table_rows, f.emb_dim))
+            .collect();
+        TableSet { tables }
+    }
+
+    /// Table of feature `f`.
+    pub fn table(&self, f: usize) -> &VirtualTable {
+        &self.tables[f]
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::ModelPreset;
+
+    #[test]
+    fn virtual_table_deterministic_and_in_range() {
+        let t = VirtualTable::new(42, 100, 16);
+        for r in (0..100).step_by(7) {
+            for d in 0..16 {
+                let v = t.value(r, d);
+                assert_eq!(v, t.value(r, d));
+                assert!((-1.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_values_vary_by_row_and_dim() {
+        let t = VirtualTable::new(42, 100, 16);
+        assert_ne!(t.value(0, 0), t.value(1, 0));
+        assert_ne!(t.value(0, 0), t.value(0, 1));
+        let t2 = VirtualTable::new(43, 100, 16);
+        assert_ne!(t.value(0, 0), t2.value(0, 0), "seed must matter");
+    }
+
+    #[test]
+    fn dense_materialization_matches_virtual() {
+        let v = VirtualTable::new(7, 50, 8);
+        let d = DenseTable::from_virtual(&v);
+        for r in 0..50 {
+            for k in 0..8 {
+                assert_eq!(v.value(r, k), d.value(r, k));
+            }
+        }
+    }
+
+    #[test]
+    fn read_row_copies_all_dims() {
+        let t = VirtualTable::new(1, 10, 12);
+        let mut row = vec![0.0; 12];
+        t.read_row(3, &mut row);
+        for (d, &x) in row.iter().enumerate() {
+            assert_eq!(x, t.value(3, d as u32));
+        }
+    }
+
+    #[test]
+    fn table_set_matches_model_shapes() {
+        let m = ModelPreset::A.scaled(0.01);
+        let ts = TableSet::for_model(&m);
+        assert_eq!(ts.len(), m.features.len());
+        for (i, f) in m.features.iter().enumerate() {
+            assert_eq!(ts.table(i).dim(), f.emb_dim);
+            assert_eq!(ts.table(i).rows(), f.table_rows);
+        }
+    }
+
+    #[test]
+    fn table_set_reproducible_across_builds() {
+        let m = ModelPreset::A.scaled(0.01);
+        let a = TableSet::for_model(&m);
+        let b = TableSet::for_model(&m);
+        assert_eq!(a.table(0).value(5, 2), b.table(0).value(5, 2));
+    }
+}

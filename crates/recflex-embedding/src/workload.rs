@@ -1,0 +1,163 @@
+//! Host-side workload analysis (paper Section IV-B).
+//!
+//! Before launching the fused kernel, RecFlex scans each feature's CSR on
+//! the CPU — a pass the paper hides behind input preprocessing and measures
+//! at < 0.1 % of data-loading time. The scan yields a [`FeatureWorkload`]
+//! per feature: everything the runtime thread mapping, the schedules'
+//! block-count formulas and the simulator's memory model need.
+
+use rayon::prelude::*;
+use recflex_data::{Batch, FeatureBatch, ModelConfig};
+
+/// Workload statistics of one feature in one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureWorkload {
+    /// Feature index in the model.
+    pub feature_idx: usize,
+    /// Samples in the batch.
+    pub batch_size: u32,
+    /// Total lookups across the batch.
+    pub total_lookups: u32,
+    /// Exact count of distinct rows touched.
+    pub unique_rows: u32,
+    /// Largest per-sample pooling factor.
+    pub max_pf: u32,
+    /// Mean pooling factor over *all* samples (absent samples count 0).
+    pub mean_pf: f64,
+    /// Samples with at least one lookup.
+    pub present_samples: u32,
+    /// Embedding dimension of the feature.
+    pub emb_dim: u32,
+    /// Embedding-table rows.
+    pub table_rows: u32,
+    /// Fraction of this batch's lookups that miss the GPU hot cache and
+    /// must travel over the host interconnect (0.0 = table fully device-
+    /// resident). Set by [`crate::CachePlan`]-aware bindings.
+    pub uvm_cold_frac: f64,
+}
+
+impl FeatureWorkload {
+    /// Analyze one feature's CSR.
+    pub fn analyze(feature_idx: usize, fb: &FeatureBatch, emb_dim: u32, table_rows: u32) -> Self {
+        let batch_size = fb.batch_size();
+        let total_lookups = fb.total_lookups();
+        let mut max_pf = 0u32;
+        let mut present = 0u32;
+        for s in 0..batch_size {
+            let pf = fb.pooling_factor(s);
+            max_pf = max_pf.max(pf);
+            present += (pf > 0) as u32;
+        }
+        FeatureWorkload {
+            feature_idx,
+            batch_size,
+            total_lookups,
+            unique_rows: fb.unique_rows(),
+            max_pf,
+            mean_pf: if batch_size == 0 { 0.0 } else { total_lookups as f64 / batch_size as f64 },
+            present_samples: present,
+            emb_dim,
+            table_rows,
+            uvm_cold_frac: 0.0,
+        }
+    }
+
+    /// Copy of this workload with a UVM cold fraction attached.
+    pub fn with_uvm_cold_frac(mut self, cold: f64) -> Self {
+        self.uvm_cold_frac = cold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Bytes read from the table across the batch (each lookup reads one
+    /// `dim × 4`-byte row).
+    pub fn bytes_read(&self) -> u64 {
+        self.total_lookups as u64 * self.emb_dim as u64 * 4
+    }
+
+    /// First-touch distinct bytes (unique rows × row bytes).
+    pub fn unique_bytes(&self) -> u64 {
+        (self.unique_rows as u64 * self.emb_dim as u64 * 4).min(self.bytes_read())
+    }
+
+    /// Bytes written (one pooled vector per sample, absent ones zeroed).
+    pub fn bytes_written(&self) -> u64 {
+        self.batch_size as u64 * self.emb_dim as u64 * 4
+    }
+
+    /// Reuse factor `total / unique` (≥ 1 when any lookups exist).
+    pub fn reuse_factor(&self) -> f64 {
+        if self.unique_rows == 0 {
+            1.0
+        } else {
+            self.total_lookups as f64 / self.unique_rows as f64
+        }
+    }
+}
+
+/// Analyze every feature of a batch in parallel.
+pub fn analyze_batch(model: &ModelConfig, batch: &Batch) -> Vec<FeatureWorkload> {
+    model
+        .features
+        .par_iter()
+        .zip(batch.features.par_iter())
+        .enumerate()
+        .map(|(i, (spec, fb))| FeatureWorkload::analyze(i, fb, spec.emb_dim, spec.table_rows))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{Batch, FeatureBatch, ModelPreset};
+
+    #[test]
+    fn stats_of_handcrafted_csr() {
+        // 3 samples: pf 2, 0, 3; rows {5,5,1,2,5}.
+        let fb = FeatureBatch { offsets: vec![0, 2, 2, 5], indices: vec![5, 5, 1, 2, 5] };
+        let w = FeatureWorkload::analyze(0, &fb, 8, 100);
+        assert_eq!(w.total_lookups, 5);
+        assert_eq!(w.unique_rows, 3);
+        assert_eq!(w.max_pf, 3);
+        assert_eq!(w.present_samples, 2);
+        assert!((w.mean_pf - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w.bytes_read(), 5 * 8 * 4);
+        assert_eq!(w.unique_bytes(), 3 * 8 * 4);
+        assert_eq!(w.bytes_written(), 3 * 8 * 4);
+        assert!((w.reuse_factor() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_feature_is_sane() {
+        let fb = FeatureBatch::empty(4);
+        let w = FeatureWorkload::analyze(0, &fb, 16, 100);
+        assert_eq!(w.total_lookups, 0);
+        assert_eq!(w.unique_rows, 0);
+        assert_eq!(w.max_pf, 0);
+        assert_eq!(w.present_samples, 0);
+        assert_eq!(w.reuse_factor(), 1.0);
+    }
+
+    #[test]
+    fn batch_analysis_covers_all_features() {
+        let m = ModelPreset::A.scaled(0.01);
+        let batch = Batch::generate(&m, 64, 9);
+        let ws = analyze_batch(&m, &batch);
+        assert_eq!(ws.len(), m.features.len());
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(w.feature_idx, i);
+            assert_eq!(w.emb_dim, m.features[i].emb_dim);
+            assert_eq!(w.total_lookups, batch.features[i].total_lookups());
+        }
+    }
+
+    #[test]
+    fn unique_bytes_never_exceed_bytes_read() {
+        let m = ModelPreset::C.scaled(0.01);
+        let batch = Batch::generate(&m, 128, 13);
+        for w in analyze_batch(&m, &batch) {
+            assert!(w.unique_bytes() <= w.bytes_read());
+            assert!(w.unique_rows <= w.total_lookups);
+            assert!(w.present_samples <= w.batch_size);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! CUDA `__device__` function emission.
+//!
+//! On real hardware RecFlex's fusion compiler emits one `__device__`
+//! function per (deduplicated) schedule and dispatches to them with
+//! block-level if-else branches (paper Figure 8). The simulator executes
+//! the analytic equivalents, but we still emit the CUDA source each
+//! schedule corresponds to: it documents precisely what would run on a GPU
+//! and feeds the fused-kernel pretty printer in `recflex-compiler`.
+
+use crate::template::{ScheduleInstance, ScheduleKind};
+use std::fmt::Write as _;
+
+impl ScheduleInstance {
+    /// CUDA type for this vector width.
+    fn vec_type(&self) -> &'static str {
+        match self.params.vector_width {
+            4 => "float4",
+            2 => "float2",
+            _ => "float",
+        }
+    }
+
+    /// Name of the shared-memory struct of this schedule (for the fused
+    /// kernel's union; empty-smem schedules still get a 1-byte struct).
+    pub fn smem_struct(&self, id: usize) -> String {
+        let bytes = self.smem_bytes().max(1);
+        format!("struct Schedule{id}SharedMemory {{ char bytes[{bytes}]; }};")
+    }
+
+    /// Emit the `__device__` function implementing this schedule.
+    ///
+    /// The body follows the paper's template contract (Section V): it
+    /// receives its argument pack, its relative block index and the block
+    /// count of its feature, plus the shared-memory union pointer.
+    pub fn cuda_device_fn(&self, id: usize) -> String {
+        let p = &self.params;
+        let dim = self.emb_dim;
+        let vec_t = self.vec_type();
+        let spb = self.samples_per_block();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "// {} — threads/block={}, group={}, vec={}, unroll={}, regs≈{}, smem={}B",
+            self.label(),
+            p.threads_per_block,
+            p.group_size,
+            p.vector_width,
+            p.unroll,
+            self.natural_regs(),
+            self.smem_bytes()
+        );
+        let _ = writeln!(
+            s,
+            "__device__ void Schedule{id}(const EmbArgs* __restrict__ args, int rel_bidx, int feature_blocks, SmemUnion* smem) {{"
+        );
+        let _ = writeln!(s, "  const int* __restrict__ offsets = args->offsets;");
+        let _ = writeln!(s, "  const int* __restrict__ indices = args->indices;");
+        let _ = writeln!(s, "  const {vec_t}* __restrict__ table = (const {vec_t}*)args->table;");
+        let _ = writeln!(s, "  {vec_t}* __restrict__ out = ({vec_t}*)args->out;");
+        let _ = writeln!(s, "  const int batch = args->batch_size;");
+        match self.kind {
+            ScheduleKind::RowPerThread => {
+                let _ = writeln!(s, "  int sample = rel_bidx * {spb} + threadIdx.x;");
+                let _ = writeln!(s, "  if (sample >= batch) return;");
+                let _ = writeln!(s, "  float acc[{dim}] = {{0.f}};");
+                let _ = writeln!(s, "  #pragma unroll {}", p.unroll);
+                let _ = writeln!(s, "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{");
+                let _ = writeln!(s, "    const float* row = (const float*)table + (size_t)indices[i] * {dim};");
+                let _ = writeln!(s, "    #pragma unroll");
+                let _ = writeln!(s, "    for (int d = 0; d < {dim}; ++d) acc[d] += row[d];");
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "  for (int d = 0; d < {dim}; ++d) ((float*)out)[(size_t)sample * {dim} + d] = acc[d];");
+            }
+            ScheduleKind::SubWarp | ScheduleKind::SamplePerWarp => {
+                let g = p.group_size;
+                let ept = self.elems_per_thread();
+                let _ = writeln!(s, "  int lane = threadIdx.x % {g};");
+                let _ = writeln!(s, "  int sample = rel_bidx * {spb} + threadIdx.x / {g};");
+                let _ = writeln!(s, "  if (sample >= batch) return;");
+                let _ = writeln!(s, "  float acc[{ept}] = {{0.f}};");
+                let _ = writeln!(s, "  #pragma unroll {}", p.unroll);
+                let _ = writeln!(s, "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{");
+                let _ = writeln!(s, "    const {vec_t}* row = table + (size_t)indices[i] * {};", dim / p.vector_width.max(1));
+                let _ = writeln!(s, "    for (int c = lane; c * {v} < {dim}; c += {g})", v = p.vector_width);
+                let _ = writeln!(s, "      vec_add(acc, row[c]);  // predicated off beyond dim");
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "  vec_store(out, sample, lane, acc);");
+            }
+            ScheduleKind::SamplePerBlock => {
+                let warps = p.threads_per_block / 32;
+                let _ = writeln!(s, "  int sample = rel_bidx;  // one block per sample");
+                let _ = writeln!(s, "  int warp = threadIdx.x / 32, lane = threadIdx.x % 32;");
+                let _ = writeln!(s, "  float acc[{}] = {{0.f}};", self.elems_per_thread());
+                let _ = writeln!(s, "  for (int i = offsets[sample] + warp; i < offsets[sample + 1]; i += {warps}) {{");
+                let _ = writeln!(s, "    const {vec_t}* row = table + (size_t)indices[i] * {};", dim / p.vector_width.max(1));
+                let _ = writeln!(s, "    for (int c = lane; c * {v} < {dim}; c += 32) vec_add(acc, row[c]);", v = p.vector_width);
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "  // cross-warp tree reduction through the smem union");
+                let _ = writeln!(s, "  float* partial = (float*)smem;");
+                let _ = writeln!(s, "  warp_reduce_store(partial, warp, lane, acc);");
+                let _ = writeln!(s, "  __syncthreads();");
+                let _ = writeln!(s, "  if (warp == 0) final_reduce_store(out, sample, lane, partial, {warps});");
+                let _ = writeln!(s, "  __syncthreads();");
+            }
+            ScheduleKind::GatherScatter => {
+                let _ = writeln!(s, "  // phase 1: gather rows to global scratch (balanced streams)");
+                let _ = writeln!(s, "  {vec_t}* scratch = ({vec_t}*)args->scratch + (size_t)rel_bidx * {spb} * MAX_PF * {};", dim / p.vector_width.max(1));
+                let _ = writeln!(s, "  int s_lo = rel_bidx * {spb}, s_hi = min(s_lo + {spb}, batch);");
+                let _ = writeln!(s, "  for (int i = offsets[s_lo] + threadIdx.x / 32; i < offsets[s_hi]; i += blockDim.x / 32)");
+                let _ = writeln!(s, "    copy_row(scratch, i - offsets[s_lo], table, indices[i]);");
+                let _ = writeln!(s, "  __syncthreads();");
+                let _ = writeln!(s, "  // phase 2: segment-reduce the scratch into pooled outputs");
+                let _ = writeln!(s, "  segment_reduce(out, scratch, offsets, s_lo, s_hi);");
+            }
+            ScheduleKind::SmemStaged => {
+                let stage = p.stage_rows;
+                let _ = writeln!(s, "  int lane = threadIdx.x % 32;");
+                let _ = writeln!(s, "  int warp = threadIdx.x / 32;");
+                let _ = writeln!(s, "  int sample = rel_bidx * {spb} + warp;");
+                let _ = writeln!(s, "  if (sample >= batch) return;");
+                let _ = writeln!(s, "  {vec_t}* stage = ({vec_t}*)smem + warp * {stage} * {};", dim / p.vector_width.max(1));
+                let _ = writeln!(s, "  float acc[{}] = {{0.f}};", self.elems_per_thread());
+                let _ = writeln!(s, "  for (int base = offsets[sample]; base < offsets[sample + 1]; base += {stage}) {{");
+                let _ = writeln!(s, "    stage_rows(stage, table, indices, base, {stage});  // bulk copy, high MLP");
+                let _ = writeln!(s, "    __syncthreads();");
+                let _ = writeln!(s, "    accumulate_staged(acc, stage, lane, {stage});");
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "  vec_store(out, sample, lane, acc);");
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::ScheduleParams;
+
+    fn inst(kind: ScheduleKind, dim: u32) -> ScheduleInstance {
+        ScheduleInstance {
+            kind,
+            params: ScheduleParams {
+                threads_per_block: 128,
+                group_size: if kind == ScheduleKind::RowPerThread { 1 } else { 32 },
+                vector_width: 2,
+                unroll: 2,
+                stage_rows: if kind == ScheduleKind::SmemStaged { 8 } else { 0 },
+            },
+            emb_dim: dim,
+        }
+    }
+
+    #[test]
+    fn every_kind_emits_a_device_fn() {
+        for kind in [
+            ScheduleKind::RowPerThread,
+            ScheduleKind::SubWarp,
+            ScheduleKind::SamplePerWarp,
+            ScheduleKind::SamplePerBlock,
+            ScheduleKind::SmemStaged,
+            ScheduleKind::GatherScatter,
+        ] {
+            let src = inst(kind, 32).cuda_device_fn(3);
+            assert!(src.contains("__device__ void Schedule3("), "{kind:?}");
+            assert!(src.contains("offsets"), "{kind:?} must read the CSR");
+        }
+    }
+
+    #[test]
+    fn block_kinds_synchronize() {
+        let src = inst(ScheduleKind::SamplePerBlock, 64).cuda_device_fn(0);
+        assert!(src.contains("__syncthreads()"));
+        let src2 = inst(ScheduleKind::SmemStaged, 64).cuda_device_fn(0);
+        assert!(src2.contains("__syncthreads()"));
+        let src3 = inst(ScheduleKind::SamplePerWarp, 64).cuda_device_fn(0);
+        assert!(!src3.contains("__syncthreads()"));
+    }
+
+    #[test]
+    fn smem_struct_sizes_match() {
+        let s = inst(ScheduleKind::SmemStaged, 32);
+        let decl = s.smem_struct(1);
+        assert!(decl.contains(&format!("bytes[{}]", s.smem_bytes())));
+        let w = inst(ScheduleKind::SamplePerWarp, 32);
+        assert!(w.smem_struct(0).contains("bytes[1]"), "zero smem pads to 1 byte");
+    }
+
+    #[test]
+    fn vector_types_selected() {
+        let mut s = inst(ScheduleKind::SamplePerWarp, 64);
+        s.params.vector_width = 4;
+        assert!(s.cuda_device_fn(0).contains("float4"));
+        s.params.vector_width = 1;
+        assert!(!s.cuda_device_fn(0).contains("float4"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Functional execution of schedules.
+//!
+//! Every schedule computes the same mathematical function — sum pooling of
+//! the looked-up rows per sample — they differ only in how the work maps to
+//! hardware, which the analytic profiles capture. Functional execution
+//! therefore accumulates each sample's rows **in CSR order** regardless of
+//! the simulated thread mapping, so all schedules, the fused kernel and the
+//! baselines produce output bit-identical to the scalar reference. (On a
+//! real GPU the tree reductions of `SamplePerBlock` would reassociate the
+//! sum; fixing the order here is what makes exact equality testing
+//! possible, and is documented as a deliberate substitution in DESIGN.md.)
+
+use crate::template::ScheduleInstance;
+use recflex_data::FeatureBatch;
+use recflex_embedding::{reference_pooled, EmbTable};
+
+impl ScheduleInstance {
+    /// Execute this schedule's feature over a whole batch: `out` is
+    /// `batch × dim`, sample-row-major.
+    pub fn execute<T: EmbTable>(&self, table: &T, fb: &FeatureBatch, out: &mut [f32]) {
+        debug_assert_eq!(table.dim(), self.emb_dim);
+        reference_pooled(table, fb, out);
+    }
+
+    /// Execute only the samples owned by block `rel_bidx` (used by the
+    /// fused-kernel executor, whose blocks own disjoint sample ranges).
+    /// `out` is still the feature's full `batch × dim` buffer.
+    pub fn execute_block<T: EmbTable>(
+        &self,
+        table: &T,
+        fb: &FeatureBatch,
+        rel_bidx: u32,
+        out: &mut [f32],
+    ) {
+        let dim = self.emb_dim as usize;
+        let batch = fb.batch_size();
+        let spb = self.samples_per_block();
+        let s0 = rel_bidx.saturating_mul(spb).min(batch);
+        let s1 = (s0 + spb).min(batch);
+        for s in s0..s1 {
+            let dst = &mut out[s as usize * dim..(s as usize + 1) * dim];
+            dst.fill(0.0);
+            for &row in fb.sample_indices(s) {
+                for (d, slot) in dst.iter_mut().enumerate() {
+                    *slot += table.value(row, d as u32);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{ScheduleKind, ScheduleParams};
+    use recflex_data::{FeatureSpec, PoolingDist};
+    use recflex_embedding::{FeatureWorkload, VirtualTable};
+
+    fn spec(dim: u32) -> FeatureSpec {
+        FeatureSpec {
+            name: "t".into(),
+            table_rows: 500,
+            emb_dim: dim,
+            pooling: PoolingDist::Normal { mean: 12.0, std: 6.0, max: 60 },
+            coverage: 0.8,
+            row_skew: 0.5,
+        }
+    }
+
+    fn all_kinds(dim: u32) -> Vec<ScheduleInstance> {
+        [
+            (ScheduleKind::RowPerThread, 1u32, 0u32),
+            (ScheduleKind::SubWarp, 8, 0),
+            (ScheduleKind::SamplePerWarp, 32, 0),
+            (ScheduleKind::SamplePerBlock, 128, 0),
+            (ScheduleKind::SmemStaged, 32, 8),
+            (ScheduleKind::GatherScatter, 32, 0),
+        ]
+        .into_iter()
+        .map(|(kind, g, stage)| ScheduleInstance {
+            kind,
+            params: ScheduleParams {
+                threads_per_block: 128,
+                group_size: g,
+                vector_width: 2,
+                unroll: 1,
+                stage_rows: stage,
+            },
+            emb_dim: dim,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn every_kind_matches_reference_bitwise() {
+        let dim = 16;
+        let s = spec(dim);
+        let fb = FeatureBatch::generate(&s, 96, 33);
+        let table = VirtualTable::new(9, 500, dim);
+        let mut golden = vec![0.0; 96 * dim as usize];
+        reference_pooled(&table, &fb, &mut golden);
+        for sched in all_kinds(dim) {
+            let mut out = vec![7.0; 96 * dim as usize];
+            sched.execute(&table, &fb, &mut out);
+            assert_eq!(out, golden, "{:?} diverged", sched.kind);
+        }
+    }
+
+    #[test]
+    fn blockwise_execution_equals_whole_feature() {
+        let dim = 8;
+        let s = spec(dim);
+        let fb = FeatureBatch::generate(&s, 77, 5);
+        let table = VirtualTable::new(4, 500, dim);
+        let w = FeatureWorkload::analyze(0, &fb, dim, 500);
+        for sched in all_kinds(dim) {
+            let mut whole = vec![0.0; 77 * dim as usize];
+            sched.execute(&table, &fb, &mut whole);
+            let mut by_blocks = vec![0.0; 77 * dim as usize];
+            for b in 0..sched.required_blocks(&w) {
+                sched.execute_block(&table, &fb, b, &mut by_blocks);
+            }
+            assert_eq!(whole, by_blocks, "{:?} block split diverged", sched.kind);
+        }
+    }
+
+    #[test]
+    fn out_of_range_block_writes_nothing() {
+        let dim = 8;
+        let s = spec(dim);
+        let fb = FeatureBatch::generate(&s, 16, 5);
+        let table = VirtualTable::new(4, 500, dim);
+        let sched = &all_kinds(dim)[2];
+        let mut out = vec![3.0; 16 * dim as usize];
+        sched.execute_block(&table, &fb, 999, &mut out);
+        assert!(out.iter().all(|&x| x == 3.0));
+    }
+}

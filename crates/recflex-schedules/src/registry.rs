@@ -1,0 +1,220 @@
+//! Candidate enumeration — the per-feature search space `S^(f)`.
+//!
+//! The paper's tuner receives `N_f` schedule candidates per feature
+//! (Section IV-A1). This registry enumerates a feature-appropriate
+//! candidate set from the five template families: templates that cannot
+//! possibly suit a feature (e.g. a block-per-sample mapping for a one-hot
+//! field) are pruned so tuning time stays within the `O(F·K)` budget.
+
+use crate::template::{ScheduleInstance, ScheduleKind, ScheduleParams};
+use recflex_data::FeatureSpec;
+
+/// The candidate set of one feature.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Feature index in the model.
+    pub feature_idx: usize,
+    /// The `N_f` candidates, in a stable enumeration order.
+    pub candidates: Vec<ScheduleInstance>,
+}
+
+impl CandidateSet {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the set is empty (never true for a valid feature).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+fn params(t: u32, g: u32, v: u32, u: u32, stage: u32) -> ScheduleParams {
+    ScheduleParams { threads_per_block: t, group_size: g, vector_width: v, unroll: u, stage_rows: stage }
+}
+
+/// Enumerate the schedule candidates for one feature.
+pub fn enumerate_candidates(feature_idx: usize, spec: &FeatureSpec) -> CandidateSet {
+    let dim = spec.emb_dim;
+    let mean_pf = spec.pooling.mean();
+    let mut c = Vec::new();
+
+    // RowPerThread: accumulators live in registers, so only small dims.
+    if dim <= 64 {
+        for t in [64u32, 128, 256] {
+            for v in [1u32, 4] {
+                if v <= dim {
+                    c.push(ScheduleInstance {
+                        kind: ScheduleKind::RowPerThread,
+                        params: params(t, 1, v, 1, 0),
+                        emb_dim: dim,
+                    });
+                }
+            }
+        }
+    }
+
+    // SubWarp: group must not exceed the useful lane count too far.
+    for g in [2u32, 4, 8, 16] {
+        if g > dim * 2 {
+            continue;
+        }
+        for t in [128u32, 256] {
+            for v in [1u32, 2, 4] {
+                if v > dim {
+                    continue;
+                }
+                for u in [1u32, 2] {
+                    c.push(ScheduleInstance {
+                        kind: ScheduleKind::SubWarp,
+                        params: params(t, g, v, u, 0),
+                        emb_dim: dim,
+                    });
+                }
+            }
+        }
+    }
+
+    // SamplePerWarp: the general-purpose mapping, always included.
+    for t in [128u32, 256] {
+        for v in [1u32, 2, 4] {
+            if v > dim {
+                continue;
+            }
+            for u in [1u32, 2] {
+                c.push(ScheduleInstance {
+                    kind: ScheduleKind::SamplePerWarp,
+                    params: params(t, 32, v, u, 0),
+                    emb_dim: dim,
+                });
+            }
+        }
+    }
+
+    // SamplePerBlock: only pays off with substantial per-sample pooling.
+    if mean_pf >= 16.0 {
+        for t in [128u32, 256] {
+            for v in [2u32, 4] {
+                if v > dim {
+                    continue;
+                }
+                c.push(ScheduleInstance {
+                    kind: ScheduleKind::SamplePerBlock,
+                    params: params(t, t, v, 1, 0),
+                    emb_dim: dim,
+                });
+            }
+        }
+    }
+
+    // GatherScatter: TensorFlow's two-phase lowering — attractive for any
+    // multi-hot feature when measured in isolation, a bandwidth trap when
+    // fused (which is exactly why the search space must contain it: the
+    // tuner's job is to reject it under interference).
+    if mean_pf >= 4.0 {
+        for t in [128u32, 256] {
+            let v = 4u32.min(dim);
+            c.push(ScheduleInstance {
+                kind: ScheduleKind::GatherScatter,
+                params: params(t, 32, v, 1, 0),
+                emb_dim: dim,
+            });
+        }
+    }
+
+    // SmemStaged: multi-hot features with enough rows to stage.
+    if mean_pf >= 8.0 {
+        for stage in [8u32, 16] {
+            for v in [2u32, 4] {
+                if v > dim {
+                    continue;
+                }
+                // Keep the staging buffer within a sane smem budget.
+                let smem = 4 * stage * dim * 4; // 4 warps at 128 threads
+                if smem <= 48 * 1024 {
+                    c.push(ScheduleInstance {
+                        kind: ScheduleKind::SmemStaged,
+                        params: params(128, 32, v, 1, stage),
+                        emb_dim: dim,
+                    });
+                }
+            }
+        }
+    }
+
+    debug_assert!(!c.is_empty(), "every feature must have candidates");
+    CandidateSet { feature_idx, candidates: c }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{ModelPreset, PoolingDist};
+    use std::collections::HashSet;
+
+    fn spec(dim: u32, pooling: PoolingDist) -> FeatureSpec {
+        FeatureSpec {
+            name: "t".into(),
+            table_rows: 10_000,
+            emb_dim: dim,
+            pooling,
+            coverage: 1.0,
+            row_skew: 0.0,
+        }
+    }
+
+    #[test]
+    fn every_feature_of_every_preset_has_candidates() {
+        for preset in ModelPreset::TABLE1 {
+            let m = preset.scaled(0.02);
+            for (i, f) in m.features.iter().enumerate() {
+                let cs = enumerate_candidates(i, f);
+                assert!(!cs.is_empty(), "{preset:?} feature {i}");
+                assert!(cs.len() < 80, "search space must stay bounded, got {}", cs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_features_skip_block_per_sample() {
+        let cs = enumerate_candidates(0, &spec(32, PoolingDist::OneHot));
+        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::SamplePerBlock));
+        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::SmemStaged));
+    }
+
+    #[test]
+    fn heavy_multi_hot_includes_block_per_sample() {
+        let cs = enumerate_candidates(0, &spec(64, PoolingDist::Fixed(100)));
+        assert!(cs.candidates.iter().any(|s| s.kind == ScheduleKind::SamplePerBlock));
+        assert!(cs.candidates.iter().any(|s| s.kind == ScheduleKind::SmemStaged));
+    }
+
+    #[test]
+    fn wide_dims_skip_row_per_thread() {
+        let cs = enumerate_candidates(0, &spec(128, PoolingDist::Fixed(10)));
+        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::RowPerThread));
+    }
+
+    #[test]
+    fn vector_width_never_exceeds_dim() {
+        let cs = enumerate_candidates(0, &spec(4, PoolingDist::Fixed(20)));
+        assert!(cs.candidates.iter().all(|s| s.params.vector_width <= 4));
+        let tiny = enumerate_candidates(0, &spec(4, PoolingDist::OneHot));
+        assert!(tiny.candidates.iter().all(|s| s.params.vector_width <= 4));
+    }
+
+    #[test]
+    fn candidates_are_distinct() {
+        let cs = enumerate_candidates(0, &spec(32, PoolingDist::Fixed(50)));
+        let set: HashSet<_> = cs.candidates.iter().collect();
+        assert_eq!(set.len(), cs.len(), "duplicate candidates in the search space");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30)));
+        let b = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30)));
+        assert_eq!(a.candidates, b.candidates);
+    }
+}

@@ -1,0 +1,190 @@
+//! GPU architecture descriptors.
+//!
+//! The two presets ([`GpuArch::v100`], [`GpuArch::a100`]) mirror the testbed
+//! of the paper's evaluation (Section VI-A). All parameters come from public
+//! NVIDIA documentation; they feed the occupancy calculator and the timing
+//! model and are the only place hardware numbers appear.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+///
+/// All throughput-style quantities are normalized to *per SM, per cycle*
+/// inside the timing model; this struct keeps the familiar datasheet units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// Human-readable name, e.g. `"V100"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp (32 on every NVIDIA GPU to date).
+    pub warp_size: u32,
+    /// Hardware limit of resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Hardware limit of resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Architectural cap of registers per thread.
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity (registers are allocated per warp in
+    /// multiples of this many registers).
+    pub reg_alloc_granularity: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// Shared-memory allocation granularity in bytes.
+    pub smem_alloc_granularity: u32,
+    /// SM core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// Peak L2 bandwidth in GB/s.
+    pub l2_bw_gbps: f64,
+    /// Average DRAM access latency in cycles.
+    pub dram_latency: f64,
+    /// Average L2 hit latency in cycles.
+    pub l2_latency: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_size: u64,
+    /// Memory transaction (sector) size in bytes.
+    pub sector_bytes: u32,
+    /// Warp schedulers per SM (instructions issued per cycle per SM).
+    pub warp_schedulers: u32,
+    /// Warp-wide load/store instructions retired per cycle per SM.
+    pub lsu_per_sm: f64,
+    /// Fixed host-side cost of launching one kernel, in microseconds.
+    pub kernel_launch_us: f64,
+    /// Cost of one `__syncthreads()` barrier in cycles.
+    pub barrier_cycles: f64,
+    /// Host↔device interconnect bandwidth in GB/s (PCIe/NVLink), the
+    /// channel UVM-resident embedding rows travel over.
+    pub host_link_gbps: f64,
+    /// Average latency of a UVM page access in cycles (page fault +
+    /// interconnect round trip amortized over warm pages).
+    pub uvm_latency: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA Tesla V100-SXM2 (Volta, 80 SMs, 900 GB/s HBM2, 6 MiB L2).
+    pub fn v100() -> Self {
+        GpuArch {
+            name: "V100".to_string(),
+            num_sms: 80,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 96 * 1024,
+            smem_alloc_granularity: 256,
+            clock_ghz: 1.38,
+            dram_bw_gbps: 900.0,
+            l2_bw_gbps: 2500.0,
+            dram_latency: 440.0,
+            l2_latency: 200.0,
+            l2_size: 6 * 1024 * 1024,
+            sector_bytes: 32,
+            warp_schedulers: 4,
+            lsu_per_sm: 4.0,
+            kernel_launch_us: 4.0,
+            barrier_cycles: 30.0,
+            host_link_gbps: 16.0,  // PCIe 3.0 x16
+            uvm_latency: 2200.0,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB (Ampere, 108 SMs, 1555 GB/s HBM2e, 40 MiB L2).
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "A100".to_string(),
+            num_sms: 108,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 164 * 1024,
+            smem_alloc_granularity: 128,
+            clock_ghz: 1.41,
+            dram_bw_gbps: 1555.0,
+            l2_bw_gbps: 4500.0,
+            dram_latency: 480.0,
+            l2_latency: 210.0,
+            l2_size: 40 * 1024 * 1024,
+            sector_bytes: 32,
+            warp_schedulers: 4,
+            lsu_per_sm: 4.0,
+            kernel_launch_us: 4.0,
+            barrier_cycles: 30.0,
+            host_link_gbps: 32.0,  // PCIe 4.0 x16
+            uvm_latency: 2000.0,
+        }
+    }
+
+    /// Peak DRAM bytes transferred per SM per core cycle.
+    pub fn dram_bytes_per_sm_cycle(&self) -> f64 {
+        self.dram_bw_gbps / (self.clock_ghz * self.num_sms as f64)
+    }
+
+    /// Peak L2 bytes served per SM per core cycle.
+    pub fn l2_bytes_per_sm_cycle(&self) -> f64 {
+        self.l2_bw_gbps / (self.clock_ghz * self.num_sms as f64)
+    }
+
+    /// Convert a cycle count into microseconds on this architecture.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1000.0)
+    }
+
+    /// The occupancy-target candidates (resident blocks per SM) the tuner
+    /// enumerates — the `O_1..O_K` of the paper's two-stage procedure. The
+    /// paper notes "the count is often less than ten"; these eight levels
+    /// cover the achievable range for 64..256-thread blocks.
+    pub fn occupancy_levels(&self) -> Vec<u32> {
+        [1u32, 2, 3, 4, 6, 8, 12, 16]
+            .into_iter()
+            .filter(|&b| b <= self.max_blocks_per_sm)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_datasheet_sanity() {
+        let g = GpuArch::v100();
+        assert_eq!(g.num_sms, 80);
+        assert_eq!(g.max_warps_per_sm * g.warp_size, 2048);
+        // 900 GB/s over 80 SMs at 1.38 GHz is ~8.15 B/SM/cycle.
+        let b = g.dram_bytes_per_sm_cycle();
+        assert!((b - 8.15).abs() < 0.05, "got {b}");
+    }
+
+    #[test]
+    fn a100_has_more_bandwidth_and_l2() {
+        let (v, a) = (GpuArch::v100(), GpuArch::a100());
+        assert!(a.dram_bw_gbps > v.dram_bw_gbps);
+        assert!(a.l2_size > v.l2_size);
+        assert!(a.num_sms > v.num_sms);
+    }
+
+    #[test]
+    fn cycle_conversion_roundtrip() {
+        let g = GpuArch::v100();
+        // 1380 cycles at 1.38 GHz is exactly 1 us.
+        assert!((g.cycles_to_us(1380.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_levels_bounded_and_sorted() {
+        let g = GpuArch::v100();
+        let levels = g.occupancy_levels();
+        assert!(!levels.is_empty() && levels.len() < 10);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!(levels.iter().all(|&l| l >= 1 && l <= g.max_blocks_per_sm));
+    }
+}

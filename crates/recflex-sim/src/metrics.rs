@@ -1,0 +1,69 @@
+//! Nsight-Compute-like kernel metrics (paper Table II).
+//!
+//! The launch pipeline aggregates the analytic counters of all blocks into
+//! the same metrics the paper reports with Nsight Compute, so the Table II
+//! comparison (RecFlex vs TorchRec memory and thread utilization) can be
+//! regenerated from the model.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Achieved DRAM throughput in GB/s ("Memory Throughput").
+    pub memory_throughput_gbps: f64,
+    /// DRAM bytes moved / (peak bandwidth × kernel time), in percent
+    /// ("Max Bandwidth (%)").
+    pub max_bandwidth_pct: f64,
+    /// Fraction of kernel time the memory pipeline is busy, in percent
+    /// ("Memory Busy (%)"): max of DRAM and L2 busy fractions scaled by the
+    /// LSU issue pressure.
+    pub memory_busy_pct: f64,
+    /// L1/TEX pipeline throughput as % of peak (approximated by the
+    /// warp-transaction issue rate vs the LSU peak).
+    pub l1_throughput_pct: f64,
+    /// L2 throughput as % of peak L2 bandwidth.
+    pub l2_throughput_pct: f64,
+    /// Average active threads per warp-instruction ("Avg. Active Threads
+    /// Per Warp", 32 = no divergence).
+    pub avg_active_threads_per_warp: f64,
+    /// Average threads not predicated off per warp-instruction.
+    pub avg_not_pred_off_threads_per_warp: f64,
+    /// Achieved occupancy: resident warps per SM used by the launch.
+    pub achieved_warps_per_sm: u32,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Total bytes served from L2.
+    pub l2_bytes: f64,
+    /// Total floating-point operations.
+    pub flops: u64,
+}
+
+impl KernelMetrics {
+    /// Render the Table II rows for this launch.
+    pub fn table_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("Memory Throughput (GB/s)", self.memory_throughput_gbps),
+            ("Memory Busy (%)", self.memory_busy_pct),
+            ("Max Bandwidth (%)", self.max_bandwidth_pct),
+            ("L1 Cache Throughput (%)", self.l1_throughput_pct),
+            ("L2 Cache Throughput (%)", self.l2_throughput_pct),
+            ("Avg. Active Threads Per Warp", self.avg_active_threads_per_warp),
+            ("Avg. Not Predicted Off Threads per Warp", self.avg_not_pred_off_threads_per_warp),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_cover_table2() {
+        let m = KernelMetrics::default();
+        let rows = m.table_rows();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|(n, _)| n.contains("Memory Throughput")));
+        assert!(rows.iter().any(|(n, _)| n.contains("Not Predicted Off")));
+    }
+}

@@ -1,0 +1,302 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy — the number of blocks (and hence warps) resident on one SM — is
+//! the central quantity of RecFlex's tuning problem: it appears in the
+//! denominator of the paper's Equation 2 and is the variable the *global*
+//! tuning stage optimizes. This module reproduces the CUDA occupancy rules:
+//! residency is limited by the warp limit, the block limit, the register file
+//! and shared memory, with the documented allocation granularities.
+
+use crate::arch::GpuArch;
+use serde::{Deserialize, Serialize};
+
+/// Per-block resource usage of a kernel, the inputs to occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockResources {
+    /// Threads per block (a multiple of the warp size in practice).
+    pub threads_per_block: u32,
+    /// Registers per thread demanded by the compiled code.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block in bytes.
+    pub smem_per_block: u32,
+}
+
+impl BlockResources {
+    /// Convenience constructor.
+    pub fn new(threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> Self {
+        BlockResources { threads_per_block, regs_per_thread, smem_per_block }
+    }
+
+    /// Warps per block, rounded up.
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.threads_per_block.div_ceil(warp_size)
+    }
+
+    /// Merge with another resource footprint: the fused kernel's block uses
+    /// the maximum of each resource (shared memory is a union, Figure 8 of
+    /// the paper; registers are allocated for the worst branch).
+    pub fn union(&self, other: &BlockResources) -> BlockResources {
+        BlockResources {
+            threads_per_block: self.threads_per_block.max(other.threads_per_block),
+            regs_per_thread: self.regs_per_thread.max(other.regs_per_thread),
+            smem_per_block: self.smem_per_block.max(other.smem_per_block),
+        }
+    }
+}
+
+/// Result of the occupancy calculation for one kernel on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM. Zero means the kernel cannot launch.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM (`blocks_per_sm × warps_per_block`).
+    pub warps_per_sm: u32,
+    /// Which resource is the binding constraint.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Hardware warp residency limit.
+    Warps,
+    /// Hardware block residency limit.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// The kernel over-subscribes a single SM and cannot launch.
+    Unlaunchable,
+}
+
+fn round_up(x: u32, granularity: u32) -> u32 {
+    x.div_ceil(granularity) * granularity
+}
+
+/// Compute the occupancy of a kernel with resources `res` on `arch`,
+/// following the CUDA occupancy calculator rules.
+pub fn occupancy(res: &BlockResources, arch: &GpuArch) -> Occupancy {
+    let warps = res.warps_per_block(arch.warp_size);
+    if warps == 0 {
+        return Occupancy { blocks_per_sm: 0, warps_per_sm: 0, limiter: Limiter::Unlaunchable };
+    }
+
+    let by_warps = arch.max_warps_per_sm / warps;
+    let by_blocks = arch.max_blocks_per_sm;
+
+    // Registers are allocated per warp with a granularity.
+    let regs_per_warp = round_up(res.regs_per_thread.max(16) * arch.warp_size, arch.reg_alloc_granularity);
+    let by_regs = if res.regs_per_thread > arch.max_regs_per_thread {
+        0
+    } else {
+        arch.regs_per_sm / (regs_per_warp * warps)
+    };
+
+    let by_smem = if res.smem_per_block == 0 {
+        u32::MAX
+    } else {
+        arch.smem_per_sm / round_up(res.smem_per_block, arch.smem_alloc_granularity)
+    };
+
+    let blocks = by_warps.min(by_blocks).min(by_regs).min(by_smem);
+    // On ties the hardware-structural limits take precedence in reporting.
+    let limiter = if blocks == 0 {
+        Limiter::Unlaunchable
+    } else if blocks == by_warps {
+        Limiter::Warps
+    } else if blocks == by_blocks {
+        Limiter::Blocks
+    } else if blocks == by_regs {
+        Limiter::Registers
+    } else {
+        Limiter::SharedMemory
+    };
+
+    Occupancy { blocks_per_sm: blocks, warps_per_sm: blocks * warps, limiter }
+}
+
+/// Occupancy control (paper Section IV-A2): force a kernel's residency to a
+/// target `O_k`, the mechanism that decouples every per-feature sub-problem
+/// from the other features' schedules.
+///
+/// * If the natural occupancy is *higher* than the target, shared memory is
+///   padded until exactly `target` blocks fit per SM (cheap, no side effect).
+/// * If it is *lower*, the per-thread register budget is capped to whatever
+///   fits; the returned [`OccupancyControl::reg_cap`] tells the kernel's cost
+///   model how many registers were removed so it can account spill traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyControl {
+    /// The adjusted resources to launch with.
+    pub resources: BlockResources,
+    /// Achieved blocks per SM after control.
+    pub blocks_per_sm: u32,
+    /// If register capping was required: the capped per-thread budget. The
+    /// kernel's natural demand minus this cap spills to local (DRAM) memory.
+    pub reg_cap: Option<u32>,
+    /// Bytes of shared-memory padding added, if any.
+    pub smem_pad: u32,
+}
+
+/// Apply occupancy control for `target` resident blocks/SM.
+///
+/// Returns `None` if even one block of this shape cannot be resident (e.g.
+/// more threads than warp slots), in which case the schedule is infeasible.
+pub fn control_occupancy(
+    res: &BlockResources,
+    arch: &GpuArch,
+    target: u32,
+) -> Option<OccupancyControl> {
+    let warps = res.warps_per_block(arch.warp_size);
+    if warps == 0 || warps > arch.max_warps_per_sm {
+        return None;
+    }
+    // The hardware can never exceed these regardless of resources:
+    let hard_cap = (arch.max_warps_per_sm / warps).min(arch.max_blocks_per_sm);
+    let target = target.min(hard_cap).max(1);
+
+    let nat = occupancy(res, arch);
+    if nat.blocks_per_sm == 0 {
+        // Even a single block does not fit (smem too large): infeasible.
+        if round_up(res.smem_per_block, arch.smem_alloc_granularity) > arch.smem_per_sm {
+            return None;
+        }
+    }
+
+    let mut adjusted = *res;
+    let mut reg_cap = None;
+    let mut smem_pad = 0u32;
+
+    if nat.blocks_per_sm > target {
+        // Pad shared memory down to exactly `target` blocks/SM.
+        let per_block = arch.smem_per_sm / target;
+        let padded = per_block - (per_block % arch.smem_alloc_granularity);
+        debug_assert!(padded >= res.smem_per_block || occupancy(res, arch).blocks_per_sm <= target);
+        if padded > adjusted.smem_per_block {
+            smem_pad = padded - adjusted.smem_per_block;
+            adjusted.smem_per_block = padded;
+        }
+    } else if nat.blocks_per_sm < target {
+        // Cap registers so `target` blocks fit; spilling is accounted by the
+        // kernel cost model via `reg_cap`.
+        let regs_per_warp_budget = arch.regs_per_sm / (target * warps);
+        let regs_per_warp = regs_per_warp_budget - (regs_per_warp_budget % arch.reg_alloc_granularity);
+        let cap = (regs_per_warp / arch.warp_size).max(16);
+        if cap < res.regs_per_thread {
+            reg_cap = Some(cap);
+            adjusted.regs_per_thread = cap;
+        }
+        // Shared memory may also be the limiter; if so the target is simply
+        // unreachable and we settle for the smem-bound occupancy.
+    }
+
+    let achieved = occupancy(&adjusted, arch).blocks_per_sm;
+    if achieved == 0 {
+        return None;
+    }
+    Some(OccupancyControl { resources: adjusted, blocks_per_sm: achieved.min(target), reg_cap, smem_pad })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuArch {
+        GpuArch::v100()
+    }
+
+    #[test]
+    fn small_kernel_hits_block_or_warp_limit() {
+        // 128 threads, 32 regs, no smem: warps limit = 64/4 = 16 blocks.
+        let occ = occupancy(&BlockResources::new(128, 32, 0), &v100());
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.warps_per_sm, 64);
+        assert_eq!(occ.limiter, Limiter::Warps);
+    }
+
+    #[test]
+    fn register_bound_kernel() {
+        // 256 threads × 128 regs = 32768 regs/block → 2 blocks/SM on V100.
+        let occ = occupancy(&BlockResources::new(256, 128, 0), &v100());
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn smem_bound_kernel() {
+        // 48 KiB smem → 2 blocks/SM on V100's 96 KiB.
+        let occ = occupancy(&BlockResources::new(128, 32, 48 * 1024), &v100());
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn unlaunchable_kernel() {
+        let occ = occupancy(&BlockResources::new(128, 32, 200 * 1024), &v100());
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, Limiter::Unlaunchable);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_resources() {
+        let arch = v100();
+        let base = occupancy(&BlockResources::new(128, 32, 1024), &arch).blocks_per_sm;
+        for regs in [48, 64, 96, 128, 255] {
+            for smem in [2048, 8192, 32768] {
+                let o = occupancy(&BlockResources::new(128, regs, smem), &arch).blocks_per_sm;
+                assert!(o <= base, "more resources must not raise occupancy");
+            }
+        }
+    }
+
+    #[test]
+    fn control_pads_smem_down_to_target() {
+        let arch = v100();
+        let res = BlockResources::new(128, 32, 256);
+        let ctl = control_occupancy(&res, &arch, 4).unwrap();
+        assert_eq!(ctl.blocks_per_sm, 4);
+        assert!(ctl.smem_pad > 0);
+        assert!(ctl.reg_cap.is_none());
+        assert_eq!(occupancy(&ctl.resources, &arch).blocks_per_sm, 4);
+    }
+
+    #[test]
+    fn control_caps_registers_up_to_target() {
+        let arch = v100();
+        // Naturally 2 blocks/SM (register bound); ask for 8.
+        let res = BlockResources::new(256, 128, 0);
+        let ctl = control_occupancy(&res, &arch, 8).unwrap();
+        assert_eq!(ctl.blocks_per_sm, 8);
+        let cap = ctl.reg_cap.expect("register capping expected");
+        assert!(cap < 128);
+        assert_eq!(occupancy(&ctl.resources, &arch).blocks_per_sm, 8);
+    }
+
+    #[test]
+    fn control_respects_hardware_cap() {
+        let arch = v100();
+        // 1024-thread blocks: at most 2 can be resident (64 warps / 32 warps).
+        let res = BlockResources::new(1024, 32, 0);
+        let ctl = control_occupancy(&res, &arch, 16).unwrap();
+        assert_eq!(ctl.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn control_noop_when_already_at_target() {
+        let arch = v100();
+        let res = BlockResources::new(128, 64, 4096);
+        let nat = occupancy(&res, &arch).blocks_per_sm;
+        let ctl = control_occupancy(&res, &arch, nat).unwrap();
+        assert_eq!(ctl.blocks_per_sm, nat);
+        assert_eq!(ctl.smem_pad, 0);
+        assert!(ctl.reg_cap.is_none());
+    }
+
+    #[test]
+    fn union_takes_component_maxima() {
+        let a = BlockResources::new(128, 40, 1024);
+        let b = BlockResources::new(256, 24, 4096);
+        let u = a.union(&b);
+        assert_eq!(u, BlockResources::new(256, 40, 4096));
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-block demand profiles.
+//!
+//! A [`BlockProfile`] is the analytic summary of everything one thread block
+//! does: instruction issue slots, memory transactions and bytes, divergence
+//! counters and barriers. Schedules produce profiles from the CSR workload
+//! without touching embedding-table data, so profiling a million-block grid
+//! is cheap; the launch pipeline turns profiles into block times.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic execution demands of a single thread block.
+///
+/// All counters are *demands*, independent of occupancy and contention; the
+/// timing model in [`mod@crate::launch`] converts them into cycles given the
+/// launch environment.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlockProfile {
+    /// Warp-instruction issue slots consumed by the block (sum over warps of
+    /// their dynamic instruction counts).
+    pub issue_cycles: f64,
+    /// Warp-level memory transactions (32-byte sectors requested).
+    pub mem_transactions: u64,
+    /// Total bytes requested from the memory hierarchy (L2 + DRAM).
+    pub bytes_accessed: u64,
+    /// First-touch distinct bytes (`≤ bytes_accessed`); the remainder is
+    /// reuse that may hit in L2 depending on grid-level cache pressure.
+    pub unique_bytes: u64,
+    /// Bytes written back (pooled outputs, spill stores).
+    pub bytes_written: u64,
+    /// Warps in this block that have any work assigned.
+    pub active_warps: u32,
+    /// Σ over warp-iterations of active threads (numerator of the
+    /// "Avg. Active Threads Per Warp" Nsight metric).
+    pub thread_active_sum: u64,
+    /// Σ over warp-iterations of threads doing *useful*, non-predicated
+    /// work (numerator of "Avg. Not Predicted Off Threads per Warp").
+    pub thread_useful_sum: u64,
+    /// Σ over warp-iterations of the full warp width (denominator of both
+    /// thread-utilization metrics: `32 × warp_iterations`).
+    pub thread_slot_sum: u64,
+    /// `__syncthreads()` barriers executed.
+    pub barriers: u32,
+    /// Floating-point operations (pooling adds, GEMM FMAs).
+    pub flops: u64,
+    /// Memory-level parallelism per warp: average outstanding memory
+    /// requests one warp sustains (raised by unrolling/vectorization).
+    pub mlp: f64,
+    /// The block's critical memory chain: the *maximum* over its warps of
+    /// dependent memory instructions issued serially. A block finishes no
+    /// earlier than its slowest warp, so intra-block imbalance (one heavy
+    /// sample in a warp-per-sample mapping) lengthens this chain even when
+    /// average traffic is low. Zero means "uniform", in which case the
+    /// timing model falls back to `mem_transactions / active_warps`.
+    pub critical_mem_chain: u64,
+    /// Bytes served from host memory over the interconnect (UVM-resident
+    /// table rows that missed the GPU's hot cache). Disjoint from
+    /// `bytes_accessed`.
+    pub uvm_bytes: u64,
+    /// Warp-level transactions against UVM pages.
+    pub uvm_transactions: u64,
+}
+
+impl BlockProfile {
+    /// An empty (idle) block — used for over-allocated static thread
+    /// mappings where a block finds no work at runtime.
+    pub fn idle() -> Self {
+        BlockProfile { issue_cycles: 8.0, mlp: 1.0, active_warps: 0, ..Default::default() }
+    }
+
+    /// Whether this block performs no memory work.
+    pub fn is_idle(&self) -> bool {
+        self.mem_transactions == 0 && self.flops == 0
+    }
+
+    /// Accumulate another profile into this one (used when one physical
+    /// block executes several logical blocks' work sequentially, as in the
+    /// under-provisioned static thread mapping of the Figure 13 ablation).
+    pub fn accumulate(&mut self, other: &BlockProfile) {
+        self.issue_cycles += other.issue_cycles;
+        self.mem_transactions += other.mem_transactions;
+        self.bytes_accessed += other.bytes_accessed;
+        self.unique_bytes += other.unique_bytes;
+        self.bytes_written += other.bytes_written;
+        self.active_warps = self.active_warps.max(other.active_warps);
+        self.thread_active_sum += other.thread_active_sum;
+        self.thread_useful_sum += other.thread_useful_sum;
+        self.thread_slot_sum += other.thread_slot_sum;
+        self.barriers += other.barriers;
+        self.flops += other.flops;
+        // Serial execution of another logical block extends the chain.
+        self.critical_mem_chain += other.critical_mem_chain;
+        self.uvm_bytes += other.uvm_bytes;
+        self.uvm_transactions += other.uvm_transactions;
+        // MLP is a rate, keep the work-weighted blend.
+        let (a, b) = (self.mem_transactions as f64, other.mem_transactions as f64);
+        if a + b > 0.0 {
+            self.mlp = (self.mlp * a + other.mlp * b) / (a + b);
+        }
+    }
+
+    /// Merge a *concurrently executing* sibling into this profile (warps of
+    /// one block running different features under warp-granularity
+    /// mapping): traffic and issue sum, the latency chain is the slowest
+    /// sibling's, and active warps add up.
+    pub fn merge_concurrent(&mut self, other: &BlockProfile) {
+        self.issue_cycles += other.issue_cycles;
+        self.mem_transactions += other.mem_transactions;
+        self.bytes_accessed += other.bytes_accessed;
+        self.unique_bytes += other.unique_bytes;
+        self.bytes_written += other.bytes_written;
+        self.active_warps += other.active_warps;
+        self.thread_active_sum += other.thread_active_sum;
+        self.thread_useful_sum += other.thread_useful_sum;
+        self.thread_slot_sum += other.thread_slot_sum;
+        self.barriers = self.barriers.max(other.barriers);
+        self.flops += other.flops;
+        self.critical_mem_chain = self.critical_mem_chain.max(other.critical_mem_chain);
+        self.uvm_bytes += other.uvm_bytes;
+        self.uvm_transactions += other.uvm_transactions;
+        let (a, b) = (self.mem_transactions as f64, other.mem_transactions as f64);
+        if a + b > 0.0 {
+            self.mlp = (self.mlp * a + other.mlp * b) / (a + b);
+        }
+    }
+
+    /// Add register-spill traffic: `spilled` registers per thread across
+    /// `threads` threads, each cycled `rounds` times through the main loop.
+    /// Each spilled register costs one store and one reload of 4 bytes to
+    /// local memory (which lives in DRAM), plus the issue slots for them.
+    pub fn add_spill(&mut self, spilled: u32, threads: u32, rounds: u64) {
+        if spilled == 0 || threads == 0 || rounds == 0 {
+            return;
+        }
+        let accesses = spilled as u64 * rounds; // per thread: store+load pairs
+        let warps = threads.div_ceil(32) as u64;
+        // Local memory is interleaved so a warp-wide spill access is one
+        // coalesced transaction per register.
+        self.mem_transactions += 2 * accesses * warps;
+        // Spill reloads sit on the dependence chain of every warp.
+        self.critical_mem_chain += 2 * accesses;
+        let bytes = 2 * accesses * threads as u64 * 4;
+        self.bytes_accessed += bytes;
+        self.bytes_written += accesses * threads as u64 * 4;
+        // Spill slots are unique per thread: all of it is DRAM traffic.
+        self.unique_bytes += bytes;
+        self.issue_cycles += (2 * accesses * warps) as f64;
+    }
+
+    /// Demote `cold_frac` of this block's table traffic to the UVM channel
+    /// (host-resident rows that missed the GPU hot cache). Traffic moves,
+    /// it is not duplicated.
+    pub fn demote_to_uvm(&mut self, cold_frac: f64) {
+        let f = cold_frac.clamp(0.0, 1.0);
+        if f == 0.0 {
+            return;
+        }
+        let cold_bytes = (self.bytes_accessed as f64 * f) as u64;
+        let cold_trans = (self.mem_transactions as f64 * f) as u64;
+        self.uvm_bytes += cold_bytes;
+        self.uvm_transactions += cold_trans;
+        self.bytes_accessed -= cold_bytes.min(self.bytes_accessed);
+        self.unique_bytes = self.unique_bytes.min(self.bytes_accessed);
+        self.mem_transactions -= cold_trans.min(self.mem_transactions);
+    }
+
+    /// Average active threads per warp, the Table II divergence metric.
+    pub fn avg_active_threads_per_warp(&self) -> f64 {
+        if self.thread_slot_sum == 0 {
+            0.0
+        } else {
+            32.0 * self.thread_active_sum as f64 / self.thread_slot_sum as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlockProfile {
+        BlockProfile {
+            issue_cycles: 100.0,
+            mem_transactions: 40,
+            bytes_accessed: 1280,
+            unique_bytes: 640,
+            bytes_written: 128,
+            active_warps: 4,
+            thread_active_sum: 1000,
+            thread_useful_sum: 900,
+            thread_slot_sum: 1280,
+            barriers: 2,
+            flops: 512,
+            mlp: 2.0,
+            critical_mem_chain: 10,
+            uvm_bytes: 0,
+            uvm_transactions: 0,
+        }
+    }
+
+    #[test]
+    fn idle_block_is_idle() {
+        assert!(BlockProfile::idle().is_idle());
+        assert!(!sample().is_idle());
+    }
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.mem_transactions, 80);
+        assert_eq!(a.bytes_accessed, 2560);
+        assert_eq!(a.barriers, 4);
+        assert_eq!(a.active_warps, 4, "active warps is a max, not a sum");
+        assert!((a.mlp - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_adds_dram_traffic_and_issue() {
+        let mut p = sample();
+        let before = p;
+        p.add_spill(8, 128, 10);
+        assert!(p.bytes_accessed > before.bytes_accessed);
+        assert!(p.unique_bytes > before.unique_bytes);
+        assert!(p.mem_transactions > before.mem_transactions);
+        assert!(p.issue_cycles > before.issue_cycles);
+        // 8 regs × 10 rounds × 128 threads × 4B × 2 (store+load) = 81920 B.
+        assert_eq!(p.bytes_accessed - before.bytes_accessed, 81920);
+    }
+
+    #[test]
+    fn spill_of_zero_is_noop() {
+        let mut p = sample();
+        let before = p;
+        p.add_spill(0, 128, 10);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn divergence_metric() {
+        let p = sample();
+        let avg = p.avg_active_threads_per_warp();
+        assert!((avg - 32.0 * 1000.0 / 1280.0).abs() < 1e-9);
+    }
+}

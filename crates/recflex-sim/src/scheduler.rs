@@ -1,0 +1,148 @@
+//! Non-preemptive block scheduling.
+//!
+//! The GPU work distributor dispatches thread blocks in grid order to SMs;
+//! once resident, a block runs to completion and its slot is immediately
+//! refilled (paper Figure 5). That is classic list scheduling onto
+//! `#SM × blocks_per_SM` identical slots, implemented here with a binary
+//! heap of slot free-times. For large grids the makespan converges to
+//! `Σ l_b / slots` (the paper's Equation 2); for small grids the tail
+//! effect appears naturally.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ordered float wrapper so block end-times can live in a `BinaryHeap`.
+/// Block times are finite non-negative model outputs, so total ordering via
+/// `total_cmp` is safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Outcome of scheduling one grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Wall-clock cycles from first dispatch to last block retirement.
+    pub makespan: f64,
+    /// Σ of all block times (the numerator of Equation 2).
+    pub total_block_cycles: f64,
+    /// Average slot utilization in `[0, 1]`: total work / (slots × makespan).
+    pub utilization: f64,
+}
+
+/// List-schedule `block_times` (cycles) onto `slots` identical execution
+/// slots, dispatching in index order, and return the makespan.
+///
+/// `slots` is `#SM × blocks_per_SM` for a real launch. Panics if `slots`
+/// is zero (an unlaunchable kernel must be rejected before scheduling).
+pub fn schedule_blocks(block_times: &[f64], slots: u32) -> ScheduleOutcome {
+    assert!(slots > 0, "cannot schedule onto zero slots");
+    let total: f64 = block_times.iter().sum();
+    if block_times.is_empty() {
+        return ScheduleOutcome { makespan: 0.0, total_block_cycles: 0.0, utilization: 0.0 };
+    }
+
+    let slots = slots as usize;
+    if block_times.len() <= slots {
+        // Everything runs immediately in parallel.
+        let makespan = block_times.iter().copied().fold(0.0f64, f64::max);
+        let utilization = if makespan > 0.0 { total / (slots as f64 * makespan) } else { 0.0 };
+        return ScheduleOutcome { makespan, total_block_cycles: total, utilization };
+    }
+
+    // Min-heap of slot free times; dispatch each block to the earliest
+    // free slot, in grid order — exactly the hardware's refill policy.
+    let mut heap: BinaryHeap<Reverse<Time>> = (0..slots).map(|_| Reverse(Time(0.0))).collect();
+    let mut makespan = 0.0f64;
+    for &t in block_times {
+        let Reverse(Time(free)) = heap.pop().expect("heap sized to slots");
+        let end = free + t;
+        makespan = makespan.max(end);
+        heap.push(Reverse(Time(end)));
+    }
+    let utilization = if makespan > 0.0 { total / (slots as f64 * makespan) } else { 0.0 };
+    ScheduleOutcome { makespan, total_block_cycles: total, utilization }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_blocks_than_slots_is_max() {
+        let out = schedule_blocks(&[10.0, 20.0, 5.0], 8);
+        assert_eq!(out.makespan, 20.0);
+    }
+
+    #[test]
+    fn uniform_blocks_divide_evenly() {
+        let times = vec![10.0; 100];
+        let out = schedule_blocks(&times, 10);
+        assert!((out.makespan - 100.0).abs() < 1e-9);
+        assert!((out.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_lower_bounds() {
+        // makespan ≥ total/slots and ≥ max block time.
+        let times: Vec<f64> = (1..=57).map(|i| (i % 13 + 1) as f64).collect();
+        let slots = 7;
+        let out = schedule_blocks(&times, slots);
+        let total: f64 = times.iter().sum();
+        let maxb = times.iter().copied().fold(0.0f64, f64::max);
+        assert!(out.makespan >= total / slots as f64 - 1e-9);
+        assert!(out.makespan >= maxb - 1e-9);
+        // Greedy list scheduling is within 2× of the lower bound.
+        assert!(out.makespan <= total / slots as f64 + maxb + 1e-9);
+    }
+
+    #[test]
+    fn equation2_convergence_for_large_grids() {
+        // With many equal-ish blocks, makespan ≈ Σ l_b / slots (Eq. 2).
+        let times: Vec<f64> = (0..10_000).map(|i| 50.0 + (i % 10) as f64).collect();
+        let slots = 160;
+        let out = schedule_blocks(&times, slots);
+        let eq2 = out.total_block_cycles / slots as f64;
+        let rel = (out.makespan - eq2).abs() / eq2;
+        assert!(rel < 0.01, "relative gap {rel} too large");
+    }
+
+    #[test]
+    fn tail_effect_for_small_grids() {
+        // 161 equal blocks on 160 slots: one straggler doubles the makespan
+        // relative to Eq. 2's prediction — the tail effect.
+        let times = vec![100.0; 161];
+        let out = schedule_blocks(&times, 160);
+        assert!((out.makespan - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let out = schedule_blocks(&[], 10);
+        assert_eq!(out.makespan, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero slots")]
+    fn zero_slots_panics() {
+        schedule_blocks(&[1.0], 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let times: Vec<f64> = (0..997).map(|i| ((i * 7919) % 101) as f64 + 1.0).collect();
+        let a = schedule_blocks(&times, 13);
+        let b = schedule_blocks(&times, 13);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Tuning-cost accounting (paper Section VI-E, "Compile and tuning
+//! overhead").
+//!
+//! The paper argues the tuner runs in `O(F·K + K)` compiled kernels and
+//! finishes "in several hours" on eight GPUs — acceptable because a tuned
+//! model serves for days. This module makes the cost observable: it counts
+//! the kernels a tuning run would compile and the measurements it takes,
+//! so the complexity claim is checkable rather than asserted.
+
+use crate::{TunerConfig, TuningContext};
+
+/// Cost profile of one two-stage tuning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningCost {
+    /// Features tuned (`F`).
+    pub features: usize,
+    /// Occupancy levels enumerated (`K`).
+    pub occupancy_levels: usize,
+    /// Historical batches sampled.
+    pub tuning_batches: usize,
+    /// Co-execution kernels compiled by the local stage (`F × K` — each
+    /// fuses all of one feature's candidates, the trick that keeps the
+    /// stage out of the `Π N_f` combinatorial trap).
+    pub local_kernels: usize,
+    /// Fused kernels compiled by the global stage (`2K`: each level's
+    /// winners at controlled and natural occupancy).
+    pub global_kernels: usize,
+    /// Total latency measurements taken (kernels × batches).
+    pub measurements: usize,
+    /// Total schedule candidates across features (`Σ N_f`) — the size of
+    /// the space the straw-man holistic tuner would have to exponentiate.
+    pub total_candidates: usize,
+}
+
+impl TuningCost {
+    /// Predict the cost of tuning `ctx` under `cfg` (exact arithmetic —
+    /// the tuner's control flow is deterministic).
+    pub fn estimate(ctx: &TuningContext<'_>, cfg: &TunerConfig, arch_levels: usize) -> Self {
+        let features = ctx.candidates.len();
+        let occupancy_levels = cfg
+            .occupancy_levels
+            .as_ref()
+            .map(|v| v.len())
+            .unwrap_or(arch_levels);
+        let tuning_batches = ctx.history.len();
+        let local_kernels = features * occupancy_levels;
+        let global_kernels = 2 * occupancy_levels;
+        TuningCost {
+            features,
+            occupancy_levels,
+            tuning_batches,
+            local_kernels,
+            global_kernels,
+            measurements: (local_kernels + global_kernels) * tuning_batches,
+            total_candidates: ctx.candidates.iter().map(|c| c.len()).sum(),
+        }
+    }
+
+    /// Kernels the straw-man *holistic* tuner (paper Section II-C,
+    /// solution 2) would need: `Π N_f`, returned as log10 because the
+    /// number itself does not fit in anything.
+    pub fn holistic_kernels_log10(&self, candidates_per_feature: &[usize]) -> f64 {
+        candidates_per_feature.iter().map(|&n| (n.max(1) as f64).log10()).sum()
+    }
+
+    /// Total kernels this tuner compiles — the `O(F·K + K)` headline.
+    pub fn total_kernels(&self) -> usize {
+        self.local_kernels + self.global_kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{Dataset, ModelPreset};
+    use recflex_sim::GpuArch;
+
+    #[test]
+    fn cost_is_linear_in_features_and_levels() {
+        let arch = GpuArch::v100();
+        let cfg = TunerConfig::fast();
+        let m1 = ModelPreset::A.scaled(0.01);
+        let m2 = ModelPreset::A.scaled(0.02);
+        let d1 = Dataset::synthesize(&m1, 2, 32, 5);
+        let d2 = Dataset::synthesize(&m2, 2, 32, 5);
+        let c1 = TuningCost::estimate(&TuningContext::new(&m1, &d1, &arch, &cfg), &cfg, 8);
+        let c2 = TuningCost::estimate(&TuningContext::new(&m2, &d2, &arch, &cfg), &cfg, 8);
+        assert_eq!(c1.local_kernels, m1.features.len() * 3);
+        assert_eq!(c2.local_kernels, m2.features.len() * 3);
+        assert_eq!(c1.global_kernels, c2.global_kernels, "global stage is O(K), not O(F)");
+        // Doubling features doubles the local stage exactly.
+        assert_eq!(c2.local_kernels, 2 * c1.local_kernels);
+    }
+
+    #[test]
+    fn holistic_space_is_astronomical() {
+        // The paper's example: F=100 features × N=4 candidates ≈ 10^60.
+        let cost = TuningCost {
+            features: 100,
+            occupancy_levels: 8,
+            tuning_batches: 4,
+            local_kernels: 800,
+            global_kernels: 16,
+            measurements: 3264,
+            total_candidates: 400,
+        };
+        let log10 = cost.holistic_kernels_log10(&[4; 100]);
+        assert!((log10 - 60.2).abs() < 0.2, "4^100 ≈ 10^60.2, got 10^{log10}");
+        assert!(cost.total_kernels() < 1000, "vs O(F·K+K) = {}", cost.total_kernels());
+    }
+
+    #[test]
+    fn default_levels_fall_back_to_arch() {
+        let arch = GpuArch::v100();
+        let cfg = TunerConfig { occupancy_levels: None, ..TunerConfig::fast() };
+        let m = ModelPreset::A.scaled(0.005);
+        let d = Dataset::synthesize(&m, 2, 32, 5);
+        let ctx = TuningContext::new(&m, &d, &arch, &cfg);
+        let c = TuningCost::estimate(&ctx, &cfg, arch.occupancy_levels().len());
+        assert_eq!(c.occupancy_levels, arch.occupancy_levels().len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Local tuning stage: per-feature winners under a fixed occupancy.
+//!
+//! For occupancy `O_k` and feature `f`, the stage launches one co-execution
+//! kernel per tuning batch (candidates side by side on duplicated inputs,
+//! grid padded to fill the SM slots) and sums every candidate's block times
+//! across batches — Equations 3 + 5. The feature loop is embarrassingly
+//! parallel (the paper farms it over eight GPUs; we farm it over cores).
+
+use rayon::prelude::*;
+use recflex_sim::{launch, LaunchConfig};
+
+use crate::coexec::{padding_profile, CoExecKernel};
+use crate::{TunerConfig, TuningContext};
+
+/// Tune every feature under occupancy target `k`. Returns the winning
+/// candidate index per feature.
+pub fn tune_local_stage(ctx: &TuningContext<'_>, k: u32, cfg: &TunerConfig) -> Vec<usize> {
+    let pad = padding_profile(&ctx.history);
+    let slots = ctx.arch.num_sms as f64 * k as f64;
+    let pad_target = (slots * cfg.pad_fill).ceil() as u32;
+
+    ctx.candidates
+        .par_iter()
+        .map(|cs| {
+            let f = cs.feature_idx;
+            let mut scores = vec![0.0f64; cs.len()];
+            let slots = (ctx.arch.num_sms * k).max(1) as f64;
+            for (bi, batch) in ctx.tuning_batches().iter().enumerate() {
+                let w = &ctx.history[bi][f];
+                let fb = &batch.features[f];
+                let kern = CoExecKernel::new(&cs.candidates, fb, w, pad_target, pad);
+                let config = LaunchConfig::with_occupancy(k);
+                let report = match launch(&kern, ctx.arch, &config) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // Candidate union unlaunchable at this occupancy:
+                        // fall back to per-candidate isolated measurement.
+                        continue;
+                    }
+                };
+                for (i, score) in scores.iter_mut().enumerate() {
+                    // The candidate's contribution to the fused two-bound
+                    // makespan: its Equation-3 block-time sum spread over
+                    // the SM slots, floored by its own worst straggler
+                    // block. For saturating workloads the sum term
+                    // dominates and this reduces to the paper's Eq. 3.
+                    let seg = kern.segment(i);
+                    let sum = report.block_time_sum(seg.clone()) / slots;
+                    let straggler = report.block_solo_times[seg]
+                        .iter()
+                        .copied()
+                        .fold(0.0f64, f64::max);
+                    *score += sum.max(straggler);
+                }
+            }
+            argmin(&scores)
+        })
+        .collect()
+}
+
+/// Index of the smallest score (first on ties; all-zero scores fall back
+/// to candidate 0, a safe default).
+pub(crate) fn argmin(scores: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::INFINITY;
+    for (i, &v) in scores.iter().enumerate() {
+        let v = if v == 0.0 { f64::INFINITY } else { v };
+        if v < best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{Dataset, ModelPreset};
+    use recflex_sim::GpuArch;
+
+    #[test]
+    fn argmin_basics() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), 1);
+        assert_eq!(argmin(&[1.0, 1.0]), 0, "ties break to the first");
+        assert_eq!(argmin(&[0.0, 0.0]), 0, "all-unmeasured falls back to 0");
+        assert_eq!(argmin(&[0.0, 5.0]), 1, "unmeasured treated as infinity");
+    }
+
+    #[test]
+    fn local_stage_returns_valid_choices() {
+        let m = ModelPreset::A.scaled(0.01);
+        let ds = Dataset::synthesize(&m, 2, 48, 5);
+        let arch = GpuArch::v100();
+        let cfg = TunerConfig::fast();
+        let ctx = TuningContext::new(&m, &ds, &arch, &cfg);
+        let winners = tune_local_stage(&ctx, 4, &cfg);
+        assert_eq!(winners.len(), m.features.len());
+        for (f, &w) in winners.iter().enumerate() {
+            assert!(w < ctx.candidates[f].len(), "feature {f} choice out of range");
+        }
+    }
+
+    #[test]
+    fn local_stage_is_deterministic() {
+        let m = ModelPreset::C.scaled(0.008);
+        let ds = Dataset::synthesize(&m, 2, 32, 9);
+        let arch = GpuArch::v100();
+        let cfg = TunerConfig::fast();
+        let ctx = TuningContext::new(&m, &ds, &arch, &cfg);
+        assert_eq!(tune_local_stage(&ctx, 4, &cfg), tune_local_stage(&ctx, 4, &cfg));
+    }
+
+    #[test]
+    fn occupancy_changes_winners_for_some_feature() {
+        // The whole point of the two-stage design: the best schedule
+        // depends on the occupancy environment. Over a heterogeneous
+        // model at least one feature should flip between extreme levels.
+        let m = ModelPreset::A.scaled(0.02);
+        let ds = Dataset::synthesize(&m, 2, 64, 5);
+        let arch = GpuArch::v100();
+        let cfg = TunerConfig::fast();
+        let ctx = TuningContext::new(&m, &ds, &arch, &cfg);
+        let low = tune_local_stage(&ctx, 1, &cfg);
+        let high = tune_local_stage(&ctx, 16, &cfg);
+        assert_ne!(low, high, "occupancy must matter for schedule choice");
+    }
+}
