@@ -11,7 +11,9 @@
 
 use recflex_data::{Batch, ModelConfig};
 use recflex_embedding::{analyze_batch, reference_model_output, TableSet};
-use recflex_sim::{launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, ProfileCtx, SimKernel};
+use recflex_sim::{
+    launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, ProfileCtx, SimKernel,
+};
 
 use crate::{Backend, BackendError, BackendRun};
 
@@ -36,7 +38,11 @@ impl SimKernel for HugeCtrKernel<'_> {
     fn resources(&self) -> BlockResources {
         // Accumulator for one sample vector + bookkeeping; no smem (the
         // sample's pooled vector lives in the first warp's registers).
-        BlockResources::new(self.threads, 18 + self.dim.div_ceil(self.threads / 32).min(64), 0)
+        BlockResources::new(
+            self.threads,
+            18 + self.dim.div_ceil(self.threads / 32).min(64),
+            0,
+        )
     }
 
     fn profile_block(&self, block_idx: u32, _ctx: &ProfileCtx) -> BlockProfile {
@@ -118,7 +124,12 @@ impl Backend for HugeCtrBackend {
                 }
             })
             .collect();
-        let kern = HugeCtrKernel { batch, dim, threads: 128, unique_fracs };
+        let kern = HugeCtrKernel {
+            batch,
+            dim,
+            threads: 128,
+            unique_fracs,
+        };
         let report = launch(&kern, arch, &LaunchConfig::default())
             .map_err(|e| BackendError::Launch(e.to_string()))?;
         Ok(BackendRun {
@@ -168,7 +179,9 @@ mod tests {
         let b = Batch::generate(&m, 64, 9);
         let arch = GpuArch::v100();
         let hugectr = HugeCtrBackend.run(&m, &t, &b, &arch).unwrap();
-        let torchrec = crate::TorchRecBackend::compile(&m).run(&m, &t, &b, &arch).unwrap();
+        let torchrec = crate::TorchRecBackend::compile(&m)
+            .run(&m, &t, &b, &arch)
+            .unwrap();
         assert!(
             hugectr.latency_us > torchrec.latency_us,
             "HugeCTR {} must trail TorchRec {}",

@@ -44,8 +44,11 @@ impl RecomBackend {
     /// "Compile" the model: fix the uniform schedule and record history
     /// for the static mapping.
     pub fn compile(model: &ModelConfig, history_data: &Dataset) -> Self {
-        let schedules: Vec<ScheduleInstance> =
-            model.features.iter().map(|f| uniform_schedule(f.emb_dim)).collect();
+        let schedules: Vec<ScheduleInstance> = model
+            .features
+            .iter()
+            .map(|f| uniform_schedule(f.emb_dim))
+            .collect();
         let object = FusedKernelObject::compile(FusedSpec::new(schedules));
         let history = history_data
             .batches()
@@ -77,7 +80,11 @@ impl Backend for RecomBackend {
         );
         let report = launch(&bound, arch, &self.object.launch_config())
             .map_err(|e| BackendError::Launch(e.to_string()))?;
-        Ok(BackendRun { output: bound.execute(), latency_us: report.latency_us, kernel_launches: 1 })
+        Ok(BackendRun {
+            output: bound.execute(),
+            latency_us: report.latency_us,
+            kernel_launches: 1,
+        })
     }
 }
 
@@ -128,8 +135,7 @@ mod tests {
         let (m, _, d) = setup();
         let be = RecomBackend::compile(&m, &d);
         // Dedup collapses to one schedule per distinct dim.
-        let dims: std::collections::HashSet<u32> =
-            m.features.iter().map(|f| f.emb_dim).collect();
+        let dims: std::collections::HashSet<u32> = m.features.iter().map(|f| f.emb_dim).collect();
         assert_eq!(be.object.unique.len(), dims.len());
     }
 

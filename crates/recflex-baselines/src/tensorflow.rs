@@ -47,7 +47,8 @@ impl SimKernel for SingleFeatureKernel<'_> {
         self.sched.resources()
     }
     fn profile_block(&self, block_idx: u32, ctx: &ProfileCtx) -> recflex_sim::BlockProfile {
-        self.sched.block_profile(self.fb, self.w, block_idx, ctx.reg_cap)
+        self.sched
+            .block_profile(self.fb, self.w, block_idx, ctx.reg_cap)
     }
 }
 
@@ -102,7 +103,9 @@ mod tests {
         let m = ModelPreset::A.scaled(0.01);
         let tables = TableSet::for_model(&m);
         let b = Batch::generate(&m, 32, 3);
-        let run = TensorFlowBackend.run(&m, &tables, &b, &GpuArch::v100()).unwrap();
+        let run = TensorFlowBackend
+            .run(&m, &tables, &b, &GpuArch::v100())
+            .unwrap();
         assert_eq!(run.kernel_launches as usize, m.features.len());
         // Launch overhead alone puts a floor under the latency.
         assert!(run.latency_us >= m.features.len() as f64 * GpuArch::v100().kernel_launch_us);
@@ -113,7 +116,9 @@ mod tests {
         let m = ModelPreset::C.scaled(0.01);
         let tables = TableSet::for_model(&m);
         let b = Batch::generate(&m, 24, 7);
-        let run = TensorFlowBackend.run(&m, &tables, &b, &GpuArch::v100()).unwrap();
+        let run = TensorFlowBackend
+            .run(&m, &tables, &b, &GpuArch::v100())
+            .unwrap();
         let golden = reference_model_output(&m, &tables, &b);
         assert_eq!(run.output.max_abs_diff(&golden), 0.0);
     }

@@ -52,7 +52,9 @@ impl TorchRecBackend {
                 emb_dim: f.emb_dim,
             })
             .collect();
-        TorchRecBackend { object: FusedKernelObject::compile(FusedSpec::new(schedules)) }
+        TorchRecBackend {
+            object: FusedKernelObject::compile(FusedSpec::new(schedules)),
+        }
     }
 
     /// The compiled fused object (exposed for the Table II metric study).
@@ -78,7 +80,11 @@ impl Backend for TorchRecBackend {
         let bound = self.object.bind(model, tables, batch);
         let report = launch(&bound, arch, &self.object.launch_config())
             .map_err(|e| BackendError::Launch(e.to_string()))?;
-        Ok(BackendRun { output: bound.execute(), latency_us: report.latency_us, kernel_launches: 1 })
+        Ok(BackendRun {
+            output: bound.execute(),
+            latency_us: report.latency_us,
+            kernel_launches: 1,
+        })
     }
 }
 
@@ -96,9 +102,14 @@ mod tests {
         let b = Batch::generate(&m, 48, 9);
         let arch = GpuArch::v100();
         let torchrec = TorchRecBackend::compile(&m).run(&m, &t, &b, &arch).unwrap();
-        let recom = crate::RecomBackend::compile(&m, &d).run(&m, &t, &b, &arch).unwrap();
+        let recom = crate::RecomBackend::compile(&m, &d)
+            .run(&m, &t, &b, &arch)
+            .unwrap();
         let tf = crate::TensorFlowBackend.run(&m, &t, &b, &arch).unwrap();
-        assert!(torchrec.latency_us < recom.latency_us, "paper ordering: TorchRec < RECom");
+        assert!(
+            torchrec.latency_us < recom.latency_us,
+            "paper ordering: TorchRec < RECom"
+        );
         assert!(torchrec.latency_us < tf.latency_us);
     }
 
@@ -122,7 +133,9 @@ mod tests {
         let m = ModelPreset::E.scaled(0.01);
         let t = TableSet::for_model(&m);
         let b = Batch::generate(&m, 32, 11);
-        let run = TorchRecBackend::compile(&m).run(&m, &t, &b, &GpuArch::a100()).unwrap();
+        let run = TorchRecBackend::compile(&m)
+            .run(&m, &t, &b, &GpuArch::a100())
+            .unwrap();
         let golden = reference_model_output(&m, &t, &b);
         assert_eq!(run.output.max_abs_diff(&golden), 0.0);
     }

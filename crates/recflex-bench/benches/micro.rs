@@ -31,7 +31,12 @@ fn bench_occupancy(c: &mut Criterion) {
 fn bench_scheduler(c: &mut Criterion) {
     let times: Vec<f64> = (0..10_000).map(|i| 50.0 + (i % 17) as f64).collect();
     c.bench_function("sim/schedule_10k_blocks", |b| {
-        b.iter(|| black_box(recflex_sim::scheduler::schedule_blocks(black_box(&times), 640)))
+        b.iter(|| {
+            black_box(recflex_sim::scheduler::schedule_blocks(
+                black_box(&times),
+                640,
+            ))
+        })
     });
 }
 
@@ -75,7 +80,11 @@ fn bench_fused_launch(c: &mut Criterion) {
     g.bench_function("fused_launch_100f_256b", |b| {
         b.iter(|| {
             let bound = obj.bind(&m, &tables, &batch);
-            black_box(launch(&bound, &arch, &obj.launch_config()).unwrap().latency_us)
+            black_box(
+                launch(&bound, &arch, &obj.launch_config())
+                    .unwrap()
+                    .latency_us,
+            )
         })
     });
     g.finish();
@@ -120,7 +129,11 @@ fn bench_functional_exec(c: &mut Criterion) {
     let tables = TableSet::for_model(&m);
     let batch = Batch::generate(&m, 128, 9);
     c.bench_function("exec/reference_pooling_50f_128b", |b| {
-        b.iter(|| black_box(recflex_embedding::reference_model_output(&m, &tables, &batch)))
+        b.iter(|| {
+            black_box(recflex_embedding::reference_model_output(
+                &m, &tables, &batch,
+            ))
+        })
     });
 }
 

@@ -10,8 +10,10 @@ use recflex_data::{save_dataset, save_model, Dataset, ModelPreset};
 use std::path::PathBuf;
 
 fn main() {
-    let out_dir: PathBuf =
-        std::env::args().nth(1).map(Into::into).unwrap_or_else(|| "datasets".into());
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "datasets".into());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let scale = Scale::from_env();
 

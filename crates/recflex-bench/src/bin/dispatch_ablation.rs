@@ -15,7 +15,10 @@ fn main() {
     let engine = fixture.tune_recflex(&scale);
 
     let mut total = [0.0f64; 2];
-    for (i, mode) in [DispatchMode::IfElse, DispatchMode::FnPtrArray].iter().enumerate() {
+    for (i, mode) in [DispatchMode::IfElse, DispatchMode::FnPtrArray]
+        .iter()
+        .enumerate()
+    {
         // Recompile: the dispatch mechanism changes the kernel's resource
         // footprint, not just its launch flags.
         let mut spec = FusedSpec::new(engine.tune_result.schedules.clone());
@@ -24,7 +27,9 @@ fn main() {
         let obj = FusedKernelObject::compile(spec);
         for batch in fixture.eval.batches() {
             let bound = obj.bind(&fixture.model, &fixture.tables, batch);
-            total[i] += launch(&bound, &arch, &obj.launch_config()).unwrap().latency_us;
+            total[i] += launch(&bound, &arch, &obj.launch_config())
+                .unwrap()
+                .latency_us;
         }
     }
     println!("== Dispatch ablation (model A, V100) ==");

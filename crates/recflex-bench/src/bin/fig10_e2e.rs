@@ -33,11 +33,20 @@ fn main() {
             };
 
             let ours = e2e_total(&engine).expect("RecFlex supports everything");
-            let mut rows = vec![Row { name: "RecFlex".into(), latency_us: ours }];
+            let mut rows = vec![Row {
+                name: "RecFlex".into(),
+                latency_us: ours,
+            }];
             for b in fixture.baselines() {
                 if let Some(lat) = e2e_total(b.as_ref()) {
-                    pools.entry(b.name().to_string()).or_default().push(lat / ours);
-                    rows.push(Row { name: b.name().to_string(), latency_us: lat });
+                    pools
+                        .entry(b.name().to_string())
+                        .or_default()
+                        .push(lat / ours);
+                    rows.push(Row {
+                        name: b.name().to_string(),
+                        latency_us: lat,
+                    });
                 }
             }
             print_normalized(

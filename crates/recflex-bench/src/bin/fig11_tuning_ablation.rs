@@ -16,21 +16,32 @@ fn main() {
     let scale = Scale::from_env();
     let arch = GpuArch::v100();
     println!("== Fig.11: two-stage vs separate-combine tuning (V100) ==");
-    println!("{:<8} {:>16} {:>18} {:>12}", "model", "two-stage (us)", "separate-comb (us)", "improvement");
+    println!(
+        "{:<8} {:>16} {:>18} {:>12}",
+        "model", "two-stage (us)", "separate-comb (us)", "improvement"
+    );
 
     let mut ratios = Vec::new();
     for preset in ModelPreset::TABLE1 {
         let fixture = Fixture::prepare(preset, &arch, &scale);
         let two_stage = fixture.tune_recflex(&scale);
-        let straw =
-            tune_separate_combine(&fixture.model, &fixture.history, &arch, &scale.tuner);
+        let straw = tune_separate_combine(&fixture.model, &fixture.history, &arch, &scale.tuner);
         let straw_engine = RecFlexEngine::from_tune_result(&fixture.model, &arch, straw);
 
         let a = fixture.total_latency(&two_stage).unwrap();
         let b = fixture.total_latency(&straw_engine).unwrap();
         let ratio = b / a;
         ratios.push(ratio);
-        println!("{:<8} {:>16.1} {:>18.1} {:>11.2}x", preset.name(), a, b, ratio);
+        println!(
+            "{:<8} {:>16.1} {:>18.1} {:>11.2}x",
+            preset.name(),
+            a,
+            b,
+            ratio
+        );
     }
-    println!("\naverage improvement: {:.2}x  (paper: 4.82x)", geomean(&ratios));
+    println!(
+        "\naverage improvement: {:.2}x  (paper: 4.82x)",
+        geomean(&ratios)
+    );
 }

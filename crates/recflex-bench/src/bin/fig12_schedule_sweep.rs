@@ -28,8 +28,10 @@ fn main() {
         .filter(|(_, f)| !f.pooling.is_one_hot())
         .map(|(i, _)| i)
         .collect();
-    let picks: Vec<usize> =
-        [0.2, 0.5, 0.8].iter().map(|&q| multi_hot[(multi_hot.len() as f64 * q) as usize]).collect();
+    let picks: Vec<usize> = [0.2, 0.5, 0.8]
+        .iter()
+        .map(|&q| multi_hot[(multi_hot.len() as f64 * q) as usize])
+        .collect();
 
     for (pi, &f) in picks.iter().enumerate() {
         let cands = enumerate_candidates(f, &fixture.model.features[f]);
@@ -39,7 +41,10 @@ fn main() {
             fixture.model.features[f].emb_dim,
             cands.len()
         );
-        println!("{:<6} {:<22} {:>14} {:>8}", "sched", "label", "latency (us)", "tuned");
+        println!(
+            "{:<6} {:<22} {:>14} {:>8}",
+            "sched", "label", "latency (us)", "tuned"
+        );
 
         let mut latencies = Vec::new();
         for (ci, cand) in cands.candidates.iter().enumerate() {

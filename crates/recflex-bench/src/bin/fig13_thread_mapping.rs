@@ -26,8 +26,12 @@ fn main() {
     for preset in ModelPreset::TABLE1 {
         let fixture = Fixture::prepare(preset, &arch, &scale);
         let engine = fixture.tune_recflex(&scale);
-        let history: Vec<_> =
-            fixture.history.batches().iter().map(|b| analyze_batch(&fixture.model, b)).collect();
+        let history: Vec<_> = fixture
+            .history
+            .batches()
+            .iter()
+            .map(|b| analyze_batch(&fixture.model, b))
+            .collect();
 
         let mut totals = [0.0f64; 3];
         for batch in fixture.eval.batches() {
@@ -46,8 +50,9 @@ fn main() {
                     &history,
                     *strat,
                 );
-                totals[i] +=
-                    launch(&bound, &arch, &engine.object.launch_config()).unwrap().latency_us;
+                totals[i] += launch(&bound, &arch, &engine.object.launch_config())
+                    .unwrap()
+                    .latency_us;
             }
         }
         let (rt, avg, max) = (totals[0], totals[1], totals[2]);
@@ -73,8 +78,12 @@ fn main() {
     // Long-tail request: one unsplit 2 560-sample batch (model A).
     let fixture = Fixture::prepare(ModelPreset::A, &arch, &scale);
     let engine = fixture.tune_recflex(&scale);
-    let history: Vec<_> =
-        fixture.history.batches().iter().map(|b| analyze_batch(&fixture.model, b)).collect();
+    let history: Vec<_> = fixture
+        .history
+        .batches()
+        .iter()
+        .map(|b| analyze_batch(&fixture.model, b))
+        .collect();
     let tail = long_tail_batch(&fixture.model);
     let mut lat = [0.0f64; 3];
     for (i, strat) in [
@@ -86,11 +95,18 @@ fn main() {
     .enumerate()
     {
         let bound =
-            engine.object.bind_static(&fixture.model, &fixture.tables, &tail, &history, *strat);
-        lat[i] = launch(&bound, &arch, &engine.object.launch_config()).unwrap().latency_us;
+            engine
+                .object
+                .bind_static(&fixture.model, &fixture.tables, &tail, &history, *strat);
+        lat[i] = launch(&bound, &arch, &engine.object.launch_config())
+            .unwrap()
+            .latency_us;
     }
     println!("\n-- long-tail request (2560 samples, model A) --");
-    println!("runtime {:.1} us | static-avg {:.1} us | static-max {:.1} us", lat[0], lat[1], lat[2]);
+    println!(
+        "runtime {:.1} us | static-avg {:.1} us | static-max {:.1} us",
+        lat[0], lat[1], lat[2]
+    );
     println!(
         "static degradation: avg {:.1}%, max {:.1}%  (paper: 50.5% and 40.4%)",
         100.0 * (lat[1] / lat[0] - 1.0),

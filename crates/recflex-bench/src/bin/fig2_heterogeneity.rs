@@ -55,8 +55,7 @@ fn main() {
         let fb = &batch.features[f];
         let pfs: Vec<u32> = (0..50).map(|s| fb.pooling_factor(s)).collect();
         let mean = pfs.iter().sum::<u32>() as f64 / 50.0;
-        let var =
-            pfs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 50.0;
+        let var = pfs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 50.0;
         println!(
             "  feat{f}: mean {mean:.1}, std {:.1}, max {}  ({:?})",
             var.sqrt(),

@@ -9,7 +9,9 @@
 use recflex_data::{FeatureBatch, FeatureSpec, PoolingDist};
 use recflex_embedding::FeatureWorkload;
 use recflex_schedules::{ScheduleInstance, ScheduleKind, ScheduleParams};
-use recflex_sim::{launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, ProfileCtx, SimKernel};
+use recflex_sim::{
+    launch, BlockProfile, BlockResources, GpuArch, LaunchConfig, ProfileCtx, SimKernel,
+};
 
 struct OneFeature<'a> {
     sched: ScheduleInstance,
@@ -44,10 +46,38 @@ fn schedules(dim: u32) -> Vec<(&'static str, ScheduleInstance)> {
         stage_rows: stage,
     };
     vec![
-        ("A (warp/sample, v1)", ScheduleInstance { kind: ScheduleKind::SamplePerWarp, params: p(256, 32, 1, 1, 0), emb_dim: dim }),
-        ("B (warp/sample, v4u2)", ScheduleInstance { kind: ScheduleKind::SamplePerWarp, params: p(256, 32, 4, 2, 0), emb_dim: dim }),
-        ("C (smem-staged 16)", ScheduleInstance { kind: ScheduleKind::SmemStaged, params: p(128, 32, 4, 1, 16), emb_dim: dim }),
-        ("D (block/sample, v4)", ScheduleInstance { kind: ScheduleKind::SamplePerBlock, params: p(256, 256, 4, 1, 0), emb_dim: dim }),
+        (
+            "A (warp/sample, v1)",
+            ScheduleInstance {
+                kind: ScheduleKind::SamplePerWarp,
+                params: p(256, 32, 1, 1, 0),
+                emb_dim: dim,
+            },
+        ),
+        (
+            "B (warp/sample, v4u2)",
+            ScheduleInstance {
+                kind: ScheduleKind::SamplePerWarp,
+                params: p(256, 32, 4, 2, 0),
+                emb_dim: dim,
+            },
+        ),
+        (
+            "C (smem-staged 16)",
+            ScheduleInstance {
+                kind: ScheduleKind::SmemStaged,
+                params: p(128, 32, 4, 1, 16),
+                emb_dim: dim,
+            },
+        ),
+        (
+            "D (block/sample, v4)",
+            ScheduleInstance {
+                kind: ScheduleKind::SamplePerBlock,
+                params: p(256, 256, 4, 1, 0),
+                emb_dim: dim,
+            },
+        ),
     ]
 }
 
@@ -58,7 +88,11 @@ fn main() {
             name: "feature0".into(),
             table_rows: 100_000,
             emb_dim: 32,
-            pooling: PoolingDist::Normal { mean: 50.0, std: 10.0, max: 200 },
+            pooling: PoolingDist::Normal {
+                mean: 50.0,
+                std: 10.0,
+                max: 200,
+            },
             coverage: 0.3,
             row_skew: 0.0,
         },
@@ -92,14 +126,22 @@ fn main() {
         let latencies: Vec<f64> = cands
             .iter()
             .map(|&(_, sched)| {
-                let k = OneFeature { sched, fb: &fb, w: &w };
+                let k = OneFeature {
+                    sched,
+                    fb: &fb,
+                    w: &w,
+                };
                 launch(&k, &arch, &LaunchConfig::default())
                     .map(|r| r.latency_us)
                     .unwrap_or(f64::INFINITY)
             })
             .collect();
         let best = latencies.iter().copied().fold(f64::INFINITY, f64::min);
-        let worst = latencies.iter().copied().filter(|l| l.is_finite()).fold(0.0f64, f64::max);
+        let worst = latencies
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .fold(0.0f64, f64::max);
 
         println!(
             "\n== Fig.3 {}: {} ==",
@@ -110,7 +152,10 @@ fn main() {
                 _ => "one-hot (pf = 1)",
             }
         );
-        println!("{:<24} {:>14} {:>12}", "schedule", "latency (us)", "normalized");
+        println!(
+            "{:<24} {:>14} {:>12}",
+            "schedule", "latency (us)", "normalized"
+        );
         for ((name, _), &lat) in cands.iter().zip(&latencies) {
             println!("{:<24} {:>14.1} {:>12.3}", name, lat, best / lat);
         }

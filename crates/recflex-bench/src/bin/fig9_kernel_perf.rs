@@ -23,15 +23,29 @@ fn main() {
             let ours = fixture
                 .total_latency(&engine)
                 .expect("RecFlex always supports the model");
-            rows.push(Row { name: "RecFlex".into(), latency_us: ours });
+            rows.push(Row {
+                name: "RecFlex".into(),
+                latency_us: ours,
+            });
             for b in fixture.baselines() {
                 if let Some(lat) = fixture.total_latency(b.as_ref()) {
-                    pools.entry(b.name().to_string()).or_default().push(lat / ours);
-                    rows.push(Row { name: b.name().to_string(), latency_us: lat });
+                    pools
+                        .entry(b.name().to_string())
+                        .or_default()
+                        .push(lat / ours);
+                    rows.push(Row {
+                        name: b.name().to_string(),
+                        latency_us: lat,
+                    });
                 }
             }
             print_normalized(
-                &format!("Fig.9 {} / model {} (batch {})", arch.name, preset.name(), scale.batch_size),
+                &format!(
+                    "Fig.9 {} / model {} (batch {})",
+                    arch.name,
+                    preset.name(),
+                    scale.batch_size
+                ),
                 &rows,
             );
         }

@@ -108,7 +108,12 @@ fn main() {
 
     // Unfused: preprocess kernel + embedding kernel on the cooked tensor.
     let total_ids = batch.total_lookups();
-    let pre = PreprocessKernel { batch: &batch, pipeline: &pipeline, ids_per_block: 4096, total_ids };
+    let pre = PreprocessKernel {
+        batch: &batch,
+        pipeline: &pipeline,
+        ids_per_block: 4096,
+        total_ids,
+    };
     let pre_report = launch(&pre, &arch, &LaunchConfig::default()).unwrap();
     let emb_bound = engine.object.bind(&model, &engine.tables, &cooked);
     let emb_report = launch(&emb_bound, &arch, &engine.object.launch_config()).unwrap();
@@ -130,11 +135,18 @@ fn main() {
         .sum::<f64>()
         / total_blocks.max(1) as f64
         / 32.0; // warp-level issue
-    let fused_kernel = FusedWithPreprocess { inner: &emb_bound, extra_issue_per_block: avg_cost };
-    let fused =
-        launch(&fused_kernel, &arch, &engine.object.launch_config()).unwrap().latency_us;
+    let fused_kernel = FusedWithPreprocess {
+        inner: &emb_bound,
+        extra_issue_per_block: avg_cost,
+    };
+    let fused = launch(&fused_kernel, &arch, &engine.object.launch_config())
+        .unwrap()
+        .latency_us;
 
-    println!("== fusion scope: preprocess ops ({} ops) + embedding (model A) ==", pipeline.total_ops());
+    println!(
+        "== fusion scope: preprocess ops ({} ops) + embedding (model A) ==",
+        pipeline.total_ops()
+    );
     println!("unfused (2 kernels, intermediate tensor): {unfused:>10.1} us");
     println!("  - preprocess kernel : {:>10.1} us", pre_report.latency_us);
     println!("  - embedding kernel  : {:>10.1} us", emb_report.latency_us);

@@ -48,11 +48,14 @@ fn main() {
     for bs in [8u32, 32, 128, 512] {
         let batch = Batch::generate(&model, bs, 100 + bs as u64);
         let block_bound = block_obj.bind(&model, &tables, &batch);
-        let block_lat =
-            launch(&block_bound, &arch, &block_obj.launch_config()).unwrap().latency_us;
+        let block_lat = launch(&block_bound, &arch, &block_obj.launch_config())
+            .unwrap()
+            .latency_us;
         let warp_kernel = WarpMappedKernel::bind(&schedules, &model, &batch)
             .expect("all schedules warp-mappable");
-        let warp_lat = launch(&warp_kernel, &arch, &LaunchConfig::default()).unwrap().latency_us;
+        let warp_lat = launch(&warp_kernel, &arch, &LaunchConfig::default())
+            .unwrap()
+            .latency_us;
         println!(
             "{bs:>8} {block_lat:>12.1} {warp_lat:>12.1} {:>11} {:>11}",
             SimKernel::grid_blocks(&block_bound),

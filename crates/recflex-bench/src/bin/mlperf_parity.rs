@@ -25,8 +25,14 @@ fn main() {
     print_normalized(
         "MLPerf-like kernel latency",
         &[
-            Row { name: "RecFlex".into(), latency_us: ours },
-            Row { name: torchrec.name().to_string(), latency_us: theirs },
+            Row {
+                name: "RecFlex".into(),
+                latency_us: ours,
+            },
+            Row {
+                name: torchrec.name().to_string(),
+                latency_us: theirs,
+            },
         ],
     );
     let ratio = theirs / ours;

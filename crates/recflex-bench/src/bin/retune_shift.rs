@@ -24,14 +24,19 @@ fn main() {
     // unchanged — only the workload statistics move — so the stale fused
     // kernel still runs, just with schedules tuned for the wrong workload.
     let drifted_model = shift_distribution(&model, 6.0, 0.3);
-    let drifted_traffic = Dataset::synthesize(&drifted_model, scale.eval_batches, scale.batch_size, 0x22);
+    let drifted_traffic =
+        Dataset::synthesize(&drifted_model, scale.eval_batches, scale.batch_size, 0x22);
     let tables = TableSet::for_model(&model);
 
     let serve = |engine: &RecFlexEngine| -> f64 {
         drifted_traffic
             .batches()
             .iter()
-            .map(|b| Backend::run(engine, &model, &tables, b, &arch).unwrap().latency_us)
+            .map(|b| {
+                Backend::run(engine, &model, &tables, b, &arch)
+                    .unwrap()
+                    .latency_us
+            })
             .sum()
     };
 

@@ -29,9 +29,18 @@ fn main() {
     print_normalized(
         "Scale10k kernel latency",
         &[
-            Row { name: "RecFlex".into(), latency_us: ours },
-            Row { name: torchrec.name().to_string(), latency_us: theirs },
+            Row {
+                name: "RecFlex".into(),
+                latency_us: ours,
+            },
+            Row {
+                name: torchrec.name().to_string(),
+                latency_us: theirs,
+            },
         ],
     );
-    println!("\nspeedup over TorchRec: {:.2}x  (paper: 4.2x)", theirs / ours);
+    println!(
+        "\nspeedup over TorchRec: {:.2}x  (paper: 4.2x)",
+        theirs / ours
+    );
 }

@@ -1,46 +1,54 @@
-//! Online-serving simulation (Section VI-D context): a mixed request
-//! stream with a long tail, served with and without the industrial
-//! batch-splitting practice, on RecFlex and TorchRec.
+//! Online-serving experiments (Section VI-D context).
+//!
+//! Part 1 — the original offline table: a mixed request stream with one
+//! long-tail request, served closed-loop with and without industrial
+//! batch splitting, on RecFlex and TorchRec.
+//!
+//! Part 2 — a load sweep on the open-loop runtime from `recflex-serve`:
+//! offered load (Poisson arrivals of a heavy-tailed request mix) against
+//! p50/p99 latency and shed rate, for three batching policies (unsplit,
+//! split, dynamic batching) across RecFlex, TorchRec and TensorFlow,
+//! with an SLO admission gate. Everything is seeded, so two runs of
+//! this binary print identical numbers.
 
-use recflex_baselines::TorchRecBackend;
+use recflex_baselines::{Backend, TensorFlowBackend, TorchRecBackend};
 use recflex_bench::Scale;
 use recflex_core::{RecFlexEngine, ServingSimulator};
-use recflex_data::{Batch, Dataset, ModelPreset};
+use recflex_data::{Batch, Dataset, ModelConfig, ModelPreset};
 use recflex_embedding::TableSet;
+use recflex_serve::{BatchPolicy, ServeConfig, ServeRuntime, WorkloadSpec};
 use recflex_sim::GpuArch;
 use recflex_tuner::TunerConfig;
 
-fn main() {
-    let scale = Scale::from_env();
-    let arch = GpuArch::v100();
-    let model = scale.model(ModelPreset::A);
-    let tables = TableSet::for_model(&model);
-    let history = Dataset::synthesize(&model, 3, scale.batch_size, 7);
-    let engine = RecFlexEngine::tune(&model, &history, &arch, &TunerConfig::fast());
-    let torchrec = TorchRecBackend::compile(&model);
-
+fn closed_loop_table(
+    model: &ModelConfig,
+    tables: &TableSet,
+    arch: &GpuArch,
+    engine: &RecFlexEngine,
+    torchrec: &TorchRecBackend,
+) {
     // Request stream: mostly moderate requests, one 2 560-sample tail.
     let mut requests: Vec<Batch> = [64u32, 128, 256, 96, 512, 32, 192, 256]
         .iter()
         .enumerate()
-        .map(|(i, &bs)| Batch::generate(&model, bs, 1000 + i as u64))
+        .map(|(i, &bs)| Batch::generate(model, bs, 1000 + i as u64))
         .collect();
-    requests.push(Batch::generate(&model, 2560, 9999));
+    requests.push(Batch::generate(model, 2560, 9999));
 
-    println!("== serving simulation: {} requests incl. one 2560-sample tail ==", requests.len());
+    println!(
+        "== serving simulation: {} requests incl. one 2560-sample tail ==",
+        requests.len()
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>10}",
         "configuration", "mean (us)", "p99 (us)", "max (us)", "launches"
     );
-    for (name, backend) in [
-        ("RecFlex", &engine as &dyn recflex_baselines::Backend),
-        ("TorchRec", &torchrec),
-    ] {
+    for (name, backend) in [("RecFlex", engine as &dyn Backend), ("TorchRec", torchrec)] {
         for (mode, cap) in [("split@512", Some(512u32)), ("unsplit", None)] {
             let server = ServingSimulator {
                 backend,
-                model: &model,
-                tables: &tables,
+                model,
+                tables,
                 arch: arch.clone(),
                 max_batch: cap,
             };
@@ -55,5 +63,94 @@ fn main() {
             );
         }
     }
-    println!("\n(runtime thread mapping lets RecFlex absorb the unsplit tail, Section VI-D)");
+    println!("\n(runtime thread mapping lets RecFlex absorb the unsplit tail, Section VI-D)\n");
+}
+
+fn load_sweep(
+    model: &ModelConfig,
+    tables: &TableSet,
+    arch: &GpuArch,
+    backends: &[(&str, &dyn Backend)],
+    n_requests: usize,
+) {
+    let policies = [
+        ("unsplit", BatchPolicy::Unsplit),
+        ("split@256", BatchPolicy::Split { cap: 256 }),
+        (
+            "dynamic@256",
+            BatchPolicy::Dynamic {
+                max_batch: 256,
+                max_wait_us: 300.0,
+            },
+        ),
+    ];
+    // Offered load: mean inter-arrival gap in µs, high load to low.
+    let gaps_us = [200.0, 500.0, 1000.0, 2000.0];
+    let slo_deadline_us = 10_000.0;
+
+    println!(
+        "== open-loop load sweep: {n_requests} Poisson long-tail requests, \
+         4 streams, SLO {slo_deadline_us} us =="
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "configuration", "gap (us)", "p50 (us)", "p99 (us)", "queue (us)", "shed %"
+    );
+    for (bname, backend) in backends {
+        for (pname, policy) in &policies {
+            for &gap in &gaps_us {
+                let stream = WorkloadSpec::long_tail(gap).stream(model, n_requests, 42);
+                let runtime = ServeRuntime {
+                    backend: *backend,
+                    model,
+                    tables,
+                    arch,
+                    config: ServeConfig {
+                        streams: 4,
+                        policy: *policy,
+                        slo_deadline_us: Some(slo_deadline_us),
+                        closed_loop: false,
+                    },
+                };
+                let report = runtime.serve(&stream).unwrap();
+                println!(
+                    "{:<28} {:>10.0} {:>12.1} {:>12.1} {:>12.1} {:>8.1}",
+                    format!("{bname} {pname}"),
+                    gap,
+                    report.percentile_us(0.5),
+                    report.percentile_us(0.99),
+                    report.mean_queue_us(),
+                    report.shed_rate() * 100.0
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "(dynamic batching trades queueing delay for fewer launches; splitting \
+         caps per-kernel residency so the tail shares the device fairly)"
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let arch = GpuArch::v100();
+    let model = scale.model(ModelPreset::A);
+    let tables = TableSet::for_model(&model);
+    let history = Dataset::synthesize(&model, 3, scale.batch_size, 7);
+    let engine = RecFlexEngine::tune(&model, &history, &arch, &TunerConfig::fast());
+    let torchrec = TorchRecBackend::compile(&model);
+    let tensorflow = TensorFlowBackend;
+
+    closed_loop_table(&model, &tables, &arch, &engine, &torchrec);
+
+    let backends: Vec<(&str, &dyn Backend)> = vec![
+        ("RecFlex", &engine),
+        ("TorchRec", &torchrec),
+        ("TensorFlow", &tensorflow),
+    ];
+    // Keep the sweep proportional to the configured scale so the smoke
+    // run in CI stays fast while a full run gets a denser stream.
+    let n_requests = (scale.eval_batches * 16).clamp(24, 96);
+    load_sweep(&model, &tables, &arch, &backends, n_requests);
 }

@@ -14,7 +14,10 @@ fn main() {
     let history = Dataset::synthesize(&model, 3, scale.batch_size, 5);
     let batch = Batch::generate(&model, scale.batch_size, 77);
 
-    println!("== multi-GPU sharding, model A ({} features) ==", model.num_features());
+    println!(
+        "== multi-GPU sharding, model A ({} features) ==",
+        model.num_features()
+    );
     println!("{:>8} {:>14} {:>10}", "devices", "latency (us)", "speedup");
     let mut base = None;
     for devices in [1usize, 2, 4, 8] {
@@ -23,5 +26,7 @@ fn main() {
         let baseline = *base.get_or_insert(latency);
         println!("{devices:>8} {latency:>14.1} {:>9.2}x", baseline / latency);
     }
-    println!("\n(the paper composes RecFlex with table placement for models beyond one GPU's memory)");
+    println!(
+        "\n(the paper composes RecFlex with table placement for models beyond one GPU's memory)"
+    );
 }

@@ -5,7 +5,10 @@ use recflex_data::ModelPreset;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Table I: evaluated models (scale = {}) ==", scale.model_frac);
+    println!(
+        "== Table I: evaluated models (scale = {}) ==",
+        scale.model_frac
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>11} {:>10}",
         "Model", "# Features", "# One-hot", "# Multi-hot", "Emb. Dim."
@@ -13,7 +16,11 @@ fn main() {
     for preset in ModelPreset::TABLE1 {
         let m = scale.model(preset);
         let (lo, hi) = m.dim_range();
-        let dims = if lo == hi { format!("{lo}") } else { format!("{lo}-{hi}") };
+        let dims = if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}-{hi}")
+        };
         println!(
             "{:<8} {:>10} {:>10} {:>11} {:>10}",
             m.name,

@@ -15,12 +15,24 @@ fn main() {
 
     let ours_bound = engine.object.bind(&fixture.model, &fixture.tables, batch);
     let ours = launch(&ours_bound, &fixture.arch, &engine.object.launch_config()).unwrap();
-    let theirs_bound = torchrec.object().bind(&fixture.model, &fixture.tables, batch);
-    let theirs = launch(&theirs_bound, &fixture.arch, &torchrec.object().launch_config()).unwrap();
+    let theirs_bound = torchrec
+        .object()
+        .bind(&fixture.model, &fixture.tables, batch);
+    let theirs = launch(
+        &theirs_bound,
+        &fixture.arch,
+        &torchrec.object().launch_config(),
+    )
+    .unwrap();
 
     println!("== Table II: V100 kernel analysis, model A, one batch ==");
     println!("{:<42} {:>10} {:>10}", "Metric Name", "TorchRec", "RecFlex");
-    for ((name, t), (_, r)) in theirs.metrics.table_rows().iter().zip(ours.metrics.table_rows()) {
+    for ((name, t), (_, r)) in theirs
+        .metrics
+        .table_rows()
+        .iter()
+        .zip(ours.metrics.table_rows())
+    {
         println!("{:<42} {:>10.2} {:>10.2}", name, t, r);
     }
     println!(

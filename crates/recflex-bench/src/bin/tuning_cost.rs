@@ -19,8 +19,7 @@ fn main() {
         let m = scale.model(preset);
         let ds = Dataset::synthesize(&m, scale.tuner.tuning_batches, 64, 5);
         let ctx = TuningContext::new(&m, &ds, &arch, &scale.tuner);
-        let cost =
-            TuningCost::estimate(&ctx, &scale.tuner, arch.occupancy_levels().len());
+        let cost = TuningCost::estimate(&ctx, &scale.tuner, arch.occupancy_levels().len());
         let per_feature: Vec<usize> = ctx.candidates.iter().map(|c| c.len()).collect();
         println!(
             "{:<8} {:>6} {:>4} {:>10} {:>10} {:>13} {:>15.1}",

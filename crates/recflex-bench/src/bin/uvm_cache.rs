@@ -39,13 +39,18 @@ fn main() {
     let device = launch(&bound, &arch, &engine.object.launch_config()).unwrap();
     println!(
         "{:>12} {:>10} {:>14.1} {:>12}",
-        "all-device", "1.00", device.latency_us, device.bounds.binding()
+        "all-device",
+        "1.00",
+        device.latency_us,
+        device.bounds.binding()
     );
 
     for pct in [50u64, 20, 10, 5, 1, 0] {
         let budget = full_bytes * pct / 100;
         let plan = CachePlan::plan(&model, fixture_history.batches(), budget);
-        let bound = engine.object.bind_uvm(&model, &engine.tables, &batch, &plan);
+        let bound = engine
+            .object
+            .bind_uvm(&model, &engine.tables, &batch, &plan);
         let report = launch(&bound, &arch, &engine.object.launch_config()).unwrap();
         println!(
             "{:>11}% {:>10.2} {:>14.1} {:>12}",

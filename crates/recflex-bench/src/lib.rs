@@ -18,7 +18,9 @@
 //! the paper-size experiments. Relative results (who wins, by how much) are
 //! stable across scales because every backend sees the same inputs.
 
-use recflex_baselines::{Backend, HugeCtrBackend, RecomBackend, TensorFlowBackend, TorchRecBackend};
+use recflex_baselines::{
+    Backend, HugeCtrBackend, RecomBackend, TensorFlowBackend, TorchRecBackend,
+};
 use recflex_core::RecFlexEngine;
 use recflex_data::{Batch, Dataset, ModelConfig, ModelPreset};
 use recflex_embedding::TableSet;
@@ -58,7 +60,12 @@ impl Scale {
             tuning_batches: 3,
             pad_fill: 2.0,
         };
-        Scale { model_frac, batch_size, eval_batches, tuner }
+        Scale {
+            model_frac,
+            batch_size,
+            eval_batches,
+            tuner,
+        }
     }
 
     /// Build a preset at this scale.
@@ -107,7 +114,13 @@ impl Fixture {
             .map(|f| ((bs as f64 * f) as u32).max(1))
             .collect();
         let eval = Dataset::synthesize_varied(&model, &eval_sizes, 0xE7A1 ^ 0xA11CE);
-        Fixture { model, tables, history, eval, arch: arch.clone() }
+        Fixture {
+            model,
+            tables,
+            history,
+            eval,
+            arch: arch.clone(),
+        }
     }
 
     /// Tune a RecFlex engine on the fixture's history.
@@ -122,7 +135,10 @@ impl Fixture {
         }
         let mut total = 0.0;
         for b in self.eval.batches() {
-            total += backend.run(&self.model, &self.tables, b, &self.arch).ok()?.latency_us;
+            total += backend
+                .run(&self.model, &self.tables, b, &self.arch)
+                .ok()?
+                .latency_us;
         }
         Some(total)
     }
@@ -153,9 +169,15 @@ pub struct Row {
 /// Print a normalized performance table (fastest = 1.00, as in Figures
 /// 9/10) and return `(name, normalized_perf)` pairs.
 pub fn print_normalized(title: &str, rows: &[Row]) -> Vec<(String, f64)> {
-    let best = rows.iter().map(|r| r.latency_us).fold(f64::INFINITY, f64::min);
+    let best = rows
+        .iter()
+        .map(|r| r.latency_us)
+        .fold(f64::INFINITY, f64::min);
     println!("\n== {title} ==");
-    println!("{:<12} {:>14} {:>12}", "system", "latency (us)", "normalized");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "system", "latency (us)", "normalized"
+    );
     let mut out = Vec::with_capacity(rows.len());
     for r in rows {
         let norm = best / r.latency_us;
@@ -179,7 +201,12 @@ pub fn print_average_speedups(reference: &str, pools: &[(String, Vec<f64>)]) {
     println!("\n-- average speedups of {reference} --");
     for (name, ratios) in pools {
         if !ratios.is_empty() {
-            println!("  over {:<12} {:>8.2}x  (n={})", name, geomean(ratios), ratios.len());
+            println!(
+                "  over {:<12} {:>8.2}x  (n={})",
+                name,
+                geomean(ratios),
+                ratios.len()
+            );
         }
     }
 }
@@ -228,7 +255,10 @@ mod tests {
             tuner: TunerConfig::fast(),
         };
         let f = Fixture::prepare(ModelPreset::A, &GpuArch::v100(), &scale);
-        assert!(f.total_latency(&HugeCtrBackend).is_none(), "mixed dims unsupported");
+        assert!(
+            f.total_latency(&HugeCtrBackend).is_none(),
+            "mixed dims unsupported"
+        );
         assert!(f.total_latency(&TensorFlowBackend).is_some());
     }
 }

@@ -48,10 +48,16 @@ impl ArgPack {
         let mut cursor = 0usize;
         for _ in &model.features {
             debug_assert_eq!(cursor % ARG_ALIGN, 0);
-            entries.push(ArgEntry { offset: cursor, len: PACK_BYTES });
+            entries.push(ArgEntry {
+                offset: cursor,
+                len: PACK_BYTES,
+            });
             cursor += PACK_BYTES.next_multiple_of(ARG_ALIGN);
         }
-        ArgPack { entries, total_bytes: cursor }
+        ArgPack {
+            entries,
+            total_bytes: cursor,
+        }
     }
 
     /// Validate the layout: aligned, in-bounds, non-overlapping, ordered.
@@ -106,7 +112,10 @@ mod tests {
     fn thousand_feature_model_needs_indirection() {
         let m = ModelPreset::A.build();
         let pack = ArgPack::build(&m);
-        assert!(pack.needs_indirection(), "1000 × 64B packs exceed the param limit");
+        assert!(
+            pack.needs_indirection(),
+            "1000 × 64B packs exceed the param limit"
+        );
         // A small model would fit as direct parameters.
         let small = ModelPreset::A.scaled(0.004);
         assert!(!ArgPack::build(&small).needs_indirection());

@@ -41,7 +41,11 @@ pub struct FusedSpec {
 impl FusedSpec {
     /// Spec with runtime defaults (if-else dispatch, natural occupancy).
     pub fn new(schedules: Vec<ScheduleInstance>) -> Self {
-        FusedSpec { schedules, occupancy_target: None, dispatch: DispatchMode::IfElse }
+        FusedSpec {
+            schedules,
+            occupancy_target: None,
+            dispatch: DispatchMode::IfElse,
+        }
     }
 }
 
@@ -88,7 +92,12 @@ impl FusedKernelObject {
             // the per-call issue overhead added in `profile_block`).
             resources.regs_per_thread = (resources.regs_per_thread + 26).min(255);
         }
-        FusedKernelObject { spec, schedule_map, unique, resources }
+        FusedKernelObject {
+            spec,
+            schedule_map,
+            unique,
+            resources,
+        }
     }
 
     /// The launch configuration implied by the compile decisions.
@@ -113,7 +122,14 @@ impl FusedKernelObject {
     ) -> BoundFusedKernel<'a> {
         let workloads = analyze_batch(model, batch);
         let task_map = TaskMap::runtime(&self.spec.schedules, &workloads);
-        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+        BoundFusedKernel {
+            obj: self,
+            model,
+            tables,
+            batch,
+            workloads,
+            task_map,
+        }
     }
 
     /// Bind with UVM-resident tables: lookups missing `plan`'s hot rows
@@ -135,7 +151,14 @@ impl FusedKernelObject {
             })
             .collect();
         let task_map = TaskMap::runtime(&self.spec.schedules, &workloads);
-        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+        BoundFusedKernel {
+            obj: self,
+            model,
+            tables,
+            batch,
+            workloads,
+            task_map,
+        }
     }
 
     /// Bind with a **static** mapping computed from historical workloads
@@ -154,7 +177,14 @@ impl FusedKernelObject {
             MappingStrategy::Runtime => TaskMap::runtime(&self.spec.schedules, &workloads),
             s => TaskMap::static_map(static_counts(&self.spec.schedules, history, s)),
         };
-        BoundFusedKernel { obj: self, model, tables, batch, workloads, task_map }
+        BoundFusedKernel {
+            obj: self,
+            model,
+            tables,
+            batch,
+            workloads,
+            task_map,
+        }
     }
 
     /// Run one batch end to end: simulate the launch and execute
@@ -280,7 +310,10 @@ mod tests {
     fn dedup_shares_identical_schedules() {
         let m = ModelPreset::D.scaled(0.02); // uniform dim 8 → heavy sharing
         let obj = compile_first_candidates(&m);
-        assert!(obj.unique.len() < m.features.len(), "uniform model must dedup");
+        assert!(
+            obj.unique.len() < m.features.len(),
+            "uniform model must dedup"
+        );
         assert_eq!(obj.schedule_map.len(), m.features.len());
         for (f, &id) in obj.schedule_map.iter().enumerate() {
             assert_eq!(obj.unique[id], obj.spec.schedules[f]);
@@ -321,7 +354,10 @@ mod tests {
         let ctx = ProfileCtx::default();
         for b in 0..bound.grid_blocks() {
             let p = bound.profile_block(b, &ctx);
-            assert!(!p.is_idle(), "runtime mapping never over-provisions (block {b})");
+            assert!(
+                !p.is_idle(),
+                "runtime mapping never over-provisions (block {b})"
+            );
         }
     }
 
@@ -336,13 +372,22 @@ mod tests {
         let obj = compile_first_candidates(&m);
         let rt = obj.bind(&m, &tables, &big);
         let avg = obj.bind_static(&m, &tables, &big, &history, MappingStrategy::StaticAverage);
-        assert!(avg.grid_blocks() < rt.grid_blocks(), "avg mapping under-provisions");
+        assert!(
+            avg.grid_blocks() < rt.grid_blocks(),
+            "avg mapping under-provisions"
+        );
         // Total work must be conserved: the serialized blocks pick it up.
         let ctx = ProfileCtx::default();
-        let rt_flops: u64 = (0..rt.grid_blocks()).map(|b| rt.profile_block(b, &ctx).flops).sum();
-        let avg_flops: u64 =
-            (0..avg.grid_blocks()).map(|b| avg.profile_block(b, &ctx).flops).sum();
-        assert_eq!(rt_flops, avg_flops, "work is conserved under static mapping");
+        let rt_flops: u64 = (0..rt.grid_blocks())
+            .map(|b| rt.profile_block(b, &ctx).flops)
+            .sum();
+        let avg_flops: u64 = (0..avg.grid_blocks())
+            .map(|b| avg.profile_block(b, &ctx).flops)
+            .sum();
+        assert_eq!(
+            rt_flops, avg_flops,
+            "work is conserved under static mapping"
+        );
     }
 
     #[test]
@@ -359,7 +404,10 @@ mod tests {
         let idle = (0..bound.grid_blocks())
             .filter(|&b| bound.profile_block(b, &ctx).is_idle())
             .count();
-        assert!(idle > 0, "max mapping must leave idle blocks on small batches");
+        assert!(
+            idle > 0,
+            "max mapping must leave idle blocks on small batches"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl TaskMap {
                 entries.push((f as u32, rel));
             }
         }
-        TaskMap { entries, blocks_per_feature }
+        TaskMap {
+            entries,
+            blocks_per_feature,
+        }
     }
 
     /// Grid size of the fused kernel.
@@ -107,7 +110,10 @@ pub fn static_counts(
     let nf = schedules.len();
     let mut counts = vec![0u32; nf];
     for (f, sched) in schedules.iter().enumerate() {
-        let per_batch: Vec<u32> = history.iter().map(|ws| sched.required_blocks(&ws[f])).collect();
+        let per_batch: Vec<u32> = history
+            .iter()
+            .map(|ws| sched.required_blocks(&ws[f]))
+            .collect();
         counts[f] = match strategy {
             MappingStrategy::StaticAverage => {
                 let sum: u64 = per_batch.iter().map(|&c| c as u64).sum();
@@ -183,6 +189,9 @@ mod tests {
     #[test]
     fn map_deterministic() {
         let (schedules, ws) = setup();
-        assert_eq!(TaskMap::runtime(&schedules, &ws), TaskMap::runtime(&schedules, &ws));
+        assert_eq!(
+            TaskMap::runtime(&schedules, &ws),
+            TaskMap::runtime(&schedules, &ws)
+        );
     }
 }

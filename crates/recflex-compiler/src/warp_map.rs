@@ -30,15 +30,15 @@ impl WarpTaskMap {
     ///
     /// Returns `None` if any schedule cannot be warp-mapped (block-wide
     /// shared memory / synchronization).
-    pub fn runtime(
-        schedules: &[ScheduleInstance],
-        workloads: &[FeatureWorkload],
-    ) -> Option<Self> {
+    pub fn runtime(schedules: &[ScheduleInstance], workloads: &[FeatureWorkload]) -> Option<Self> {
         if !schedules.iter().all(|s| s.supports_warp_mapping()) {
             return None;
         }
-        let warps_per_feature: Vec<u32> =
-            schedules.iter().zip(workloads).map(|(s, w)| s.required_warps(w)).collect();
+        let warps_per_feature: Vec<u32> = schedules
+            .iter()
+            .zip(workloads)
+            .map(|(s, w)| s.required_warps(w))
+            .collect();
         let total: u32 = warps_per_feature.iter().sum();
         let mut entries = Vec::with_capacity(total as usize);
         for (f, &n) in warps_per_feature.iter().enumerate() {
@@ -46,7 +46,10 @@ impl WarpTaskMap {
                 entries.push((f as u32, rel));
             }
         }
-        Some(WarpTaskMap { entries, warps_per_feature })
+        Some(WarpTaskMap {
+            entries,
+            warps_per_feature,
+        })
     }
 
     /// Total warp tasks.
@@ -94,7 +97,11 @@ impl<'a> WarpMappedKernel<'a> {
     }
 
     /// Functional execution (identical semantics to block mapping).
-    pub fn execute(&self, model: &ModelConfig, tables: &TableSet) -> recflex_embedding::FusedOutput {
+    pub fn execute(
+        &self,
+        model: &ModelConfig,
+        tables: &TableSet,
+    ) -> recflex_embedding::FusedOutput {
         let mut out = recflex_embedding::FusedOutput::zeros(model, self.batch.batch_size);
         {
             let parts = out.split_features_mut();
@@ -179,7 +186,10 @@ mod tests {
         let total: u32 = k.map.warps_per_feature.iter().sum();
         assert_eq!(total, k.map.total_warps());
         for (f, s) in schedules.iter().enumerate() {
-            assert_eq!(k.map.warps_per_feature[f], s.required_warps(&k.workloads[f]));
+            assert_eq!(
+                k.map.warps_per_feature[f],
+                s.required_warps(&k.workloads[f])
+            );
         }
     }
 
@@ -258,7 +268,10 @@ mod tests {
             coverage: 1.0,
             row_skew: 0.0,
         };
-        let m = ModelConfig { name: "tiny".into(), features: vec![spec; 32] };
+        let m = ModelConfig {
+            name: "tiny".into(),
+            features: vec![spec; 32],
+        };
         let b = Batch::generate(&m, 4, 3);
         let schedules = warp_schedules(&m);
         let warp_kernel = WarpMappedKernel::bind(&schedules, &m, &b).unwrap();

@@ -46,14 +46,22 @@ impl<'a> EndToEndModel<'a> {
         model: &'a ModelConfig,
         tables: &'a TableSet,
     ) -> Self {
-        EndToEndModel { backend, model, tables, mlp: Mlp::paper_config(model.concat_dim()) }
+        EndToEndModel {
+            backend,
+            model,
+            tables,
+            mlp: Mlp::paper_config(model.concat_dim()),
+        }
     }
 
     /// Simulated end-to-end latency of one batch.
     pub fn latency(&self, batch: &Batch, arch: &GpuArch) -> Result<E2eTiming, BackendError> {
         let run = self.backend.run(self.model, self.tables, batch, arch)?;
         let dnn_us = self.mlp.latency_us(batch.batch_size, arch);
-        Ok(E2eTiming { embedding_us: run.latency_us, dnn_us })
+        Ok(E2eTiming {
+            embedding_us: run.latency_us,
+            dnn_us,
+        })
     }
 
     /// Functional prediction: pooled embeddings → concat → MLP → one score

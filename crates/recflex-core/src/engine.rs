@@ -86,7 +86,11 @@ impl Backend for RecFlexEngine {
         let bound = self.object.bind(model, tables, batch);
         let report = launch(&bound, arch, &self.object.launch_config())
             .map_err(|e| BackendError::Launch(e.to_string()))?;
-        Ok(BackendRun { output: bound.execute(), latency_us: report.latency_us, kernel_launches: 1 })
+        Ok(BackendRun {
+            output: bound.execute(),
+            latency_us: report.latency_us,
+            kernel_launches: 1,
+        })
     }
 }
 
@@ -158,7 +162,9 @@ mod tests {
         let tables = TableSet::for_model(&m);
         let batch = Batch::generate(&m, 64, 99);
 
-        let ours = Backend::run(&engine, &m, &tables, &batch, &arch).unwrap().latency_us;
+        let ours = Backend::run(&engine, &m, &tables, &batch, &arch)
+            .unwrap()
+            .latency_us;
         let torchrec = recflex_baselines::TorchRecBackend::compile(&m)
             .run(&m, &tables, &batch, &arch)
             .unwrap()

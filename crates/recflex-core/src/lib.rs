@@ -12,8 +12,8 @@
 //! HugeCTR and TorchRec. [`EndToEndModel`] appends the evaluation MLP for
 //! the end-to-end experiments.
 
-pub mod engine;
 pub mod end_to_end;
+pub mod engine;
 pub mod serving;
 pub mod sharding;
 

@@ -3,14 +3,17 @@
 //! The paper's evaluation context is inference serving (Section VI-D):
 //! "it is common for industrial serving systems to split batches exceeding
 //! a specific threshold", while systems like DeepRecSys dispatch unsplit
-//! long-tail requests. This module provides that serving layer over any
-//! embedding backend so the long-tail and thread-mapping experiments run
-//! in their natural habitat, and so a downstream user gets a ready-made
-//! request loop with latency statistics.
+//! long-tail requests. The full serving machinery — open-loop arrivals,
+//! dynamic batching, multi-stream execution, SLO shedding, drift-triggered
+//! retuning — lives in [`recflex_serve`]; this module keeps the original
+//! offline front-end as a thin compatibility wrapper: requests are served
+//! one at a time (closed loop, one stream), split at the configured cap,
+//! and summarized as [`ServingStats`].
 
 use recflex_baselines::{Backend, BackendError};
-use recflex_data::{Batch, FeatureBatch, ModelConfig};
+use recflex_data::{Batch, ModelConfig};
 use recflex_embedding::TableSet;
+use recflex_serve::{BatchPolicy, Request, ServeConfig, ServeError, ServeRuntime};
 use recflex_sim::GpuArch;
 
 /// Latency statistics over a served request stream.
@@ -55,70 +58,71 @@ pub struct ServingSimulator<'a> {
     pub arch: GpuArch,
     /// Requests above this many samples are split into chunks of at most
     /// this size (the industrial practice of Section VI-D). `None`
-    /// forwards requests unsplit, DeepRecSys-style.
+    /// forwards requests unsplit, DeepRecSys-style. A cap of 0 saturates
+    /// to 1 rather than failing.
     pub max_batch: Option<u32>,
 }
 
 impl ServingSimulator<'_> {
     /// Serve a request stream; each request is processed (split if
     /// configured) and its chunks run sequentially on the device.
+    ///
+    /// Implemented as the closed-loop, single-stream special case of
+    /// [`ServeRuntime`]: request latency is the sum of its chunk
+    /// latencies, exactly the original offline semantics.
     pub fn serve(&self, requests: &[Batch]) -> Result<ServingStats, BackendError> {
-        let mut latencies = Vec::with_capacity(requests.len());
-        let mut launches = 0u32;
-        for req in requests {
-            let chunks = match self.max_batch {
-                Some(cap) if req.batch_size > cap => split_batch(req, cap),
-                _ => vec![req.clone()],
-            };
-            let mut total = 0.0f64;
-            for chunk in &chunks {
-                let run = self.backend.run(self.model, self.tables, chunk, &self.arch)?;
-                total += run.latency_us;
-                launches += run.kernel_launches;
-            }
-            latencies.push(total);
-        }
-        Ok(ServingStats { request_latencies: latencies, kernel_launches: launches })
+        let stream: Vec<Request> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Request {
+                id: i as u64,
+                arrival_us: 0.0,
+                batch: b.clone(),
+            })
+            .collect();
+        let runtime = ServeRuntime {
+            backend: self.backend,
+            model: self.model,
+            tables: self.tables,
+            arch: &self.arch,
+            config: ServeConfig {
+                streams: 1,
+                policy: match self.max_batch {
+                    Some(cap) => BatchPolicy::Split { cap: cap.max(1) },
+                    None => BatchPolicy::Unsplit,
+                },
+                slo_deadline_us: None,
+                closed_loop: true,
+            },
+        };
+        let report = runtime.serve(&stream).map_err(|e| match e {
+            ServeError::Backend(b) => b,
+            // Policy errors are unreachable: the cap is saturated above.
+            ServeError::Policy(m) => BackendError::Launch(m.into()),
+        })?;
+        Ok(ServingStats {
+            request_latencies: report.records.iter().map(|r| r.latency_us()).collect(),
+            kernel_launches: report.kernel_launches as u32,
+        })
     }
 }
 
 /// Split a batch into chunks of at most `cap` samples, preserving sample
-/// order and CSR validity.
+/// order and CSR validity. A `cap` of 0 saturates to 1 instead of
+/// panicking (delegates to [`Batch::split`]).
 pub fn split_batch(batch: &Batch, cap: u32) -> Vec<Batch> {
-    assert!(cap >= 1);
-    let n = batch.batch_size;
-    let mut out = Vec::with_capacity(n.div_ceil(cap) as usize);
-    let mut start = 0u32;
-    while start < n {
-        let end = (start + cap).min(n);
-        let features = batch
-            .features
-            .iter()
-            .map(|fb| slice_csr(fb, start, end))
-            .collect();
-        out.push(Batch { batch_size: end - start, features });
-        start = end;
-    }
-    out
-}
-
-fn slice_csr(fb: &FeatureBatch, start: u32, end: u32) -> FeatureBatch {
-    let lo = fb.offsets[start as usize];
-    let hi = fb.offsets[end as usize];
-    let offsets = fb.offsets[start as usize..=end as usize]
-        .iter()
-        .map(|&o| o - lo)
-        .collect();
-    let indices = fb.indices[lo as usize..hi as usize].to_vec();
-    FeatureBatch { offsets, indices }
+    batch
+        .split(cap.max(1))
+        .expect("cap is saturated to at least 1")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::RecFlexEngine;
-    use recflex_data::{Dataset, ModelPreset};
+    use recflex_data::{shift_distribution, Dataset, ModelPreset};
     use recflex_embedding::reference_pooled;
+    use recflex_serve::{DriftConfig, RetunePolicy, WorkloadSpec};
     use recflex_tuner::TunerConfig;
 
     fn setup() -> (ModelConfig, TableSet, RecFlexEngine) {
@@ -157,6 +161,15 @@ mod tests {
     }
 
     #[test]
+    fn split_with_zero_cap_saturates_instead_of_panicking() {
+        let m = ModelPreset::A.scaled(0.01);
+        let batch = Batch::generate(&m, 4, 11);
+        let chunks = split_batch(&batch, 0);
+        assert_eq!(chunks.len(), 4, "cap 0 behaves like cap 1");
+        assert!(chunks.iter().all(|c| c.batch_size == 1));
+    }
+
+    #[test]
     fn serving_splits_long_requests() {
         let (m, t, e) = setup();
         let server = ServingSimulator {
@@ -188,6 +201,31 @@ mod tests {
     }
 
     #[test]
+    fn split_latency_is_the_sum_of_chunk_latencies() {
+        let (m, t, e) = setup();
+        let long = Batch::generate(&m, 512, 3);
+        let mut expect = 0.0;
+        for chunk in split_batch(&long, 128) {
+            expect += Backend::run(&e, &m, &t, &chunk, &GpuArch::v100())
+                .unwrap()
+                .latency_us;
+        }
+        let server = ServingSimulator {
+            backend: &e,
+            model: &m,
+            tables: &t,
+            arch: GpuArch::v100(),
+            max_batch: Some(128),
+        };
+        let stats = server.serve(std::slice::from_ref(&long)).unwrap();
+        assert!(
+            (stats.request_latencies[0] - expect).abs() < 1e-6,
+            "wrapper preserves offline semantics: {} vs {expect}",
+            stats.request_latencies[0]
+        );
+    }
+
+    #[test]
     fn percentiles_are_ordered() {
         let stats = ServingStats {
             request_latencies: vec![10.0, 50.0, 20.0, 90.0, 30.0],
@@ -196,6 +234,26 @@ mod tests {
         assert!(stats.percentile_us(0.5) <= stats.percentile_us(0.99));
         assert_eq!(stats.percentile_us(1.0), 90.0);
         assert!((stats.mean_us() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_at_zero_is_the_minimum() {
+        let stats = ServingStats {
+            request_latencies: vec![30.0, 10.0, 20.0],
+            kernel_launches: 3,
+        };
+        assert_eq!(stats.percentile_us(0.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        let stats = ServingStats {
+            request_latencies: vec![42.0],
+            kernel_launches: 1,
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(stats.percentile_us(q), 42.0);
+        }
     }
 
     #[test]
@@ -211,5 +269,76 @@ mod tests {
         let stats = server.serve(&[]).unwrap();
         assert_eq!(stats.mean_us(), 0.0);
         assert_eq!(stats.percentile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn replaying_a_seeded_stream_reproduces_stats_exactly() {
+        let (m, t, e) = setup();
+        let server = ServingSimulator {
+            backend: &e,
+            model: &m,
+            tables: &t,
+            arch: GpuArch::v100(),
+            max_batch: Some(128),
+        };
+        let mk = || -> Vec<Batch> {
+            (0..8)
+                .map(|i| Batch::generate(&m, 64 + i * 32, 100 + i as u64))
+                .collect()
+        };
+        let a = server.serve(&mk()).unwrap();
+        let b = server.serve(&mk()).unwrap();
+        assert_eq!(a, b, "same seeds, bit-identical stats");
+    }
+
+    #[test]
+    fn drifted_traffic_retunes_the_engine_and_keeps_serving() {
+        let (m, _t, e) = setup();
+        let arch = GpuArch::v100();
+        let tables = TableSet::for_model(&m);
+        // Live traffic from a much heavier distribution than the engine
+        // was tuned on.
+        let shifted = shift_distribution(&m, 2.5, 0.0);
+        let reqs = WorkloadSpec::long_tail(500.0).stream(&shifted, 24, 17);
+
+        let mut policy = RetunePolicy {
+            drift: DriftConfig {
+                window: 8,
+                threshold: 0.3,
+            },
+            retune_latency_us: 5_000.0,
+            retuner: Box::new(|recent: &[Batch]| {
+                // A real background retune: tune a fresh engine on the
+                // drift window, exactly what the paper's offline tuner
+                // would do on the new distribution.
+                let ds = Dataset::from_batches(recent.to_vec());
+                let engine =
+                    RecFlexEngine::tune(&shifted, &ds, &GpuArch::v100(), &TunerConfig::fast());
+                Box::new(engine) as Box<dyn Backend>
+            }),
+        };
+        // The runtime's model is the one the engine was tuned on — the
+        // drift monitor's reference — while the traffic itself comes
+        // from the shifted distribution.
+        let runtime = ServeRuntime {
+            backend: &e,
+            model: &m,
+            tables: &tables,
+            arch: &arch,
+            config: ServeConfig {
+                streams: 2,
+                policy: BatchPolicy::Split { cap: 256 },
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        };
+        let report = runtime.serve_with_retune(&reqs, &mut policy).unwrap();
+        assert!(report.retunes >= 1, "drift must trigger a hot swap");
+        assert_eq!(
+            report.records.len(),
+            24,
+            "serving continues across the swap"
+        );
+        assert_eq!(report.shed_rate(), 0.0);
     }
 }

@@ -34,9 +34,7 @@ impl Placement {
         assert!(num_devices >= 1);
         let mut order: Vec<usize> = (0..model.features.len()).collect();
         let weight = |f: &FeatureSpec| f.expected_lookups_per_sample() * f.row_bytes() as f64;
-        order.sort_by(|&a, &b| {
-            weight(&model.features[b]).total_cmp(&weight(&model.features[a]))
-        });
+        order.sort_by(|&a, &b| weight(&model.features[b]).total_cmp(&weight(&model.features[a])));
         let mut load = vec![0.0f64; num_devices];
         let mut device_of = vec![0usize; model.features.len()];
         for f in order {
@@ -49,7 +47,10 @@ impl Placement {
             device_of[f] = dev;
             load[dev] += weight(&model.features[f]).max(1.0);
         }
-        Placement { device_of, num_devices }
+        Placement {
+            device_of,
+            num_devices,
+        }
     }
 
     /// Feature indices on one device, in model order.
@@ -117,7 +118,11 @@ impl ShardedEngine {
                 RecFlexEngine::tune(&sub_model, &sub_data, arch, cfg)
             })
             .collect();
-        ShardedEngine { placement, shards, model: model.clone() }
+        ShardedEngine {
+            placement,
+            shards,
+            model: model.clone(),
+        }
     }
 
     /// Serve one batch: every shard launches concurrently; shard outputs
@@ -133,7 +138,9 @@ impl ShardedEngine {
                     batch_size: batch.batch_size,
                     features: feats.iter().map(|&f| batch.features[f].clone()).collect(),
                 };
-                engine.run(&sub_batch).map(|(out, report)| (out, report.latency_us))
+                engine
+                    .run(&sub_batch)
+                    .map(|(out, report)| (out, report.latency_us))
             })
             .collect::<Result<_, _>>()?;
 
@@ -195,7 +202,11 @@ mod tests {
             .iter()
             .map(|f| f.expected_lookups_per_sample() * f.row_bytes() as f64)
             .collect();
-        assert!(p.imbalance(&weights) < 1.3, "LPT imbalance {}", p.imbalance(&weights));
+        assert!(
+            p.imbalance(&weights) < 1.3,
+            "LPT imbalance {}",
+            p.imbalance(&weights)
+        );
         // A single device is trivially balanced.
         assert_eq!(Placement::balance(&m, 1).imbalance(&weights), 1.0);
     }
@@ -223,7 +234,11 @@ mod tests {
             };
             let golden = reference_model_output(sub_model, &tables, &sub_batch);
             for (local, &global) in feats.iter().enumerate() {
-                assert_eq!(out.feature(global), golden.feature(local), "feature {global}");
+                assert_eq!(
+                    out.feature(global),
+                    golden.feature(local),
+                    "feature {global}"
+                );
             }
         }
     }

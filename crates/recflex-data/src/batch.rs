@@ -23,7 +23,10 @@ pub struct FeatureBatch {
 impl FeatureBatch {
     /// An empty CSR for `batch_size` samples (feature absent everywhere).
     pub fn empty(batch_size: u32) -> Self {
-        FeatureBatch { offsets: vec![0; batch_size as usize + 1], indices: Vec::new() }
+        FeatureBatch {
+            offsets: vec![0; batch_size as usize + 1],
+            indices: Vec::new(),
+        }
     }
 
     /// Number of samples.
@@ -50,7 +53,10 @@ impl FeatureBatch {
 
     /// Maximum pooling factor in the batch.
     pub fn max_pooling_factor(&self) -> u32 {
-        (0..self.batch_size()).map(|s| self.pooling_factor(s)).max().unwrap_or(0)
+        (0..self.batch_size())
+            .map(|s| self.pooling_factor(s))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Count of distinct rows touched (sort-based, exact).
@@ -85,6 +91,18 @@ impl FeatureBatch {
         Ok(())
     }
 
+    /// The sub-CSR of samples `start..end`, offsets rebased to 0.
+    pub fn slice(&self, start: u32, end: u32) -> FeatureBatch {
+        let lo = self.offsets[start as usize];
+        let hi = self.offsets[end as usize];
+        let offsets = self.offsets[start as usize..=end as usize]
+            .iter()
+            .map(|&o| o - lo)
+            .collect();
+        let indices = self.indices[lo as usize..hi as usize].to_vec();
+        FeatureBatch { offsets, indices }
+    }
+
     /// Generate a CSR for `spec` with `batch_size` samples from `seed`.
     pub fn generate(spec: &FeatureSpec, batch_size: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -106,6 +124,23 @@ impl FeatureBatch {
         FeatureBatch { offsets, indices }
     }
 }
+
+/// Why a [`Batch::split`] request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitError {
+    /// A chunk capacity of zero can never make progress.
+    ZeroCap,
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::ZeroCap => write!(f, "split capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
 
 /// One inference request: a CSR per feature, all with the same batch size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,12 +167,91 @@ impl Batch {
                 FeatureBatch::generate(spec, batch_size, fseed)
             })
             .collect();
-        Batch { batch_size, features }
+        Batch {
+            batch_size,
+            features,
+        }
     }
 
     /// Total lookups across all features.
     pub fn total_lookups(&self) -> u64 {
         self.features.iter().map(|f| f.total_lookups() as u64).sum()
+    }
+
+    /// Split into chunks of at most `cap` samples, preserving sample order
+    /// and CSR validity — the industrial batch-splitting practice of the
+    /// paper's Section VI-D. The exact inverse is [`Batch::merge`]. An
+    /// empty batch yields no chunks.
+    ///
+    /// Returns [`SplitError::ZeroCap`] instead of panicking on `cap == 0`,
+    /// so a mis-configured server rejects the configuration rather than
+    /// crashing its request loop.
+    pub fn split(&self, cap: u32) -> Result<Vec<Batch>, SplitError> {
+        if cap == 0 {
+            return Err(SplitError::ZeroCap);
+        }
+        let n = self.batch_size;
+        let mut out = Vec::with_capacity(n.div_ceil(cap) as usize);
+        let mut start = 0u32;
+        while start < n {
+            let end = (start + cap).min(n);
+            let features = self
+                .features
+                .iter()
+                .map(|fb| fb.slice(start, end))
+                .collect();
+            out.push(Batch {
+                batch_size: end - start,
+                features,
+            });
+            start = end;
+        }
+        Ok(out)
+    }
+
+    /// Concatenate chunks back into one batch — the exact inverse of
+    /// [`Batch::split`]: `Batch::merge(&b.split(cap)?) == b` for any `b`
+    /// and `cap ≥ 1`, with CSR offsets and indices preserved exactly.
+    /// This is what a dynamic batcher uses to coalesce small co-queued
+    /// requests into one fused launch.
+    ///
+    /// Merging zero parts yields the empty zero-feature batch.
+    ///
+    /// # Panics
+    /// If the parts disagree on feature count (they come from different
+    /// models — never a recoverable condition for a batcher).
+    pub fn merge(parts: &[Batch]) -> Batch {
+        let Some(first) = parts.first() else {
+            return Batch {
+                batch_size: 0,
+                features: Vec::new(),
+            };
+        };
+        let n_features = first.features.len();
+        assert!(
+            parts.iter().all(|p| p.features.len() == n_features),
+            "Batch::merge: feature-count mismatch across parts"
+        );
+        let batch_size = parts.iter().map(|p| p.batch_size).sum();
+        let features = (0..n_features)
+            .map(|f| {
+                let mut offsets = Vec::with_capacity(batch_size as usize + 1);
+                let mut indices = Vec::new();
+                offsets.push(0u32);
+                for part in parts {
+                    let fb = &part.features[f];
+                    let base = indices.len() as u32;
+                    // Skip each part's leading 0; rebase the rest.
+                    offsets.extend(fb.offsets[1..].iter().map(|&o| base + o));
+                    indices.extend_from_slice(&fb.indices);
+                }
+                FeatureBatch { offsets, indices }
+            })
+            .collect();
+        Batch {
+            batch_size,
+            features,
+        }
     }
 
     /// Validate every feature CSR against the model.
@@ -149,7 +263,8 @@ impl Batch {
             if fb.batch_size() != self.batch_size {
                 return Err(format!("feature {i} batch size mismatch"));
             }
-            fb.validate(spec.table_rows).map_err(|e| format!("feature {i}: {e}"))?;
+            fb.validate(spec.table_rows)
+                .map_err(|e| format!("feature {i}: {e}"))?;
         }
         Ok(())
     }
@@ -173,7 +288,14 @@ mod tests {
 
     #[test]
     fn csr_invariants_hold() {
-        let s = spec(PoolingDist::Normal { mean: 20.0, std: 5.0, max: 100 }, 0.7);
+        let s = spec(
+            PoolingDist::Normal {
+                mean: 20.0,
+                std: 5.0,
+                max: 100,
+            },
+            0.7,
+        );
         let fb = FeatureBatch::generate(&s, 256, 99);
         fb.validate(1000).unwrap();
         assert_eq!(fb.batch_size(), 256);
@@ -212,7 +334,13 @@ mod tests {
             features: vec![
                 spec(PoolingDist::OneHot, 1.0),
                 spec(PoolingDist::Fixed(7), 0.5),
-                spec(PoolingDist::PowerLaw { alpha: 1.2, max: 200 }, 0.9),
+                spec(
+                    PoolingDist::PowerLaw {
+                        alpha: 1.2,
+                        max: 200,
+                    },
+                    0.9,
+                ),
             ],
         };
         let a = Batch::generate(&model, 64, 42);
@@ -243,5 +371,139 @@ mod tests {
             total += fb.sample_indices(i).len();
         }
         assert_eq!(total as u32, fb.total_lookups());
+    }
+
+    #[test]
+    fn split_zero_cap_is_an_error_not_a_panic() {
+        let s = spec(PoolingDist::Fixed(3), 1.0);
+        let model = ModelConfig {
+            name: "m".into(),
+            features: vec![s],
+        };
+        let b = Batch::generate(&model, 16, 1);
+        assert_eq!(b.split(0), Err(SplitError::ZeroCap));
+        assert_eq!(b.split(1).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged = Batch::merge(&[]);
+        assert_eq!(merged.batch_size, 0);
+        assert!(merged.features.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_distinct_batches() {
+        // Merging *different* requests (the dynamic-batcher case), not just
+        // re-joining a split: per-sample semantics must be preserved.
+        let model = ModelConfig {
+            name: "m".into(),
+            features: vec![
+                spec(PoolingDist::OneHot, 1.0),
+                spec(
+                    PoolingDist::PowerLaw {
+                        alpha: 1.3,
+                        max: 60,
+                    },
+                    0.8,
+                ),
+            ],
+        };
+        let a = Batch::generate(&model, 13, 5);
+        let b = Batch::generate(&model, 29, 6);
+        let merged = Batch::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.batch_size, 42);
+        merged.validate(&model).unwrap();
+        for f in 0..2 {
+            for s in 0..13 {
+                assert_eq!(
+                    merged.features[f].sample_indices(s),
+                    a.features[f].sample_indices(s)
+                );
+            }
+            for s in 0..29 {
+                assert_eq!(
+                    merged.features[f].sample_indices(13 + s),
+                    b.features[f].sample_indices(s)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod split_merge_props {
+    use super::*;
+    use crate::distribution::PoolingDist;
+    use proptest::prelude::*;
+
+    /// A small model whose feature mix varies with the seed, so the
+    /// property sweep covers one-hot, fixed, normal and power-law CSR
+    /// shapes as well as partial coverage (empty lookup segments).
+    fn arb_model(seed: u64) -> ModelConfig {
+        let pools = [
+            PoolingDist::OneHot,
+            PoolingDist::Fixed(1 + (seed % 7) as u32),
+            PoolingDist::Normal {
+                mean: 8.0,
+                std: 4.0,
+                max: 40,
+            },
+            PoolingDist::PowerLaw {
+                alpha: 1.4,
+                max: 50,
+            },
+        ];
+        let features = (0..1 + (seed % 3) as usize)
+            .map(|i| FeatureSpec {
+                name: format!("f{i}"),
+                table_rows: 500,
+                emb_dim: 8,
+                pooling: pools[(seed as usize + i) % pools.len()],
+                coverage: if (seed + i as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.6
+                },
+                row_skew: 0.0,
+            })
+            .collect();
+        ModelConfig {
+            name: "prop".into(),
+            features,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_the_exact_inverse_of_split(
+            seed in 0u64..10_000,
+            batch_size in 1u32..200,
+            cap in 1u32..300,
+        ) {
+            let model = arb_model(seed);
+            let batch = Batch::generate(&model, batch_size, seed);
+            let chunks = batch.split(cap).unwrap();
+            prop_assert!(chunks.iter().all(|c| c.batch_size <= cap));
+            prop_assert_eq!(
+                chunks.iter().map(|c| c.batch_size).sum::<u32>(),
+                batch_size
+            );
+            // Offsets and indices must round-trip bit-exactly.
+            prop_assert_eq!(Batch::merge(&chunks), batch);
+        }
+
+        #[test]
+        fn split_chunks_are_valid_csr(
+            seed in 0u64..1_000,
+            batch_size in 1u32..120,
+            cap in 1u32..50,
+        ) {
+            let model = arb_model(seed);
+            let batch = Batch::generate(&model, batch_size, seed);
+            for chunk in batch.split(cap).unwrap() {
+                prop_assert!(chunk.validate(&model).is_ok());
+            }
+        }
     }
 }

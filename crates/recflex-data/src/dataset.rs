@@ -62,7 +62,12 @@ impl Dataset {
     /// randomness (the paper tunes on historical data, then measures on
     /// newly sampled batches).
     pub fn evaluation_split(&self, model: &ModelConfig, n_batches: usize, batch_size: u32) -> Self {
-        Dataset::synthesize(model, n_batches, batch_size, self.seed ^ 0xDEAD_BEEF_CAFE_F00D)
+        Dataset::synthesize(
+            model,
+            n_batches,
+            batch_size,
+            self.seed ^ 0xDEAD_BEEF_CAFE_F00D,
+        )
     }
 }
 

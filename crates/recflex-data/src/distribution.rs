@@ -157,20 +157,35 @@ mod tests {
     #[test]
     fn normal_concentrates_near_mean() {
         let mut r = rng();
-        let d = PoolingDist::Normal { mean: 50.0, std: 10.0, max: 500 };
+        let d = PoolingDist::Normal {
+            mean: 50.0,
+            std: 10.0,
+            max: 500,
+        };
         let n = 20_000;
         let samples: Vec<u32> = (0..n).map(|_| d.sample(&mut r)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
         assert!((mean - 50.0).abs() < 1.0, "empirical mean {mean}");
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!((var.sqrt() - 10.0).abs() < 1.0, "empirical std {}", var.sqrt());
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (var.sqrt() - 10.0).abs() < 1.0,
+            "empirical std {}",
+            var.sqrt()
+        );
         assert!(samples.iter().all(|&x| (1..=500).contains(&x)));
     }
 
     #[test]
     fn power_law_is_heavy_tailed() {
         let mut r = rng();
-        let d = PoolingDist::PowerLaw { alpha: 1.5, max: 1000 };
+        let d = PoolingDist::PowerLaw {
+            alpha: 1.5,
+            max: 1000,
+        };
         let n = 50_000;
         let samples: Vec<u32> = (0..n).map(|_| d.sample(&mut r)).collect();
         let ones = samples.iter().filter(|&&x| x <= 2).count();
@@ -192,8 +207,15 @@ mod tests {
     fn samples_never_below_one() {
         let mut r = rng();
         for d in [
-            PoolingDist::Normal { mean: 1.0, std: 30.0, max: 100 },
-            PoolingDist::PowerLaw { alpha: 3.0, max: 10 },
+            PoolingDist::Normal {
+                mean: 1.0,
+                std: 30.0,
+                max: 100,
+            },
+            PoolingDist::PowerLaw {
+                alpha: 3.0,
+                max: 10,
+            },
             PoolingDist::Fixed(0),
             PoolingDist::Uniform { lo: 0, hi: 0 },
         ] {
@@ -205,9 +227,19 @@ mod tests {
 
     #[test]
     fn deterministic_under_same_seed() {
-        let d = PoolingDist::Normal { mean: 80.0, std: 25.0, max: 400 };
-        let a: Vec<u32> = { let mut r = rng(); (0..64).map(|_| d.sample(&mut r)).collect() };
-        let b: Vec<u32> = { let mut r = rng(); (0..64).map(|_| d.sample(&mut r)).collect() };
+        let d = PoolingDist::Normal {
+            mean: 80.0,
+            std: 25.0,
+            max: 400,
+        };
+        let a: Vec<u32> = {
+            let mut r = rng();
+            (0..64).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rng();
+            (0..64).map(|_| d.sample(&mut r)).collect()
+        };
         assert_eq!(a, b);
     }
 }
@@ -224,9 +256,17 @@ mod edge_tests {
         // alpha = 1 and alpha = 2; the formula must be continuous there.
         for max in [50u32, 500] {
             for center in [1.0f64, 2.0] {
-                let below = PoolingDist::PowerLaw { alpha: center - 1e-6, max }.mean();
+                let below = PoolingDist::PowerLaw {
+                    alpha: center - 1e-6,
+                    max,
+                }
+                .mean();
                 let at = PoolingDist::PowerLaw { alpha: center, max }.mean();
-                let above = PoolingDist::PowerLaw { alpha: center + 1e-6, max }.mean();
+                let above = PoolingDist::PowerLaw {
+                    alpha: center + 1e-6,
+                    max,
+                }
+                .mean();
                 assert!(below.is_finite() && at.is_finite() && above.is_finite());
                 assert!(
                     (below - above).abs() / at < 0.01,
@@ -242,18 +282,24 @@ mod edge_tests {
         for alpha in [1.2f64, 1.8, 2.4] {
             let d = PoolingDist::PowerLaw { alpha, max: 300 };
             let n = 60_000;
-            let emp: f64 =
-                (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let emp: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
             let model = d.mean();
             let rel = (emp - model).abs() / model;
-            assert!(rel < 0.15, "alpha {alpha}: empirical {emp} vs formula {model}");
+            assert!(
+                rel < 0.15,
+                "alpha {alpha}: empirical {emp} vs formula {model}"
+            );
         }
     }
 
     #[test]
     fn normal_with_tiny_max_clamps() {
         let mut rng = StdRng::seed_from_u64(5);
-        let d = PoolingDist::Normal { mean: 100.0, std: 50.0, max: 3 };
+        let d = PoolingDist::Normal {
+            mean: 100.0,
+            std: 50.0,
+            max: 3,
+        };
         for _ in 0..200 {
             let v = d.sample(&mut rng);
             assert!((1..=3).contains(&v));
@@ -267,6 +313,9 @@ mod edge_tests {
         let d = PoolingDist::Uniform { lo: 5, hi: 5 };
         assert!((0..50).all(|_| d.sample(&mut rng) == 5));
         let swapped = PoolingDist::Uniform { lo: 9, hi: 2 };
-        assert!((0..50).all(|_| swapped.sample(&mut rng) == 9), "hi < lo clamps to lo");
+        assert!(
+            (0..50).all(|_| swapped.sample(&mut rng) == 9),
+            "hi < lo clamps to lo"
+        );
     }
 }

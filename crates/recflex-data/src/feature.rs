@@ -62,7 +62,10 @@ impl ModelConfig {
 
     /// Count of one-hot features (Table I's "# One-hot").
     pub fn num_one_hot(&self) -> usize {
-        self.features.iter().filter(|f| f.pooling.is_one_hot()).count()
+        self.features
+            .iter()
+            .filter(|f| f.pooling.is_one_hot())
+            .count()
     }
 
     /// Count of multi-hot features (Table I's "# Multi-hot").
@@ -104,7 +107,10 @@ mod tests {
     fn concat_dim_sums() {
         let m = ModelConfig {
             name: "t".into(),
-            features: vec![feat(4, PoolingDist::OneHot), feat(32, PoolingDist::Fixed(10))],
+            features: vec![
+                feat(4, PoolingDist::OneHot),
+                feat(32, PoolingDist::Fixed(10)),
+            ],
         };
         assert_eq!(m.concat_dim(), 36);
         assert_eq!(m.num_one_hot(), 1);

@@ -73,7 +73,10 @@ pub fn load_dataset(path: &Path) -> Result<(ModelConfig, Dataset), IoError> {
     let file: DatasetFile =
         serde_json::from_str(&json).map_err(|e| IoError::Format(e.to_string()))?;
     if file.version != FORMAT_VERSION {
-        return Err(IoError::Format(format!("unsupported version {}", file.version)));
+        return Err(IoError::Format(format!(
+            "unsupported version {}",
+            file.version
+        )));
     }
     for (i, b) in file.batches.iter().enumerate() {
         b.validate(&file.model)
@@ -84,8 +87,7 @@ pub fn load_dataset(path: &Path) -> Result<(ModelConfig, Dataset), IoError> {
 
 /// Save just a model configuration (the hand-editable experiment input).
 pub fn save_model(path: &Path, model: &ModelConfig) -> Result<(), IoError> {
-    let json =
-        serde_json::to_string_pretty(model).map_err(|e| IoError::Format(e.to_string()))?;
+    let json = serde_json::to_string_pretty(model).map_err(|e| IoError::Format(e.to_string()))?;
     fs::write(path, json)?;
     Ok(())
 }
@@ -161,7 +163,11 @@ mod tests {
     #[test]
     fn load_rejects_wrong_version() {
         let m = ModelPreset::A.scaled(0.005);
-        let file = DatasetFile { version: 99, model: m, batches: vec![] };
+        let file = DatasetFile {
+            version: 99,
+            model: m,
+            batches: vec![],
+        };
         let path = tmp("version.json");
         fs::write(&path, serde_json::to_string(&file).unwrap()).unwrap();
         assert!(matches!(load_dataset(&path), Err(IoError::Format(_))));

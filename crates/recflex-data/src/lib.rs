@@ -29,7 +29,7 @@ pub mod io;
 pub mod models;
 pub mod shift;
 
-pub use batch::{Batch, FeatureBatch};
+pub use batch::{Batch, FeatureBatch, SplitError};
 pub use dataset::Dataset;
 pub use distribution::PoolingDist;
 pub use feature::{FeatureSpec, ModelConfig};

@@ -41,8 +41,13 @@ pub enum ModelPreset {
 
 impl ModelPreset {
     /// All Table I models, in paper order.
-    pub const TABLE1: [ModelPreset; 5] =
-        [ModelPreset::A, ModelPreset::B, ModelPreset::C, ModelPreset::D, ModelPreset::E];
+    pub const TABLE1: [ModelPreset; 5] = [
+        ModelPreset::A,
+        ModelPreset::B,
+        ModelPreset::C,
+        ModelPreset::D,
+        ModelPreset::E,
+    ];
 
     /// Preset name as printed in tables.
     pub fn name(&self) -> &'static str {
@@ -93,13 +98,18 @@ impl ModelPreset {
         for i in 0..n_multi {
             features.push(self.multi_hot_feature(n_one + i, dims, &mut rng));
         }
-        ModelConfig { name: self.name().to_string(), features }
+        ModelConfig {
+            name: self.name().to_string(),
+            features,
+        }
     }
 
     fn one_hot_feature(idx: usize, dims: &[u32], rng: &mut StdRng) -> FeatureSpec {
         // One-hot fields are ID-like: large tables, skewed popularity.
         let emb_dim = dims[rng.gen_range(0..dims.len())];
-        let table_rows = *[20_000u32, 100_000, 500_000][..].get(rng.gen_range(0..3)).unwrap();
+        let table_rows = *[20_000u32, 100_000, 500_000][..]
+            .get(rng.gen_range(0..3usize))
+            .unwrap();
         FeatureSpec {
             name: format!("f{idx:05}"),
             table_rows,
@@ -129,18 +139,34 @@ impl ModelPreset {
             0 => PoolingDist::Fixed(rng.gen_range(5..=80)),
             1 => {
                 let mean = rng.gen_range(10.0..200.0);
-                PoolingDist::Normal { mean, std: mean / 4.0, max: (mean * 4.0) as u32 }
+                PoolingDist::Normal {
+                    mean,
+                    std: mean / 4.0,
+                    max: (mean * 4.0) as u32,
+                }
             }
-            2 => PoolingDist::PowerLaw { alpha: rng.gen_range(1.1..2.0), max: rng.gen_range(100..800) },
-            _ => PoolingDist::Uniform { lo: 1, hi: rng.gen_range(20..150) },
+            2 => PoolingDist::PowerLaw {
+                alpha: rng.gen_range(1.1..2.0),
+                max: rng.gen_range(100..800),
+            },
+            _ => PoolingDist::Uniform {
+                lo: 1,
+                hi: rng.gen_range(20..150),
+            },
         };
-        let table_rows = *[2_000u32, 20_000, 100_000][..].get(rng.gen_range(0..3)).unwrap();
+        let table_rows = *[2_000u32, 20_000, 100_000][..]
+            .get(rng.gen_range(0..3usize))
+            .unwrap();
         FeatureSpec {
             name: format!("f{idx:05}"),
             table_rows,
             emb_dim,
             pooling,
-            coverage: if rng.gen_bool(0.5) { 1.0 } else { rng.gen_range(0.3..1.0) },
+            coverage: if rng.gen_bool(0.5) {
+                1.0
+            } else {
+                rng.gen_range(0.3..1.0)
+            },
             row_skew: rng.gen_range(0.0..1.5),
         }
     }
@@ -160,7 +186,10 @@ mod tests {
         assert_eq!((lo, hi), (4, 128));
 
         let b = ModelPreset::B.build();
-        assert_eq!((b.num_features(), b.num_one_hot(), b.num_multi_hot()), (1200, 1000, 200));
+        assert_eq!(
+            (b.num_features(), b.num_one_hot(), b.num_multi_hot()),
+            (1200, 1000, 200)
+        );
 
         let c = ModelPreset::C.build();
         assert_eq!((c.num_features(), c.num_one_hot()), (800, 0));
@@ -206,7 +235,10 @@ mod tests {
     fn heterogeneity_present_in_a_absent_in_mlperf() {
         let a = ModelPreset::A.scaled(0.1);
         let dims: std::collections::BTreeSet<u32> = a.features.iter().map(|f| f.emb_dim).collect();
-        assert!(dims.len() >= 4, "model A must be heterogeneous, dims {dims:?}");
+        assert!(
+            dims.len() >= 4,
+            "model A must be heterogeneous, dims {dims:?}"
+        );
         let m = ModelPreset::MLPerfLike.build();
         let mdims: std::collections::BTreeSet<u32> = m.features.iter().map(|f| f.emb_dim).collect();
         assert_eq!(mdims.len(), 1);

@@ -26,7 +26,10 @@ pub fn shift_distribution(model: &ModelConfig, pf_scale: f64, coverage_shift: f6
             f
         })
         .collect();
-    ModelConfig { name: format!("{}-shifted", model.name), features }
+    ModelConfig {
+        name: format!("{}-shifted", model.name),
+        features,
+    }
 }
 
 fn scale_pooling(p: &PoolingDist, s: f64) -> PoolingDist {
@@ -39,12 +42,14 @@ fn scale_pooling(p: &PoolingDist, s: f64) -> PoolingDist {
             std: (std * s).max(0.5),
             max: scale_u(max),
         },
-        PoolingDist::PowerLaw { alpha, max } => {
-            PoolingDist::PowerLaw { alpha, max: scale_u(max) }
-        }
-        PoolingDist::Uniform { lo, hi } => {
-            PoolingDist::Uniform { lo: scale_u(lo), hi: scale_u(hi) }
-        }
+        PoolingDist::PowerLaw { alpha, max } => PoolingDist::PowerLaw {
+            alpha,
+            max: scale_u(max),
+        },
+        PoolingDist::Uniform { lo, hi } => PoolingDist::Uniform {
+            lo: scale_u(lo),
+            hi: scale_u(hi),
+        },
     }
 }
 
@@ -79,7 +84,10 @@ mod tests {
         let m = ModelPreset::A.scaled(0.02);
         for shift in [-1.0, -0.3, 0.3, 1.0] {
             let s = shift_distribution(&m, 1.0, shift);
-            assert!(s.features.iter().all(|f| (0.05..=1.0).contains(&f.coverage)));
+            assert!(s
+                .features
+                .iter()
+                .all(|f| (0.05..=1.0).contains(&f.coverage)));
         }
     }
 

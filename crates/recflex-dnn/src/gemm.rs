@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn grid_covers_output() {
-        let g = GemmKernel { m: 512, k: 1024, n: 256 };
+        let g = GemmKernel {
+            m: 512,
+            k: 1024,
+            n: 256,
+        };
         assert_eq!(g.grid_blocks(), 4 * 2);
         let g2 = GemmKernel { m: 1, k: 8, n: 1 };
         assert_eq!(g2.grid_blocks(), 1);
@@ -103,9 +107,15 @@ mod tests {
 
     #[test]
     fn flops_conserved_across_blocks() {
-        let g = GemmKernel { m: 200, k: 300, n: 100 };
+        let g = GemmKernel {
+            m: 200,
+            k: 300,
+            n: 100,
+        };
         let ctx = ProfileCtx::default();
-        let total: u64 = (0..g.grid_blocks()).map(|b| g.profile_block(b, &ctx).flops).sum();
+        let total: u64 = (0..g.grid_blocks())
+            .map(|b| g.profile_block(b, &ctx).flops)
+            .sum();
         // Column tiles round up to the tile width, so ≥ the exact 2·m·k·n.
         let exact = 2 * 200u64 * 300 * 100;
         assert!(total >= exact, "{total} < {exact}");
@@ -116,16 +126,42 @@ mod tests {
     fn bigger_gemm_takes_longer() {
         let arch = GpuArch::v100();
         let cfg = LaunchConfig::default();
-        let small = launch(&GemmKernel { m: 128, k: 256, n: 128 }, &arch, &cfg).unwrap();
-        let big = launch(&GemmKernel { m: 512, k: 4096, n: 1024 }, &arch, &cfg).unwrap();
+        let small = launch(
+            &GemmKernel {
+                m: 128,
+                k: 256,
+                n: 128,
+            },
+            &arch,
+            &cfg,
+        )
+        .unwrap();
+        let big = launch(
+            &GemmKernel {
+                m: 512,
+                k: 4096,
+                n: 1024,
+            },
+            &arch,
+            &cfg,
+        )
+        .unwrap();
         assert!(big.latency_us > small.latency_us);
     }
 
     #[test]
     fn gemm_metrics_sane() {
         let arch = GpuArch::v100();
-        let r = launch(&GemmKernel { m: 512, k: 4096, n: 1024 }, &arch, &LaunchConfig::default())
-            .unwrap();
+        let r = launch(
+            &GemmKernel {
+                m: 512,
+                k: 4096,
+                n: 1024,
+            },
+            &arch,
+            &LaunchConfig::default(),
+        )
+        .unwrap();
         assert!(r.metrics.max_bandwidth_pct <= 100.0);
         assert!(r.metrics.flops > 0);
         // 128×128 tiling keeps the kernel around the roofline ridge, far

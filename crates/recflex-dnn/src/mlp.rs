@@ -20,7 +20,12 @@ pub struct Linear {
 impl Linear {
     /// Create a layer with weights derived from `seed`.
     pub fn new(in_dim: u32, out_dim: u32, relu: bool, seed: u64) -> Self {
-        Linear { in_dim, out_dim, relu, seed }
+        Linear {
+            in_dim,
+            out_dim,
+            relu,
+            seed,
+        }
     }
 
     /// Deterministic weight `(i, j)` in `(-s, s)` with `s = 1/√in_dim`.
@@ -59,7 +64,11 @@ impl Linear {
 
     /// Simulated latency of this layer for `batch` samples.
     pub fn latency_us(&self, batch: u32, arch: &GpuArch) -> f64 {
-        let g = GemmKernel { m: batch, k: self.in_dim, n: self.out_dim };
+        let g = GemmKernel {
+            m: batch,
+            k: self.in_dim,
+            n: self.out_dim,
+        };
         launch(&g, arch, &LaunchConfig::default())
             .map(|r: LaunchReport| r.latency_us)
             .unwrap_or(arch.kernel_launch_us)
@@ -113,7 +122,12 @@ impl Mlp {
     pub fn latency_us(&self, batch: u32, arch: &GpuArch) -> f64 {
         let concat_bytes = 2.0 * batch as f64 * self.layers[0].in_dim as f64 * 4.0;
         let concat_us = concat_bytes / (arch.dram_bw_gbps * 1e3) + arch.kernel_launch_us;
-        concat_us + self.layers.iter().map(|l| l.latency_us(batch, arch)).sum::<f64>()
+        concat_us
+            + self
+                .layers
+                .iter()
+                .map(|l| l.latency_us(batch, arch))
+                .sum::<f64>()
     }
 
     /// Input width.
@@ -142,7 +156,10 @@ mod tests {
         assert!(y.iter().all(|&v| v >= 0.0));
         let l2 = Linear::new(16, 8, false, 7);
         let y2 = l2.forward(&x, 1);
-        assert!(y2.iter().any(|&v| v < 0.0), "linear head must pass negatives");
+        assert!(
+            y2.iter().any(|&v| v < 0.0),
+            "linear head must pass negatives"
+        );
     }
 
     #[test]

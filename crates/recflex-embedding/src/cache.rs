@@ -69,7 +69,11 @@ impl CachePlan {
         for rows in &mut hot_rows {
             rows.sort_unstable();
         }
-        CachePlan { hot_rows, resident_bytes: resident, capacity_bytes }
+        CachePlan {
+            hot_rows,
+            resident_bytes: resident,
+            capacity_bytes,
+        }
     }
 
     /// Fraction of a live feature batch's lookups that *miss* the device
@@ -95,7 +99,11 @@ impl CachePlan {
         for (f, fb) in batch.features.iter().enumerate() {
             total += fb.total_lookups() as u64;
             let hot = &self.hot_rows[f];
-            hits += fb.indices.iter().filter(|&&r| hot.binary_search(&r).is_ok()).count() as u64;
+            hits += fb
+                .indices
+                .iter()
+                .filter(|&&r| hot.binary_search(&r).is_ok())
+                .count() as u64;
         }
         if total == 0 {
             1.0
@@ -107,7 +115,11 @@ impl CachePlan {
     /// Total table bytes of the model (the footprint UVM avoids keeping
     /// on the device).
     pub fn full_model_bytes(model: &ModelConfig) -> u64 {
-        model.features.iter().map(|f| f.table_rows as u64 * f.row_bytes()).sum()
+        model
+            .features
+            .iter()
+            .map(|f| f.table_rows as u64 * f.row_bytes())
+            .sum()
     }
 }
 
@@ -146,7 +158,10 @@ mod tests {
             assert!(hr >= prev - 1e-9, "hit rate must be monotone in budget");
             prev = hr;
         }
-        assert!(prev > 0.3, "a generous budget must catch the hot rows, got {prev}");
+        assert!(
+            prev > 0.3,
+            "a generous budget must catch the hot rows, got {prev}"
+        );
     }
 
     #[test]
@@ -175,7 +190,10 @@ mod tests {
         let plan = CachePlan::plan(&m, ds.batches(), full / 20);
         let probe = Batch::generate(&m, 128, 31);
         let hr = plan.hit_rate(&probe);
-        assert!(hr > 0.15, "5% budget should beat 5% hit rate clearly, got {hr}");
+        assert!(
+            hr > 0.15,
+            "5% budget should beat 5% hit rate clearly, got {hr}"
+        );
     }
 
     #[test]

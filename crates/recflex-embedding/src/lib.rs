@@ -26,8 +26,8 @@ pub mod table;
 pub mod workload;
 
 pub use cache::CachePlan;
-pub use preprocess::{PreprocessOp, PreprocessPipeline};
 pub use output::FusedOutput;
+pub use preprocess::{PreprocessOp, PreprocessPipeline};
 pub use reference::{reference_model_output, reference_pooled};
 pub use table::{DenseTable, EmbTable, TableSet, VirtualTable};
 pub use workload::{analyze_batch, FeatureWorkload};

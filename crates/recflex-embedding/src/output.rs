@@ -32,7 +32,12 @@ impl FusedOutput {
             offsets.push(acc);
             dims.push(f.emb_dim);
         }
-        FusedOutput { data: vec![0.0; acc], offsets, dims, batch_size }
+        FusedOutput {
+            data: vec![0.0; acc],
+            offsets,
+            dims,
+            batch_size,
+        }
     }
 
     /// Number of features.
@@ -77,7 +82,9 @@ impl FusedOutput {
     /// order — the DNN input row. Allocates; used at the embedding→DNN
     /// boundary and in tests.
     pub fn concat_sample(&self, s: u32) -> Vec<f32> {
-        let mut row = Vec::with_capacity(self.offsets.last().copied().unwrap_or(0) / self.batch_size.max(1) as usize);
+        let mut row = Vec::with_capacity(
+            self.offsets.last().copied().unwrap_or(0) / self.batch_size.max(1) as usize,
+        );
         for f in 0..self.num_features() {
             row.extend_from_slice(self.sample(f, s));
         }
@@ -123,8 +130,7 @@ mod tests {
     fn split_features_mut_partitions_exactly() {
         let m = ModelPreset::B.scaled(0.005);
         let mut out = FusedOutput::zeros(&m, 16);
-        let expected: Vec<usize> =
-            m.features.iter().map(|f| 16 * f.emb_dim as usize).collect();
+        let expected: Vec<usize> = m.features.iter().map(|f| 16 * f.emb_dim as usize).collect();
         let parts = out.split_features_mut();
         let got: Vec<usize> = parts.iter().map(|p| p.len()).collect();
         assert_eq!(got, expected);

@@ -63,8 +63,8 @@ impl PreprocessOp {
     /// embedding schedule (the fused-scope cost).
     pub fn issue_cost(&self) -> f64 {
         match self {
-            PreprocessOp::HashMod { .. } => 6.0,  // mul, shifts, xor, mod
-            PreprocessOp::Clamp { .. } => 2.0,    // cmp + select
+            PreprocessOp::HashMod { .. } => 6.0, // mul, shifts, xor, mod
+            PreprocessOp::Clamp { .. } => 2.0,   // cmp + select
             PreprocessOp::Bucketize { boundaries } => {
                 // Branchless binary search.
                 (boundaries.len().max(2) as f64).log2().ceil() * 3.0
@@ -89,8 +89,13 @@ impl PreprocessPipeline {
             .iter()
             .map(|f| {
                 vec![
-                    PreprocessOp::HashMod { modulus: f.table_rows },
-                    PreprocessOp::Clamp { max_id: f.table_rows - 1, default: 0 },
+                    PreprocessOp::HashMod {
+                        modulus: f.table_rows,
+                    },
+                    PreprocessOp::Clamp {
+                        max_id: f.table_rows - 1,
+                        default: 0,
+                    },
                 ]
             })
             .collect();
@@ -111,10 +116,16 @@ impl PreprocessPipeline {
                     .iter()
                     .map(|&id| ops.iter().fold(id, |x, op| op.apply(x)))
                     .collect();
-                FeatureBatch { offsets: fb.offsets.clone(), indices }
+                FeatureBatch {
+                    offsets: fb.offsets.clone(),
+                    indices,
+                }
             })
             .collect();
-        Batch { batch_size: batch.batch_size, features }
+        Batch {
+            batch_size: batch.batch_size,
+            features,
+        }
     }
 
     /// Extra issue slots per lookup of feature `f` when fused inline.
@@ -145,7 +156,10 @@ mod tests {
 
     #[test]
     fn clamp_maps_oov_to_default() {
-        let op = PreprocessOp::Clamp { max_id: 99, default: 7 };
+        let op = PreprocessOp::Clamp {
+            max_id: 99,
+            default: 7,
+        };
         assert_eq!(op.apply(50), 50);
         assert_eq!(op.apply(99), 99);
         assert_eq!(op.apply(100), 7);
@@ -153,7 +167,9 @@ mod tests {
 
     #[test]
     fn bucketize_matches_partition_point() {
-        let op = PreprocessOp::Bucketize { boundaries: vec![10, 100, 1000] };
+        let op = PreprocessOp::Bucketize {
+            boundaries: vec![10, 100, 1000],
+        };
         assert_eq!(op.apply(5), 0);
         assert_eq!(op.apply(10), 1, "boundary itself falls in the next bucket");
         assert_eq!(op.apply(500), 2);
@@ -181,7 +197,10 @@ mod tests {
         let m = ModelPreset::A.scaled(0.01);
         let p = PreprocessPipeline::standard(&m);
         for f in 0..m.features.len() {
-            assert!((p.fused_issue_cost(f) - 8.0).abs() < 1e-12, "hash(6) + clamp(2)");
+            assert!(
+                (p.fused_issue_cost(f) - 8.0).abs() < 1e-12,
+                "hash(6) + clamp(2)"
+            );
         }
         assert_eq!(p.total_ops(), 2 * m.features.len());
     }

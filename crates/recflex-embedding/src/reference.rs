@@ -29,7 +29,11 @@ pub fn reference_pooled<T: EmbTable>(table: &T, fb: &FeatureBatch, out: &mut [f3
 
 /// Pool every feature of a batch (parallel across features) — the golden
 /// full-model embedding output.
-pub fn reference_model_output(model: &ModelConfig, tables: &TableSet, batch: &Batch) -> FusedOutput {
+pub fn reference_model_output(
+    model: &ModelConfig,
+    tables: &TableSet,
+    batch: &Batch,
+) -> FusedOutput {
     let mut out = FusedOutput::zeros(model, batch.batch_size);
     {
         let parts = out.split_features_mut();
@@ -50,7 +54,10 @@ mod tests {
     #[test]
     fn single_lookup_copies_row() {
         let t = VirtualTable::new(3, 10, 4);
-        let fb = FeatureBatch { offsets: vec![0, 1], indices: vec![7] };
+        let fb = FeatureBatch {
+            offsets: vec![0, 1],
+            indices: vec![7],
+        };
         let mut out = vec![0.0; 4];
         reference_pooled(&t, &fb, &mut out);
         for d in 0..4 {
@@ -61,7 +68,10 @@ mod tests {
     #[test]
     fn absent_sample_is_zero() {
         let t = VirtualTable::new(3, 10, 4);
-        let fb = FeatureBatch { offsets: vec![0, 0, 2], indices: vec![1, 2] };
+        let fb = FeatureBatch {
+            offsets: vec![0, 0, 2],
+            indices: vec![1, 2],
+        };
         let mut out = vec![9.0; 8];
         reference_pooled(&t, &fb, &mut out);
         assert_eq!(&out[0..4], &[0.0; 4]);
@@ -76,7 +86,10 @@ mod tests {
         // with values where order matters at f32 precision.
         let data = vec![1e7f32, 1.0, -1e7, 2.0, 3.0, 4.0];
         let t = DenseTable::new(data, 3, 2);
-        let fb = FeatureBatch { offsets: vec![0, 3], indices: vec![0, 1, 2] };
+        let fb = FeatureBatch {
+            offsets: vec![0, 3],
+            indices: vec![0, 1, 2],
+        };
         let mut out = vec![0.0; 2];
         reference_pooled(&t, &fb, &mut out);
         let expect0 = (1e7f32 + -1e7) + 3.0;

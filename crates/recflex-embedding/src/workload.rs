@@ -54,7 +54,11 @@ impl FeatureWorkload {
             total_lookups,
             unique_rows: fb.unique_rows(),
             max_pf,
-            mean_pf: if batch_size == 0 { 0.0 } else { total_lookups as f64 / batch_size as f64 },
+            mean_pf: if batch_size == 0 {
+                0.0
+            } else {
+                total_lookups as f64 / batch_size as f64
+            },
             present_samples: present,
             emb_dim,
             table_rows,
@@ -113,7 +117,10 @@ mod tests {
     #[test]
     fn stats_of_handcrafted_csr() {
         // 3 samples: pf 2, 0, 3; rows {5,5,1,2,5}.
-        let fb = FeatureBatch { offsets: vec![0, 2, 2, 5], indices: vec![5, 5, 1, 2, 5] };
+        let fb = FeatureBatch {
+            offsets: vec![0, 2, 2, 5],
+            indices: vec![5, 5, 1, 2, 5],
+        };
         let w = FeatureWorkload::analyze(0, &fb, 8, 100);
         assert_eq!(w.total_lookups, 5);
         assert_eq!(w.unique_rows, 3);

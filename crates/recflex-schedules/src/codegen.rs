@@ -55,7 +55,10 @@ impl ScheduleInstance {
         );
         let _ = writeln!(s, "  const int* __restrict__ offsets = args->offsets;");
         let _ = writeln!(s, "  const int* __restrict__ indices = args->indices;");
-        let _ = writeln!(s, "  const {vec_t}* __restrict__ table = (const {vec_t}*)args->table;");
+        let _ = writeln!(
+            s,
+            "  const {vec_t}* __restrict__ table = (const {vec_t}*)args->table;"
+        );
         let _ = writeln!(s, "  {vec_t}* __restrict__ out = ({vec_t}*)args->out;");
         let _ = writeln!(s, "  const int batch = args->batch_size;");
         match self.kind {
@@ -64,8 +67,14 @@ impl ScheduleInstance {
                 let _ = writeln!(s, "  if (sample >= batch) return;");
                 let _ = writeln!(s, "  float acc[{dim}] = {{0.f}};");
                 let _ = writeln!(s, "  #pragma unroll {}", p.unroll);
-                let _ = writeln!(s, "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{");
-                let _ = writeln!(s, "    const float* row = (const float*)table + (size_t)indices[i] * {dim};");
+                let _ = writeln!(
+                    s,
+                    "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{"
+                );
+                let _ = writeln!(
+                    s,
+                    "    const float* row = (const float*)table + (size_t)indices[i] * {dim};"
+                );
                 let _ = writeln!(s, "    #pragma unroll");
                 let _ = writeln!(s, "    for (int d = 0; d < {dim}; ++d) acc[d] += row[d];");
                 let _ = writeln!(s, "  }}");
@@ -79,10 +88,24 @@ impl ScheduleInstance {
                 let _ = writeln!(s, "  if (sample >= batch) return;");
                 let _ = writeln!(s, "  float acc[{ept}] = {{0.f}};");
                 let _ = writeln!(s, "  #pragma unroll {}", p.unroll);
-                let _ = writeln!(s, "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{");
-                let _ = writeln!(s, "    const {vec_t}* row = table + (size_t)indices[i] * {};", dim / p.vector_width.max(1));
-                let _ = writeln!(s, "    for (int c = lane; c * {v} < {dim}; c += {g})", v = p.vector_width);
-                let _ = writeln!(s, "      vec_add(acc, row[c]);  // predicated off beyond dim");
+                let _ = writeln!(
+                    s,
+                    "  for (int i = offsets[sample]; i < offsets[sample + 1]; ++i) {{"
+                );
+                let _ = writeln!(
+                    s,
+                    "    const {vec_t}* row = table + (size_t)indices[i] * {};",
+                    dim / p.vector_width.max(1)
+                );
+                let _ = writeln!(
+                    s,
+                    "    for (int c = lane; c * {v} < {dim}; c += {g})",
+                    v = p.vector_width
+                );
+                let _ = writeln!(
+                    s,
+                    "      vec_add(acc, row[c]);  // predicated off beyond dim"
+                );
                 let _ = writeln!(s, "  }}");
                 let _ = writeln!(s, "  vec_store(out, sample, lane, acc);");
             }
@@ -92,24 +115,47 @@ impl ScheduleInstance {
                 let _ = writeln!(s, "  int warp = threadIdx.x / 32, lane = threadIdx.x % 32;");
                 let _ = writeln!(s, "  float acc[{}] = {{0.f}};", self.elems_per_thread());
                 let _ = writeln!(s, "  for (int i = offsets[sample] + warp; i < offsets[sample + 1]; i += {warps}) {{");
-                let _ = writeln!(s, "    const {vec_t}* row = table + (size_t)indices[i] * {};", dim / p.vector_width.max(1));
-                let _ = writeln!(s, "    for (int c = lane; c * {v} < {dim}; c += 32) vec_add(acc, row[c]);", v = p.vector_width);
+                let _ = writeln!(
+                    s,
+                    "    const {vec_t}* row = table + (size_t)indices[i] * {};",
+                    dim / p.vector_width.max(1)
+                );
+                let _ = writeln!(
+                    s,
+                    "    for (int c = lane; c * {v} < {dim}; c += 32) vec_add(acc, row[c]);",
+                    v = p.vector_width
+                );
                 let _ = writeln!(s, "  }}");
                 let _ = writeln!(s, "  // cross-warp tree reduction through the smem union");
                 let _ = writeln!(s, "  float* partial = (float*)smem;");
                 let _ = writeln!(s, "  warp_reduce_store(partial, warp, lane, acc);");
                 let _ = writeln!(s, "  __syncthreads();");
-                let _ = writeln!(s, "  if (warp == 0) final_reduce_store(out, sample, lane, partial, {warps});");
+                let _ = writeln!(
+                    s,
+                    "  if (warp == 0) final_reduce_store(out, sample, lane, partial, {warps});"
+                );
                 let _ = writeln!(s, "  __syncthreads();");
             }
             ScheduleKind::GatherScatter => {
-                let _ = writeln!(s, "  // phase 1: gather rows to global scratch (balanced streams)");
+                let _ = writeln!(
+                    s,
+                    "  // phase 1: gather rows to global scratch (balanced streams)"
+                );
                 let _ = writeln!(s, "  {vec_t}* scratch = ({vec_t}*)args->scratch + (size_t)rel_bidx * {spb} * MAX_PF * {};", dim / p.vector_width.max(1));
-                let _ = writeln!(s, "  int s_lo = rel_bidx * {spb}, s_hi = min(s_lo + {spb}, batch);");
+                let _ = writeln!(
+                    s,
+                    "  int s_lo = rel_bidx * {spb}, s_hi = min(s_lo + {spb}, batch);"
+                );
                 let _ = writeln!(s, "  for (int i = offsets[s_lo] + threadIdx.x / 32; i < offsets[s_hi]; i += blockDim.x / 32)");
-                let _ = writeln!(s, "    copy_row(scratch, i - offsets[s_lo], table, indices[i]);");
+                let _ = writeln!(
+                    s,
+                    "    copy_row(scratch, i - offsets[s_lo], table, indices[i]);"
+                );
                 let _ = writeln!(s, "  __syncthreads();");
-                let _ = writeln!(s, "  // phase 2: segment-reduce the scratch into pooled outputs");
+                let _ = writeln!(
+                    s,
+                    "  // phase 2: segment-reduce the scratch into pooled outputs"
+                );
                 let _ = writeln!(s, "  segment_reduce(out, scratch, offsets, s_lo, s_hi);");
             }
             ScheduleKind::SmemStaged => {
@@ -118,10 +164,17 @@ impl ScheduleInstance {
                 let _ = writeln!(s, "  int warp = threadIdx.x / 32;");
                 let _ = writeln!(s, "  int sample = rel_bidx * {spb} + warp;");
                 let _ = writeln!(s, "  if (sample >= batch) return;");
-                let _ = writeln!(s, "  {vec_t}* stage = ({vec_t}*)smem + warp * {stage} * {};", dim / p.vector_width.max(1));
+                let _ = writeln!(
+                    s,
+                    "  {vec_t}* stage = ({vec_t}*)smem + warp * {stage} * {};",
+                    dim / p.vector_width.max(1)
+                );
                 let _ = writeln!(s, "  float acc[{}] = {{0.f}};", self.elems_per_thread());
                 let _ = writeln!(s, "  for (int base = offsets[sample]; base < offsets[sample + 1]; base += {stage}) {{");
-                let _ = writeln!(s, "    stage_rows(stage, table, indices, base, {stage});  // bulk copy, high MLP");
+                let _ = writeln!(
+                    s,
+                    "    stage_rows(stage, table, indices, base, {stage});  // bulk copy, high MLP"
+                );
                 let _ = writeln!(s, "    __syncthreads();");
                 let _ = writeln!(s, "    accumulate_staged(acc, stage, lane, {stage});");
                 let _ = writeln!(s, "  }}");
@@ -143,10 +196,18 @@ mod tests {
             kind,
             params: ScheduleParams {
                 threads_per_block: 128,
-                group_size: if kind == ScheduleKind::RowPerThread { 1 } else { 32 },
+                group_size: if kind == ScheduleKind::RowPerThread {
+                    1
+                } else {
+                    32
+                },
                 vector_width: 2,
                 unroll: 2,
-                stage_rows: if kind == ScheduleKind::SmemStaged { 8 } else { 0 },
+                stage_rows: if kind == ScheduleKind::SmemStaged {
+                    8
+                } else {
+                    0
+                },
             },
             emb_dim: dim,
         }
@@ -184,7 +245,10 @@ mod tests {
         let decl = s.smem_struct(1);
         assert!(decl.contains(&format!("bytes[{}]", s.smem_bytes())));
         let w = inst(ScheduleKind::SamplePerWarp, 32);
-        assert!(w.smem_struct(0).contains("bytes[1]"), "zero smem pads to 1 byte");
+        assert!(
+            w.smem_struct(0).contains("bytes[1]"),
+            "zero smem pads to 1 byte"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ mod tests {
             name: "t".into(),
             table_rows: 500,
             emb_dim: dim,
-            pooling: PoolingDist::Normal { mean: 12.0, std: 6.0, max: 60 },
+            pooling: PoolingDist::Normal {
+                mean: 12.0,
+                std: 6.0,
+                max: 60,
+            },
             coverage: 0.8,
             row_skew: 0.5,
         }

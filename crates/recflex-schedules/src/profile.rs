@@ -141,15 +141,24 @@ impl ScheduleInstance {
 
     /// Profile for RowPerThread / SubWarp / SamplePerWarp / SmemStaged:
     /// `group_size` lanes per sample, several samples per warp.
-    fn profile_grouped(&self, fb: &FeatureBatch, s0: u32, s1: u32, unique_frac: f64) -> BlockProfile {
+    fn profile_grouped(
+        &self,
+        fb: &FeatureBatch,
+        s0: u32,
+        s1: u32,
+        unique_frac: f64,
+    ) -> BlockProfile {
         let g = self.params.group_size;
         let vec = self.params.vector_width;
         let dim = self.emb_dim;
         let spw = self.samples_per_warp();
         let chunks = self.chunks_per_row() as u64;
         let scattered = matches!(self.kind, ScheduleKind::RowPerThread);
-        let row_sectors =
-            if scattered { chunks } else { sectors_per_row(dim, g, vec) };
+        let row_sectors = if scattered {
+            chunks
+        } else {
+            sectors_per_row(dim, g, vec)
+        };
         let useful_lane_iters_per_row = (dim as u64).div_ceil(vec as u64);
         let out_sectors_per_sample = if scattered {
             chunks // lanes write their own sample's vector: scattered
@@ -158,8 +167,8 @@ impl ScheduleInstance {
         };
 
         let staged = matches!(self.kind, ScheduleKind::SmemStaged);
-        let instr_per_iter = 1.0 + vec as f64 + 3.0 / self.params.unroll as f64
-            + if staged { 2.0 } else { 0.0 };
+        let instr_per_iter =
+            1.0 + vec as f64 + 3.0 / self.params.unroll as f64 + if staged { 2.0 } else { 0.0 };
 
         let mut p = BlockProfile::default();
         let mut s = s0;
@@ -224,7 +233,12 @@ impl ScheduleInstance {
     }
 
     /// Profile for SamplePerBlock: the whole block serves sample `s`.
-    fn profile_sample_per_block(&self, fb: &FeatureBatch, s: u32, unique_frac: f64) -> BlockProfile {
+    fn profile_sample_per_block(
+        &self,
+        fb: &FeatureBatch,
+        s: u32,
+        unique_frac: f64,
+    ) -> BlockProfile {
         let vec = self.params.vector_width;
         let dim = self.emb_dim;
         let num_warps = (self.params.threads_per_block / 32).max(1);
@@ -239,7 +253,8 @@ impl ScheduleInstance {
         let warp_iters = rows_per_warp * chunks;
         let instr_per_iter = 1.0 + vec as f64 + 3.0 / self.params.unroll as f64;
 
-        p.issue_cycles = active_warps as f64 * warp_iters as f64 * instr_per_iter / num_warps as f64
+        p.issue_cycles = active_warps as f64 * warp_iters as f64 * instr_per_iter
+            / num_warps as f64
             * num_warps as f64; // total warp-instructions across the block
         p.mem_transactions = pf * row_sectors;
         p.bytes_accessed = pf * row_sectors * 32;
@@ -270,7 +285,13 @@ impl ScheduleInstance {
     /// lowering). Chains are the shortest of any template because every
     /// warp streams an even share of rows; the price is ~3× the memory
     /// traffic, and the scratch bytes are compulsory DRAM (no reuse).
-    fn profile_gather(&self, fb: &FeatureBatch, s0: u32, s1: u32, unique_frac: f64) -> BlockProfile {
+    fn profile_gather(
+        &self,
+        fb: &FeatureBatch,
+        s0: u32,
+        s1: u32,
+        unique_frac: f64,
+    ) -> BlockProfile {
         let vec = self.params.vector_width;
         let dim = self.emb_dim;
         let num_warps = (self.params.threads_per_block / 32).max(1) as u64;
@@ -290,8 +311,7 @@ impl ScheduleInstance {
         p.bytes_accessed = table_bytes + scratch_bytes + 64;
         p.bytes_written = rows * row_sectors * 32 + out_sectors * 32;
         // Table reads follow feature reuse; scratch traffic is all unique.
-        p.unique_bytes =
-            (table_bytes as f64 * unique_frac) as u64 + scratch_bytes + 64;
+        p.unique_bytes = (table_bytes as f64 * unique_frac) as u64 + scratch_bytes + 64;
         p.issue_cycles = (3 * rows_per_warp * chunks) as f64 * (1.0 + vec as f64)
             + n_samples as f64 * chunks as f64 * 1.5
             + 20.0;
@@ -329,7 +349,15 @@ mod tests {
         }
     }
 
-    fn inst(kind: ScheduleKind, t: u32, g: u32, v: u32, u: u32, stage: u32, dim: u32) -> ScheduleInstance {
+    fn inst(
+        kind: ScheduleKind,
+        t: u32,
+        g: u32,
+        v: u32,
+        u: u32,
+        stage: u32,
+        dim: u32,
+    ) -> ScheduleInstance {
         ScheduleInstance {
             kind,
             params: ScheduleParams {
@@ -406,7 +434,10 @@ mod tests {
         let p = rpt.block_profile(&fb, &w, 0, None);
         // Active fraction ≈ (100+31)/(32×100).
         let frac = p.thread_active_sum as f64 / p.thread_slot_sum as f64;
-        assert!(frac < 0.1, "divergent warp should be mostly idle, got {frac}");
+        assert!(
+            frac < 0.1,
+            "divergent warp should be mostly idle, got {frac}"
+        );
     }
 
     #[test]
@@ -429,8 +460,8 @@ mod tests {
         // Per unit of pooling work, the block mapping issues over ~8 warps
         // in parallel, so its per-sample issue chain is much shorter.
         let blk_chain = p_blk.issue_cycles / p_blk.active_warps.max(1) as f64 / p_blk.flops as f64;
-        let warp_chain = p_warp.issue_cycles / p_warp.active_warps.max(1) as f64
-            / (p_warp.flops as f64 / 8.0); // block had 8 samples
+        let warp_chain =
+            p_warp.issue_cycles / p_warp.active_warps.max(1) as f64 / (p_warp.flops as f64 / 8.0); // block had 8 samples
         assert!(blk_chain < warp_chain, "blk {blk_chain} warp {warp_chain}");
         assert_eq!(p_blk.barriers, 2);
     }
@@ -499,8 +530,9 @@ mod tests {
         let w = workload(&fb, 32);
         let s = inst(ScheduleKind::SubWarp, 128, 8, 2, 1, 0, 32);
         let blocks = s.required_blocks(&w);
-        let total_flops: u64 =
-            (0..blocks).map(|b| s.block_profile(&fb, &w, b, None).flops).sum();
+        let total_flops: u64 = (0..blocks)
+            .map(|b| s.block_profile(&fb, &w, b, None).flops)
+            .sum();
         assert_eq!(total_flops, w.total_lookups as u64 * 32);
     }
 }

@@ -31,7 +31,13 @@ impl CandidateSet {
 }
 
 fn params(t: u32, g: u32, v: u32, u: u32, stage: u32) -> ScheduleParams {
-    ScheduleParams { threads_per_block: t, group_size: g, vector_width: v, unroll: u, stage_rows: stage }
+    ScheduleParams {
+        threads_per_block: t,
+        group_size: g,
+        vector_width: v,
+        unroll: u,
+        stage_rows: stage,
+    }
 }
 
 /// Enumerate the schedule candidates for one feature.
@@ -144,7 +150,10 @@ pub fn enumerate_candidates(feature_idx: usize, spec: &FeatureSpec) -> Candidate
     }
 
     debug_assert!(!c.is_empty(), "every feature must have candidates");
-    CandidateSet { feature_idx, candidates: c }
+    CandidateSet {
+        feature_idx,
+        candidates: c,
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +180,11 @@ mod tests {
             for (i, f) in m.features.iter().enumerate() {
                 let cs = enumerate_candidates(i, f);
                 assert!(!cs.is_empty(), "{preset:?} feature {i}");
-                assert!(cs.len() < 80, "search space must stay bounded, got {}", cs.len());
+                assert!(
+                    cs.len() < 80,
+                    "search space must stay bounded, got {}",
+                    cs.len()
+                );
             }
         }
     }
@@ -179,21 +192,36 @@ mod tests {
     #[test]
     fn one_hot_features_skip_block_per_sample() {
         let cs = enumerate_candidates(0, &spec(32, PoolingDist::OneHot));
-        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::SamplePerBlock));
-        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::SmemStaged));
+        assert!(cs
+            .candidates
+            .iter()
+            .all(|s| s.kind != ScheduleKind::SamplePerBlock));
+        assert!(cs
+            .candidates
+            .iter()
+            .all(|s| s.kind != ScheduleKind::SmemStaged));
     }
 
     #[test]
     fn heavy_multi_hot_includes_block_per_sample() {
         let cs = enumerate_candidates(0, &spec(64, PoolingDist::Fixed(100)));
-        assert!(cs.candidates.iter().any(|s| s.kind == ScheduleKind::SamplePerBlock));
-        assert!(cs.candidates.iter().any(|s| s.kind == ScheduleKind::SmemStaged));
+        assert!(cs
+            .candidates
+            .iter()
+            .any(|s| s.kind == ScheduleKind::SamplePerBlock));
+        assert!(cs
+            .candidates
+            .iter()
+            .any(|s| s.kind == ScheduleKind::SmemStaged));
     }
 
     #[test]
     fn wide_dims_skip_row_per_thread() {
         let cs = enumerate_candidates(0, &spec(128, PoolingDist::Fixed(10)));
-        assert!(cs.candidates.iter().all(|s| s.kind != ScheduleKind::RowPerThread));
+        assert!(cs
+            .candidates
+            .iter()
+            .all(|s| s.kind != ScheduleKind::RowPerThread));
     }
 
     #[test]
@@ -208,7 +236,11 @@ mod tests {
     fn candidates_are_distinct() {
         let cs = enumerate_candidates(0, &spec(32, PoolingDist::Fixed(50)));
         let set: HashSet<_> = cs.candidates.iter().collect();
-        assert_eq!(set.len(), cs.len(), "duplicate candidates in the search space");
+        assert_eq!(
+            set.len(),
+            cs.len(),
+            "duplicate candidates in the search space"
+        );
     }
 
     #[test]

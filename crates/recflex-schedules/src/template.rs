@@ -111,7 +111,9 @@ impl ScheduleInstance {
             ScheduleKind::SamplePerBlock => 32,
             _ => self.params.group_size,
         };
-        self.emb_dim.div_ceil(lanes * self.params.vector_width).max(1)
+        self.emb_dim
+            .div_ceil(lanes * self.params.vector_width)
+            .max(1)
     }
 
     /// Natural register demand per thread: base bookkeeping plus the
@@ -147,7 +149,11 @@ impl ScheduleInstance {
 
     /// Resource footprint for the occupancy calculator.
     pub fn resources(&self) -> BlockResources {
-        BlockResources::new(self.params.threads_per_block, self.natural_regs(), self.smem_bytes())
+        BlockResources::new(
+            self.params.threads_per_block,
+            self.natural_regs(),
+            self.smem_bytes(),
+        )
     }
 
     /// Blocks needed for a live batch — the quantity the host-side runtime
@@ -185,7 +191,15 @@ impl ScheduleInstance {
 mod tests {
     use super::*;
 
-    fn inst(kind: ScheduleKind, t: u32, g: u32, v: u32, u: u32, stage: u32, dim: u32) -> ScheduleInstance {
+    fn inst(
+        kind: ScheduleKind,
+        t: u32,
+        g: u32,
+        v: u32,
+        u: u32,
+        stage: u32,
+        dim: u32,
+    ) -> ScheduleInstance {
         ScheduleInstance {
             kind,
             params: ScheduleParams {
@@ -201,10 +215,22 @@ mod tests {
 
     #[test]
     fn samples_per_block_by_kind() {
-        assert_eq!(inst(ScheduleKind::RowPerThread, 128, 1, 1, 1, 0, 8).samples_per_block(), 128);
-        assert_eq!(inst(ScheduleKind::SubWarp, 128, 4, 1, 1, 0, 16).samples_per_block(), 32);
-        assert_eq!(inst(ScheduleKind::SamplePerWarp, 256, 32, 4, 1, 0, 64).samples_per_block(), 8);
-        assert_eq!(inst(ScheduleKind::SamplePerBlock, 128, 128, 4, 1, 0, 64).samples_per_block(), 1);
+        assert_eq!(
+            inst(ScheduleKind::RowPerThread, 128, 1, 1, 1, 0, 8).samples_per_block(),
+            128
+        );
+        assert_eq!(
+            inst(ScheduleKind::SubWarp, 128, 4, 1, 1, 0, 16).samples_per_block(),
+            32
+        );
+        assert_eq!(
+            inst(ScheduleKind::SamplePerWarp, 256, 32, 4, 1, 0, 64).samples_per_block(),
+            8
+        );
+        assert_eq!(
+            inst(ScheduleKind::SamplePerBlock, 128, 128, 4, 1, 0, 64).samples_per_block(),
+            1
+        );
     }
 
     #[test]
@@ -225,16 +251,28 @@ mod tests {
         assert!(small.natural_regs() < 32);
         assert!(big.natural_regs() > 120);
         let warp = inst(ScheduleKind::SamplePerWarp, 128, 32, 4, 1, 0, 128);
-        assert!(warp.natural_regs() < 40, "warp mapping splits the dim across lanes");
+        assert!(
+            warp.natural_regs() < 40,
+            "warp mapping splits the dim across lanes"
+        );
     }
 
     #[test]
     fn smem_by_kind() {
-        assert_eq!(inst(ScheduleKind::SamplePerWarp, 128, 32, 4, 1, 0, 64).smem_bytes(), 0);
+        assert_eq!(
+            inst(ScheduleKind::SamplePerWarp, 128, 32, 4, 1, 0, 64).smem_bytes(),
+            0
+        );
         // SamplePerBlock: 4 warps × 64 dims × 4B = 1 KiB.
-        assert_eq!(inst(ScheduleKind::SamplePerBlock, 128, 128, 4, 1, 0, 64).smem_bytes(), 1024);
+        assert_eq!(
+            inst(ScheduleKind::SamplePerBlock, 128, 128, 4, 1, 0, 64).smem_bytes(),
+            1024
+        );
         // SmemStaged: 4 warps × 16 rows × 32 dims × 4B = 8 KiB.
-        assert_eq!(inst(ScheduleKind::SmemStaged, 128, 32, 4, 1, 16, 32).smem_bytes(), 8192);
+        assert_eq!(
+            inst(ScheduleKind::SmemStaged, 128, 32, 4, 1, 16, 32).smem_bytes(),
+            8192
+        );
     }
 
     #[test]

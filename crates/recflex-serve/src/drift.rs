@@ -1,0 +1,185 @@
+//! Distribution-drift detection.
+//!
+//! RecFlex tunes its schedule against the *historical* feature
+//! distribution; Section VI-C shows the tuned schedule stays near-optimal
+//! under moderate shift but degrades once pooling factors or coverage
+//! move far enough. An online server therefore needs to notice when live
+//! traffic has drifted from the distribution the engine was tuned on and
+//! trigger a background retune. The observable we track is the cheapest
+//! one the host already has: **mean lookups per sample** (total CSR
+//! indices / batch size), which moves monotonically with both
+//! pooling-factor scale and coverage shift (the two axes of
+//! [`recflex_data::shift_distribution`]).
+
+use recflex_data::{Batch, ModelConfig};
+
+/// Configuration for the drift monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// How many admitted batches form one observation window.
+    pub window: usize,
+    /// Relative deviation of the window mean from the tuned reference
+    /// that counts as drift (e.g. `0.25` = ±25 %).
+    pub threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 16,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// Sliding-window monitor comparing live lookups-per-sample against the
+/// value the current engine was tuned for.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    reference_lps: f64,
+    window_sum_lookups: f64,
+    window_sum_samples: f64,
+    window_len: usize,
+}
+
+impl DriftMonitor {
+    /// Monitor against an explicit tuned reference (lookups per sample).
+    pub fn new(config: DriftConfig, reference_lps: f64) -> Self {
+        DriftMonitor {
+            config,
+            reference_lps: reference_lps.max(f64::MIN_POSITIVE),
+            window_sum_lookups: 0.0,
+            window_sum_samples: 0.0,
+            window_len: 0,
+        }
+    }
+
+    /// Monitor against the *expected* lookups-per-sample of the model
+    /// configuration the engine was tuned on: Σ coverage·mean-pooling
+    /// over features.
+    pub fn for_model(config: DriftConfig, model: &ModelConfig) -> Self {
+        Self::new(config, expected_lookups_per_sample(model))
+    }
+
+    /// The reference the monitor currently compares against.
+    pub fn reference_lps(&self) -> f64 {
+        self.reference_lps
+    }
+
+    /// Mean lookups-per-sample over the current (possibly partial)
+    /// window, if anything has been observed.
+    pub fn window_lps(&self) -> Option<f64> {
+        (self.window_sum_samples > 0.0).then(|| self.window_sum_lookups / self.window_sum_samples)
+    }
+
+    /// Record one admitted batch. Returns `true` when a full window has
+    /// accumulated and its mean deviates from the reference by more than
+    /// the threshold — i.e. the caller should kick off a retune. The
+    /// window restarts after every verdict (drifted or not).
+    pub fn observe(&mut self, batch: &Batch) -> bool {
+        self.window_sum_lookups += batch.total_lookups() as f64;
+        self.window_sum_samples += batch.batch_size as f64;
+        self.window_len += 1;
+        if self.window_len < self.config.window {
+            return false;
+        }
+        let mean = if self.window_sum_samples > 0.0 {
+            self.window_sum_lookups / self.window_sum_samples
+        } else {
+            0.0
+        };
+        self.window_sum_lookups = 0.0;
+        self.window_sum_samples = 0.0;
+        self.window_len = 0;
+        (mean / self.reference_lps - 1.0).abs() > self.config.threshold
+    }
+
+    /// Re-anchor after a retune: the freshly tuned engine now matches
+    /// `new_reference_lps`, so deviation is measured from there.
+    pub fn rebase(&mut self, new_reference_lps: f64) {
+        self.reference_lps = new_reference_lps.max(f64::MIN_POSITIVE);
+        self.window_sum_lookups = 0.0;
+        self.window_sum_samples = 0.0;
+        self.window_len = 0;
+    }
+}
+
+/// Expected lookups per sample of a model configuration:
+/// Σ over features of coverage × mean pooling factor.
+pub fn expected_lookups_per_sample(model: &ModelConfig) -> f64 {
+    model
+        .features
+        .iter()
+        .map(|f| f.coverage * f.pooling.mean())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{shift_distribution, Batch, ModelPreset};
+
+    fn batches(model: &ModelConfig, n: usize, seed: u64) -> Vec<Batch> {
+        (0..n)
+            .map(|i| Batch::generate(model, 64, seed + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn in_distribution_traffic_does_not_trigger() {
+        let model = ModelPreset::A.scaled(0.01);
+        let cfg = DriftConfig {
+            window: 8,
+            threshold: 0.25,
+        };
+        let mut mon = DriftMonitor::for_model(cfg, &model);
+        for b in batches(&model, 32, 100) {
+            assert!(!mon.observe(&b), "no drift expected in-distribution");
+        }
+    }
+
+    #[test]
+    fn shifted_traffic_triggers_within_one_window() {
+        let model = ModelPreset::A.scaled(0.01);
+        // Double every pooling factor: lookups/sample roughly doubles.
+        let shifted = shift_distribution(&model, 2.0, 0.0);
+        let cfg = DriftConfig {
+            window: 8,
+            threshold: 0.25,
+        };
+        let mut mon = DriftMonitor::for_model(cfg, &model);
+        let mut fired = false;
+        for b in batches(&shifted, 8, 200) {
+            fired |= mon.observe(&b);
+        }
+        assert!(fired, "2x pooling shift must be detected in one window");
+    }
+
+    #[test]
+    fn rebase_silences_the_alarm() {
+        let model = ModelPreset::A.scaled(0.01);
+        let shifted = shift_distribution(&model, 2.0, 0.0);
+        let cfg = DriftConfig {
+            window: 4,
+            threshold: 0.25,
+        };
+        let mut mon = DriftMonitor::for_model(cfg, &model);
+        for b in batches(&shifted, 4, 300) {
+            mon.observe(&b);
+        }
+        // Pretend a retune ran on the shifted distribution.
+        mon.rebase(expected_lookups_per_sample(&shifted));
+        for b in batches(&shifted, 8, 400) {
+            assert!(!mon.observe(&b), "rebased monitor sees no drift");
+        }
+    }
+
+    #[test]
+    fn expected_lps_tracks_pf_scale() {
+        let model = ModelPreset::A.scaled(0.01);
+        let base = expected_lookups_per_sample(&model);
+        let doubled = expected_lookups_per_sample(&shift_distribution(&model, 2.0, 0.0));
+        assert!(doubled > base * 1.5, "doubling pooling raises expected lps");
+    }
+}

@@ -1,0 +1,434 @@
+//! # recflex-serve — a deterministic online-serving runtime
+//!
+//! The paper evaluates RecFlex inside an online-serving context
+//! (Section VI-D): concurrent long-tail requests, industrial batch
+//! splitting, one CUDA stream per in-flight request. This crate builds
+//! that serving layer as a discrete-event simulation over any
+//! [`recflex_baselines::Backend`]:
+//!
+//! * [`WorkloadSpec`] / [`Request`] — seeded Poisson request streams
+//!   with heavy-tailed batch sizes drawn from the same
+//!   [`recflex_data::PoolingDist`] family as the data layer,
+//! * [`BatchPolicy`] — forward unsplit (DeepRecSys-style), split at a
+//!   cap (industrial practice), or dynamic batching that coalesces
+//!   small requests via [`recflex_data::Batch::merge`] and splits
+//!   oversized ones,
+//! * [`DeviceExecutor`] — a deterministic processor-sharing model of a
+//!   multi-stream device time-sharing one GPU,
+//! * SLO-aware admission control — requests that cannot meet the
+//!   deadline are shed at arrival ([`ServeConfig::slo_deadline_us`]),
+//! * [`DriftMonitor`] / [`RetunePolicy`] — distribution-drift detection
+//!   on live traffic triggering a *background* retune whose engine is
+//!   hot-swapped in at a later simulated timestamp,
+//! * [`ServeReport`] — per-request latency breakdown (batching wait vs
+//!   device time) with nearest-rank percentiles and shed rate.
+//!
+//! Simulated time is the only clock; ties resolve in a fixed priority.
+//! A run is a pure function of `(config, stream, backend)`, so replaying
+//! a seed reproduces the report bit-for-bit — the property every test
+//! here leans on.
+
+pub mod drift;
+pub mod executor;
+pub mod request;
+pub mod runtime;
+pub mod stats;
+
+pub use drift::{expected_lookups_per_sample, DriftConfig, DriftMonitor};
+pub use executor::{DeviceExecutor, JobId};
+pub use request::{Request, WorkloadSpec};
+pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
+pub use stats::{RequestRecord, ServeReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    use recflex_baselines::{Backend, BackendError, BackendRun, TorchRecBackend};
+    use recflex_data::{shift_distribution, Batch, ModelConfig, ModelPreset};
+    use recflex_embedding::TableSet;
+    use recflex_sim::GpuArch;
+
+    fn setup() -> (ModelConfig, TableSet, GpuArch) {
+        let m = ModelPreset::A.scaled(0.01);
+        let t = TableSet::for_model(&m);
+        (m, t, GpuArch::v100())
+    }
+
+    fn runtime<'a>(
+        backend: &'a dyn Backend,
+        m: &'a ModelConfig,
+        t: &'a TableSet,
+        arch: &'a GpuArch,
+        config: ServeConfig,
+    ) -> ServeRuntime<'a> {
+        ServeRuntime {
+            backend,
+            model: m,
+            tables: t,
+            arch,
+            config,
+        }
+    }
+
+    #[test]
+    fn replaying_a_seed_reproduces_the_report_bit_for_bit() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 48, 42);
+        let config = ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Dynamic {
+                max_batch: 256,
+                max_wait_us: 200.0,
+            },
+            slo_deadline_us: Some(20_000.0),
+            closed_loop: false,
+        };
+        let rt = runtime(&backend, &m, &t, &arch, config);
+        let a = rt.serve(&reqs).unwrap();
+        let b = rt.serve(&reqs).unwrap();
+        assert_eq!(a, b, "same seed, same config => identical report");
+        assert_eq!(a.records.len(), 48);
+    }
+
+    #[test]
+    fn all_policies_complete_every_request_without_slo() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let reqs = WorkloadSpec::long_tail(500.0).stream(&m, 24, 7);
+        for policy in [
+            BatchPolicy::Unsplit,
+            BatchPolicy::Split { cap: 128 },
+            BatchPolicy::Dynamic {
+                max_batch: 256,
+                max_wait_us: 150.0,
+            },
+        ] {
+            let rt = runtime(
+                &backend,
+                &m,
+                &t,
+                &arch,
+                ServeConfig {
+                    streams: 2,
+                    policy,
+                    slo_deadline_us: None,
+                    closed_loop: false,
+                },
+            );
+            let report = rt.serve(&reqs).unwrap();
+            assert_eq!(report.records.len(), 24);
+            assert_eq!(report.shed_rate(), 0.0);
+            assert!(report.records.iter().all(|r| r.done_us >= r.arrival_us));
+            assert!(report.makespan_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_batching_coalesces_under_load() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        // A dense burst of small requests: dynamic batching should need
+        // strictly fewer device launches than one-launch-per-request.
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| Request {
+                id: i,
+                arrival_us: i as f64 * 5.0,
+                batch: Batch::generate(&m, 16, 1000 + i),
+            })
+            .collect();
+        let unsplit = runtime(
+            &backend,
+            &m,
+            &t,
+            &arch,
+            ServeConfig {
+                streams: 1,
+                policy: BatchPolicy::Unsplit,
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        let dynamic = runtime(
+            &backend,
+            &m,
+            &t,
+            &arch,
+            ServeConfig {
+                streams: 1,
+                policy: BatchPolicy::Dynamic {
+                    max_batch: 128,
+                    max_wait_us: 500.0,
+                },
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        assert!(
+            dynamic.kernel_launches < unsplit.kernel_launches,
+            "coalescing must reduce launches: dynamic {} vs unsplit {}",
+            dynamic.kernel_launches,
+            unsplit.kernel_launches
+        );
+        assert_eq!(dynamic.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn multi_stream_overlap_conserves_work_and_removes_queue_wait() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        // Four equal requests arriving together.
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request {
+                id: i,
+                arrival_us: 0.0,
+                batch: Batch::generate(&m, 128, 2000 + i),
+            })
+            .collect();
+        let serve = |streams: u32| {
+            runtime(
+                &backend,
+                &m,
+                &t,
+                &arch,
+                ServeConfig {
+                    streams,
+                    policy: BatchPolicy::Unsplit,
+                    slo_deadline_us: None,
+                    closed_loop: false,
+                },
+            )
+            .serve(&reqs)
+            .unwrap()
+        };
+        let serial = serve(1);
+        let overlapped = serve(4);
+        // Processor sharing conserves total work, so the makespan is
+        // identical; what changes is where requests spend the time.
+        assert!((overlapped.makespan_us - serial.makespan_us).abs() < 1e-6);
+        // With one stream, later requests wait in the launch queue;
+        // with four streams nothing queues — the wait converts into
+        // stretched (time-shared) device service.
+        assert!(serial.mean_queue_us() > 0.0);
+        assert_eq!(overlapped.mean_queue_us(), 0.0);
+        assert!(overlapped.mean_latency_us() <= serial.percentile_us(1.0) + 1e-6);
+    }
+
+    #[test]
+    fn slo_shedding_kicks_in_under_overload_and_bounds_tail() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        // Offered load far beyond capacity: everything arrives at once.
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| Request {
+                id: i,
+                arrival_us: i as f64,
+                batch: Batch::generate(&m, 512, 3000 + i),
+            })
+            .collect();
+        let mk = |slo: Option<f64>| {
+            runtime(
+                &backend,
+                &m,
+                &t,
+                &arch,
+                ServeConfig {
+                    streams: 2,
+                    policy: BatchPolicy::Split { cap: 128 },
+                    slo_deadline_us: slo,
+                    closed_loop: false,
+                },
+            )
+            .serve(&reqs)
+            .unwrap()
+        };
+        let open = mk(None);
+        let slo = mk(Some(2_000.0));
+        assert_eq!(open.shed_rate(), 0.0);
+        assert!(
+            slo.shed_rate() > 0.5,
+            "overload must shed: {}",
+            slo.shed_rate()
+        );
+        assert!(
+            slo.percentile_us(1.0) < open.percentile_us(1.0),
+            "shedding bounds the tail"
+        );
+        // Shed records keep their identity for accounting.
+        for r in slo.records.iter().filter(|r| r.shed) {
+            assert_eq!(r.done_us, r.arrival_us);
+            assert_eq!(r.service_us, 0.0);
+        }
+    }
+
+    #[test]
+    fn drift_triggers_background_retune_and_hot_swap() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        // First half in-distribution, second half with far heavier
+        // pooling — mean lookups-per-sample jumps past the threshold.
+        let shifted_model = shift_distribution(&m, 2.5, 0.0);
+        let mut reqs = WorkloadSpec::long_tail(400.0).stream(&m, 16, 5);
+        let mut tail = WorkloadSpec::long_tail(400.0).stream(&shifted_model, 24, 6);
+        let t0 = reqs.last().unwrap().arrival_us;
+        for (k, r) in tail.iter_mut().enumerate() {
+            r.arrival_us += t0;
+            r.id = 16 + k as u64;
+        }
+        reqs.append(&mut tail);
+
+        let retune_inputs = Cell::new(0usize);
+        let mut policy = RetunePolicy {
+            drift: DriftConfig {
+                window: 8,
+                threshold: 0.3,
+            },
+            retune_latency_us: 1_000.0,
+            retuner: Box::new(|recent: &[Batch]| {
+                retune_inputs.set(recent.len());
+                Box::new(TorchRecBackend::compile(&shifted_model)) as Box<dyn Backend>
+            }),
+        };
+        let rt = runtime(
+            &backend,
+            &m,
+            &t,
+            &arch,
+            ServeConfig {
+                streams: 2,
+                policy: BatchPolicy::Split { cap: 256 },
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        );
+        let report = rt.serve_with_retune(&reqs, &mut policy).unwrap();
+        assert!(report.retunes >= 1, "drift must trigger a retune");
+        assert!(retune_inputs.get() > 0, "retuner sees the recent window");
+        assert_eq!(
+            report.records.len(),
+            40,
+            "serving never pauses for a retune"
+        );
+        assert_eq!(report.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn in_distribution_traffic_never_retunes() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 40, 9);
+        let mut policy = RetunePolicy {
+            drift: DriftConfig {
+                window: 8,
+                threshold: 0.3,
+            },
+            retune_latency_us: 1_000.0,
+            retuner: Box::new(|_: &[Batch]| {
+                panic!("retuner must not fire on in-distribution traffic")
+            }),
+        };
+        let rt = runtime(&backend, &m, &t, &arch, ServeConfig::default());
+        let report = rt.serve_with_retune(&reqs, &mut policy).unwrap();
+        assert_eq!(report.retunes, 0);
+    }
+
+    #[test]
+    fn closed_loop_split_matches_sum_of_chunk_latencies() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let big = Batch::generate(&m, 512, 3);
+        // Reference: run the four 128-sample chunks directly.
+        let mut expect = 0.0;
+        let mut expect_launches = 0u64;
+        for chunk in big.split(128).unwrap() {
+            let run = backend.run(&m, &t, &chunk, &arch).unwrap();
+            expect += run.latency_us;
+            expect_launches += u64::from(run.kernel_launches);
+        }
+        let reqs = vec![Request {
+            id: 0,
+            arrival_us: 0.0,
+            batch: big,
+        }];
+        let rt = runtime(
+            &backend,
+            &m,
+            &t,
+            &arch,
+            ServeConfig {
+                streams: 1,
+                policy: BatchPolicy::Split { cap: 128 },
+                slo_deadline_us: None,
+                closed_loop: true,
+            },
+        );
+        let report = rt.serve(&reqs).unwrap();
+        assert_eq!(report.kernel_launches, expect_launches);
+        let lat = report.records[0].latency_us();
+        assert!(
+            (lat - expect).abs() < 1e-6,
+            "closed-loop split latency {lat} != chunk-sum {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_split_cap_is_a_policy_error() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let rt = runtime(
+            &backend,
+            &m,
+            &t,
+            &arch,
+            ServeConfig {
+                streams: 1,
+                policy: BatchPolicy::Split { cap: 0 },
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        );
+        let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 2, 1);
+        assert!(matches!(rt.serve(&reqs), Err(ServeError::Policy(_))));
+    }
+
+    #[test]
+    fn unsupported_backend_error_propagates() {
+        struct Refuses;
+        impl Backend for Refuses {
+            fn name(&self) -> &'static str {
+                "refuses"
+            }
+            fn run(
+                &self,
+                _: &ModelConfig,
+                _: &TableSet,
+                _: &Batch,
+                _: &GpuArch,
+            ) -> Result<BackendRun, BackendError> {
+                Err(BackendError::Unsupported("always".into()))
+            }
+        }
+        let (m, t, arch) = setup();
+        let backend = Refuses;
+        let rt = runtime(&backend, &m, &t, &arch, ServeConfig::default());
+        let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 1, 1);
+        assert!(matches!(rt.serve(&reqs), Err(ServeError::Backend(_))));
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let (m, t, arch) = setup();
+        let backend = TorchRecBackend::compile(&m);
+        let rt = runtime(&backend, &m, &t, &arch, ServeConfig::default());
+        let report = rt.serve(&[]).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.kernel_launches, 0);
+        assert_eq!(report.makespan_us, 0.0);
+    }
+}

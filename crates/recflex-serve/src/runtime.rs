@@ -1,0 +1,549 @@
+//! The discrete-event serving runtime.
+//!
+//! Ties the pieces together: a seeded request stream enters an admission
+//! gate (SLO-aware load shedding), flows through the batching policy
+//! (forward unsplit, split at a cap, or coalesce dynamically), executes
+//! on the multi-stream processor-sharing device, and leaves a full
+//! latency record behind. A drift monitor watches admitted traffic and
+//! can trigger a *background* retune whose result is hot-swapped in at a
+//! later simulated timestamp — serving never pauses.
+//!
+//! Everything is event-driven over simulated time. Simultaneous events
+//! resolve in a fixed priority (completion, then engine swap, then
+//! arrival, then batcher flush), so a run is a pure function of
+//! `(config, request stream, backend)` — replaying the same seed yields
+//! a bit-identical [`ServeReport`].
+
+use std::collections::HashMap;
+
+use recflex_baselines::{Backend, BackendError};
+use recflex_data::{Batch, ModelConfig};
+use recflex_embedding::TableSet;
+use recflex_sim::GpuArch;
+
+use crate::drift::{DriftConfig, DriftMonitor};
+use crate::executor::DeviceExecutor;
+use crate::request::Request;
+use crate::stats::{RequestRecord, ServeReport};
+
+/// How the runtime shapes request batches before launching them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Forward every request as one device batch (DeepRecSys-style,
+    /// Section VI-D: long-tail requests hit the device whole).
+    Unsplit,
+    /// Split requests into chunks of at most `cap` samples (the
+    /// industrial practice of Section VI-D).
+    Split {
+        /// Maximum chunk size, samples (≥ 1).
+        cap: u32,
+    },
+    /// Dynamic batching: coalesce small requests into one device batch
+    /// up to `max_batch` samples, flushing when the batch fills, when
+    /// the oldest member has waited `max_wait_us`, or as soon as the
+    /// device goes idle (the batcher is work-conserving — it never
+    /// holds work while the device has nothing to do). Oversized
+    /// requests are split into chunks of at most `max_batch`.
+    Dynamic {
+        /// Target coalesced batch size, samples (≥ 1).
+        max_batch: u32,
+        /// Longest a request may wait in the batcher, µs.
+        max_wait_us: f64,
+    },
+}
+
+/// Static configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Concurrent device streams (kernels resident at once).
+    pub streams: u32,
+    /// Batch shaping policy.
+    pub policy: BatchPolicy,
+    /// SLO deadline, µs: a request arriving while the device backlog
+    /// already exceeds this is shed immediately (it could not possibly
+    /// finish in time). `None` admits everything.
+    pub slo_deadline_us: Option<f64>,
+    /// Closed-loop mode: ignore arrival timestamps and admit each
+    /// request the moment the previous one finished — the offline
+    /// semantics of `ServingSimulator`. Open-loop (`false`) replays the
+    /// stream's own arrival times.
+    pub closed_loop: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Unsplit,
+            slo_deadline_us: None,
+            closed_loop: false,
+        }
+    }
+}
+
+/// Drift-triggered background retuning.
+///
+/// When the [`DriftMonitor`] fires, `retuner` is handed the most recent
+/// window of admitted batches and must produce a freshly tuned backend.
+/// The retune costs `retune_latency_us` of simulated wall time — the old
+/// engine keeps serving meanwhile — and the new engine is atomically
+/// swapped in at the completion timestamp.
+pub struct RetunePolicy<'a> {
+    /// Drift-detection window and threshold.
+    pub drift: DriftConfig,
+    /// Simulated cost of one background retune, µs.
+    pub retune_latency_us: f64,
+    /// Builds a new backend from recent traffic.
+    #[allow(clippy::type_complexity)]
+    pub retuner: Box<dyn FnMut(&[Batch]) -> Box<dyn Backend> + 'a>,
+}
+
+/// Why a serving run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The active backend refused a chunk.
+    Backend(BackendError),
+    /// The configuration is unusable (e.g. a zero batch cap).
+    Policy(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backend(e) => write!(f, "backend error: {e}"),
+            ServeError::Policy(m) => write!(f, "invalid serving policy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BackendError> for ServeError {
+    fn from(e: BackendError) -> Self {
+        ServeError::Backend(e)
+    }
+}
+
+/// The serving runtime: one backend, one model, one device.
+pub struct ServeRuntime<'a> {
+    /// Engine serving the traffic (may be hot-swapped by a retune).
+    pub backend: &'a dyn Backend,
+    /// The model served.
+    pub model: &'a ModelConfig,
+    /// Its embedding tables.
+    pub tables: &'a TableSet,
+    /// The simulated device.
+    pub arch: &'a GpuArch,
+    /// Runtime configuration.
+    pub config: ServeConfig,
+}
+
+/// The engine currently serving: the caller's borrowed backend until a
+/// retune completes, then the owned replacement.
+enum Active<'a> {
+    Borrowed(&'a dyn Backend),
+    Owned(Box<dyn Backend>),
+}
+
+impl Active<'_> {
+    fn get(&self) -> &dyn Backend {
+        match self {
+            Active::Borrowed(b) => *b,
+            Active::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
+/// Which event fires next; declaration order is tie-break priority.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+enum EventKind {
+    Completion,
+    Swap,
+    Arrival,
+    Flush,
+}
+
+impl ServeRuntime<'_> {
+    /// Serve a request stream with a fixed engine.
+    pub fn serve(&self, requests: &[Request]) -> Result<ServeReport, ServeError> {
+        self.run(requests, None)
+    }
+
+    /// Serve a request stream with drift-triggered background retuning.
+    pub fn serve_with_retune(
+        &self,
+        requests: &[Request],
+        retune: &mut RetunePolicy<'_>,
+    ) -> Result<ServeReport, ServeError> {
+        self.run(requests, Some(retune))
+    }
+
+    fn run(
+        &self,
+        requests: &[Request],
+        mut retune: Option<&mut RetunePolicy<'_>>,
+    ) -> Result<ServeReport, ServeError> {
+        match self.config.policy {
+            BatchPolicy::Split { cap: 0 } => {
+                return Err(ServeError::Policy("split cap must be at least 1"))
+            }
+            BatchPolicy::Dynamic {
+                max_batch,
+                max_wait_us,
+            } => {
+                if max_batch == 0 {
+                    return Err(ServeError::Policy("dynamic max_batch must be at least 1"));
+                }
+                if !max_wait_us.is_finite() || max_wait_us < 0.0 {
+                    return Err(ServeError::Policy(
+                        "dynamic max_wait_us must be finite and >= 0",
+                    ));
+                }
+            }
+            _ => {}
+        }
+
+        let n = requests.len();
+        let mut st = RunState {
+            executor: DeviceExecutor::new(self.config.streams),
+            records: vec![None; n],
+            remaining_chunks: vec![0u32; n],
+            first_start_us: vec![f64::INFINITY; n],
+            last_done_us: vec![0.0f64; n],
+            arrival_eff_us: requests.iter().map(|r| r.arrival_us).collect(),
+            chunk_owners: HashMap::new(),
+            next_job: 0,
+            launches: 0,
+            buffer: Vec::new(),
+            buffer_size: 0,
+            buffer_oldest_us: f64::INFINITY,
+            active: Active::Borrowed(self.backend),
+            monitor: retune
+                .as_ref()
+                .map(|r| DriftMonitor::for_model(r.drift, self.model)),
+            recent: Vec::new(),
+            pending_swap: None,
+            retunes: 0,
+        };
+
+        let mut cursor = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // Candidate events, probed in tie-break priority order.
+            let mut next: Option<(f64, EventKind)> = None;
+            let mut consider = |t: Option<f64>, kind: EventKind| {
+                if let Some(t) = t {
+                    if next.is_none_or(|(bt, _)| t < bt) {
+                        next = Some((t, kind));
+                    }
+                }
+            };
+            consider(st.executor.next_completion_us(), EventKind::Completion);
+            consider(st.pending_swap.as_ref().map(|(t, _)| *t), EventKind::Swap);
+            let arrival_t = if cursor < n {
+                if self.config.closed_loop {
+                    // Admit only when the previous request fully drained.
+                    (st.executor.is_idle() && st.buffer.is_empty()).then_some(now)
+                } else {
+                    Some(requests[cursor].arrival_us.max(now))
+                }
+            } else {
+                None
+            };
+            consider(arrival_t, EventKind::Arrival);
+            let flush_t = match self.config.policy {
+                BatchPolicy::Dynamic { max_wait_us, .. } if !st.buffer.is_empty() => {
+                    Some((st.buffer_oldest_us + max_wait_us).max(now))
+                }
+                _ => None,
+            };
+            consider(flush_t, EventKind::Flush);
+
+            let Some((t, kind)) = next else { break };
+            now = t;
+
+            match kind {
+                EventKind::Completion => {
+                    st.executor.advance_to(now);
+                    st.note_starts();
+                    let done = st.executor.drain_completed();
+                    for (t_done, job) in done {
+                        let owners = st
+                            .chunk_owners
+                            .remove(&job)
+                            .expect("completion for unknown chunk");
+                        for ri in owners {
+                            st.remaining_chunks[ri] -= 1;
+                            st.last_done_us[ri] = st.last_done_us[ri].max(t_done);
+                            if st.remaining_chunks[ri] == 0 {
+                                st.finalize(ri, requests);
+                            }
+                        }
+                    }
+                    // Work-conserving: an idle device drains the batcher.
+                    if st.executor.is_idle() && !st.buffer.is_empty() {
+                        st.flush_buffer(now, self, requests)?;
+                    }
+                }
+                EventKind::Swap => {
+                    let (_, backend) = st.pending_swap.take().expect("swap without retune");
+                    st.active = Active::Owned(backend);
+                    st.retunes += 1;
+                    if let Some(mon) = st.monitor.as_mut() {
+                        // The new engine is tuned on recent traffic; its
+                        // reference is what that traffic actually looked
+                        // like.
+                        let (lk, sm) = st.recent.iter().fold((0.0, 0.0), |(l, s), b| {
+                            (l + b.total_lookups() as f64, s + b.batch_size as f64)
+                        });
+                        if sm > 0.0 {
+                            mon.rebase(lk / sm);
+                        }
+                    }
+                }
+                EventKind::Arrival => {
+                    st.admit(cursor, now, self, requests, &mut retune)?;
+                    cursor += 1;
+                }
+                EventKind::Flush => {
+                    st.flush_buffer(now, self, requests)?;
+                }
+            }
+        }
+
+        debug_assert!(st.records.iter().all(Option::is_some));
+        Ok(ServeReport {
+            records: st.records.into_iter().flatten().collect(),
+            kernel_launches: st.launches,
+            retunes: st.retunes,
+            makespan_us: now,
+        })
+    }
+}
+
+/// Mutable state of one run, split out so admission/flush helpers can
+/// borrow it whole while the runtime stays shared.
+struct RunState<'a> {
+    executor: DeviceExecutor,
+    records: Vec<Option<RequestRecord>>,
+    remaining_chunks: Vec<u32>,
+    first_start_us: Vec<f64>,
+    last_done_us: Vec<f64>,
+    arrival_eff_us: Vec<f64>,
+    chunk_owners: HashMap<u64, Vec<usize>>,
+    next_job: u64,
+    launches: u64,
+    /// Request indices waiting in the dynamic batcher.
+    buffer: Vec<usize>,
+    buffer_size: u32,
+    buffer_oldest_us: f64,
+    active: Active<'a>,
+    monitor: Option<DriftMonitor>,
+    /// Most recent admitted batches (drift window), oldest first.
+    recent: Vec<Batch>,
+    /// A retune in flight: (completion timestamp, new engine).
+    pending_swap: Option<(f64, Box<dyn Backend>)>,
+    retunes: u32,
+}
+
+impl RunState<'_> {
+    fn admit(
+        &mut self,
+        ri: usize,
+        now: f64,
+        rt: &ServeRuntime<'_>,
+        requests: &[Request],
+        retune: &mut Option<&mut RetunePolicy<'_>>,
+    ) -> Result<(), ServeError> {
+        let req = &requests[ri];
+        self.arrival_eff_us[ri] = if rt.config.closed_loop {
+            now
+        } else {
+            req.arrival_us
+        };
+
+        // SLO admission: if the device already owes more work than the
+        // deadline, this request cannot finish in time — shed it now
+        // rather than poison the queue for everyone behind it.
+        if let Some(deadline) = rt.config.slo_deadline_us {
+            if self.executor.backlog_us() > deadline {
+                self.records[ri] = Some(RequestRecord {
+                    id: req.id,
+                    batch_size: req.batch.batch_size,
+                    arrival_us: self.arrival_eff_us[ri],
+                    queue_us: 0.0,
+                    service_us: 0.0,
+                    done_us: self.arrival_eff_us[ri],
+                    shed: true,
+                });
+                return Ok(());
+            }
+        }
+
+        // Drift monitoring sees every admitted batch.
+        if let Some(policy) = retune.as_deref_mut() {
+            self.recent.push(req.batch.clone());
+            let window = policy.drift.window.max(1);
+            if self.recent.len() > window {
+                self.recent.drain(..self.recent.len() - window);
+            }
+            let drifted = self
+                .monitor
+                .as_mut()
+                .map(|m| m.observe(&req.batch))
+                .unwrap_or(false);
+            if drifted && self.pending_swap.is_none() {
+                let new_backend = (policy.retuner)(&self.recent);
+                self.pending_swap = Some((now + policy.retune_latency_us, new_backend));
+            }
+        }
+
+        match rt.config.policy {
+            BatchPolicy::Unsplit => {
+                self.submit_chunk(req.batch.clone(), vec![ri], now, rt, requests)?;
+            }
+            BatchPolicy::Split { cap } => {
+                let chunks = req
+                    .batch
+                    .split(cap)
+                    .map_err(|_| ServeError::Policy("split cap must be at least 1"))?;
+                if chunks.is_empty() {
+                    self.finalize_empty(ri, now, requests);
+                } else {
+                    for chunk in chunks {
+                        self.submit_chunk(chunk, vec![ri], now, rt, requests)?;
+                    }
+                }
+            }
+            BatchPolicy::Dynamic { max_batch, .. } => {
+                if req.batch.batch_size == 0 {
+                    self.finalize_empty(ri, now, requests);
+                } else if req.batch.batch_size >= max_batch {
+                    // Oversized: flush waiting small requests first so
+                    // device order stays FIFO, then split the big one.
+                    self.flush_buffer(now, rt, requests)?;
+                    let chunks = req
+                        .batch
+                        .split(max_batch)
+                        .map_err(|_| ServeError::Policy("dynamic max_batch must be at least 1"))?;
+                    for chunk in chunks {
+                        self.submit_chunk(chunk, vec![ri], now, rt, requests)?;
+                    }
+                } else {
+                    if self.buffer_size + req.batch.batch_size > max_batch {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                    self.buffer.push(ri);
+                    self.buffer_size += req.batch.batch_size;
+                    self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                    if self.buffer_size == max_batch || self.executor.is_idle() {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_buffer(
+        &mut self,
+        now: f64,
+        rt: &ServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let owners = std::mem::take(&mut self.buffer);
+        self.buffer_size = 0;
+        self.buffer_oldest_us = f64::INFINITY;
+        let parts: Vec<Batch> = owners
+            .iter()
+            .map(|&ri| requests[ri].batch.clone())
+            .collect();
+        let merged = Batch::merge(&parts);
+        self.submit_chunk(merged, owners, now, rt, requests)
+    }
+
+    fn submit_chunk(
+        &mut self,
+        batch: Batch,
+        owners: Vec<usize>,
+        now: f64,
+        rt: &ServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        let run = self
+            .active
+            .get()
+            .run(rt.model, rt.tables, &batch, rt.arch)?;
+        self.launches += u64::from(run.kernel_launches);
+        for &ri in &owners {
+            self.remaining_chunks[ri] += 1;
+        }
+        let job = self.next_job;
+        self.next_job += 1;
+        self.chunk_owners.insert(job, owners);
+        self.executor.submit(now, job, run.latency_us);
+        self.note_starts();
+        // Zero-cost chunks retire inside `submit`; collect them here so
+        // their owners don't wait for a completion event that may never
+        // have a distinct timestamp.
+        let done = self.executor.drain_completed();
+        for (t_done, job) in done {
+            let owners = self
+                .chunk_owners
+                .remove(&job)
+                .expect("completion for unknown chunk");
+            for ri in owners {
+                self.remaining_chunks[ri] -= 1;
+                self.last_done_us[ri] = self.last_done_us[ri].max(t_done);
+                if self.remaining_chunks[ri] == 0 {
+                    self.finalize(ri, requests);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold freshly drained kernel-start events into per-request first
+    /// start times, so `queue_us` covers batching delay *and* stream
+    /// queueing.
+    fn note_starts(&mut self) {
+        for (t_start, job) in self.executor.drain_started() {
+            if let Some(owners) = self.chunk_owners.get(&job) {
+                for &ri in owners {
+                    self.first_start_us[ri] = self.first_start_us[ri].min(t_start);
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, ri: usize, requests: &[Request]) {
+        let arrival = self.arrival_eff_us[ri];
+        let first = self.first_start_us[ri];
+        let done = self.last_done_us[ri];
+        self.records[ri] = Some(RequestRecord {
+            id: requests[ri].id,
+            batch_size: requests[ri].batch.batch_size,
+            arrival_us: arrival,
+            queue_us: first - arrival,
+            service_us: done - first,
+            done_us: done,
+            shed: false,
+        });
+    }
+
+    fn finalize_empty(&mut self, ri: usize, now: f64, requests: &[Request]) {
+        self.records[ri] = Some(RequestRecord {
+            id: requests[ri].id,
+            batch_size: 0,
+            arrival_us: self.arrival_eff_us[ri],
+            queue_us: 0.0,
+            service_us: 0.0,
+            done_us: now,
+            shed: false,
+        });
+    }
+}

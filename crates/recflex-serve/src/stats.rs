@@ -1,0 +1,187 @@
+//! Per-request latency accounting.
+//!
+//! Serving quality is a tail-latency story (Section VI-D reports
+//! end-to-end latency under concurrent long-tail requests), so the
+//! runtime records a full breakdown for every request — queue wait
+//! versus device time — and the report exposes nearest-rank percentiles
+//! over completed requests plus the shed rate for SLO accounting.
+
+/// What happened to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Stream-unique request id, in arrival order.
+    pub id: u64,
+    /// Samples in the request.
+    pub batch_size: u32,
+    /// Arrival timestamp, µs.
+    pub arrival_us: f64,
+    /// Time spent waiting before the first chunk launched, µs
+    /// (batching delay + stream queueing). Zero for shed requests.
+    pub queue_us: f64,
+    /// Time from first launch to last completion, µs. Zero for shed.
+    pub service_us: f64,
+    /// Completion timestamp, µs (equals `arrival_us` for shed requests).
+    pub done_us: f64,
+    /// True when admission control dropped the request to protect the
+    /// SLO of everyone behind it.
+    pub shed: bool,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: queue wait plus device service.
+    pub fn latency_us(&self) -> f64 {
+        self.done_us - self.arrival_us
+    }
+}
+
+/// Aggregate outcome of one serving run. `PartialEq` so replay tests can
+/// assert two runs of the same seed are *identical*, not merely close.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeReport {
+    /// One record per request, in arrival order (shed included).
+    pub records: Vec<RequestRecord>,
+    /// Device kernel launches across the run.
+    pub kernel_launches: u64,
+    /// Background retunes that completed during the run.
+    pub retunes: u32,
+    /// Timestamp of the last completion (or last arrival if all shed).
+    pub makespan_us: f64,
+}
+
+impl ServeReport {
+    /// Records of requests that actually ran.
+    pub fn completed(&self) -> impl Iterator<Item = &RequestRecord> {
+        self.records.iter().filter(|r| !r.shed)
+    }
+
+    /// Fraction of requests shed by admission control, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.shed).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean end-to-end latency over completed requests, µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        let (sum, n) = self
+            .completed()
+            .fold((0.0, 0u64), |(s, n), r| (s + r.latency_us(), n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Nearest-rank latency percentile over completed requests, µs.
+    /// `q` in `[0, 1]`; `q = 0` is the minimum, `q = 1` the maximum.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        let mut lat: Vec<f64> = self.completed().map(|r| r.latency_us()).collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((lat.len() as f64 * q).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    }
+
+    /// Mean queue wait over completed requests, µs — the batching +
+    /// stream-contention share of latency.
+    pub fn mean_queue_us(&self) -> f64 {
+        let (sum, n) = self
+            .completed()
+            .fold((0.0, 0u64), |(s, n), r| (s + r.queue_us, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, arrival: f64, queue: f64, service: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            batch_size: 32,
+            arrival_us: arrival,
+            queue_us: queue,
+            service_us: service,
+            done_us: arrival + queue + service,
+            shed: false,
+        }
+    }
+
+    fn shed(id: u64, arrival: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            batch_size: 32,
+            arrival_us: arrival,
+            queue_us: 0.0,
+            service_us: 0.0,
+            done_us: arrival,
+            shed: true,
+        }
+    }
+
+    #[test]
+    fn percentiles_over_known_latencies() {
+        let report = ServeReport {
+            records: (0..10)
+                .map(|i| rec(i, 0.0, 0.0, (i + 1) as f64 * 10.0))
+                .collect(),
+            ..Default::default()
+        };
+        assert_eq!(report.percentile_us(0.5), 50.0);
+        assert_eq!(report.percentile_us(0.9), 90.0);
+        assert_eq!(report.percentile_us(1.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        let report = ServeReport {
+            records: vec![rec(0, 0.0, 0.0, 30.0), rec(1, 0.0, 0.0, 10.0)],
+            ..Default::default()
+        };
+        assert_eq!(report.percentile_us(0.0), 10.0);
+    }
+
+    #[test]
+    fn single_record_percentiles_all_agree() {
+        let report = ServeReport {
+            records: vec![rec(0, 5.0, 2.0, 40.0)],
+            ..Default::default()
+        };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(report.percentile_us(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn shed_requests_count_in_shed_rate_not_latency() {
+        let report = ServeReport {
+            records: vec![
+                rec(0, 0.0, 0.0, 100.0),
+                shed(1, 1.0),
+                shed(2, 2.0),
+                rec(3, 3.0, 0.0, 100.0),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.shed_rate(), 0.5);
+        assert_eq!(report.mean_latency_us(), 100.0);
+        assert_eq!(report.percentile_us(0.99), 100.0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = ServeReport::default();
+        assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.mean_latency_us(), 0.0);
+        assert_eq!(report.percentile_us(0.5), 0.0);
+    }
+}

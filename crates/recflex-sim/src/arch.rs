@@ -89,7 +89,7 @@ impl GpuArch {
             lsu_per_sm: 4.0,
             kernel_launch_us: 4.0,
             barrier_cycles: 30.0,
-            host_link_gbps: 16.0,  // PCIe 3.0 x16
+            host_link_gbps: 16.0, // PCIe 3.0 x16
             uvm_latency: 2200.0,
         }
     }
@@ -118,7 +118,7 @@ impl GpuArch {
             lsu_per_sm: 4.0,
             kernel_launch_us: 4.0,
             barrier_cycles: 30.0,
-            host_link_gbps: 32.0,  // PCIe 4.0 x16
+            host_link_gbps: 32.0, // PCIe 4.0 x16
             uvm_latency: 2000.0,
         }
     }

@@ -33,7 +33,6 @@ use crate::metrics::KernelMetrics;
 use crate::occupancy::{control_occupancy, occupancy, Occupancy};
 use crate::profile::BlockProfile;
 
-
 /// Launch-time options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LaunchConfig {
@@ -53,7 +52,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Config with an occupancy target and default everything else.
     pub fn with_occupancy(target: u32) -> Self {
-        LaunchConfig { occupancy_target: Some(target), ..Default::default() }
+        LaunchConfig {
+            occupancy_target: Some(target),
+            ..Default::default()
+        }
     }
 }
 
@@ -177,7 +179,8 @@ pub fn launch<K: SimKernel>(
     let natural_res = kernel.resources();
     let (res, blocks_per_sm, reg_cap) = match cfg.occupancy_target {
         Some(target) => {
-            let ctl = control_occupancy(&natural_res, arch, target).ok_or(LaunchError::Unlaunchable)?;
+            let ctl =
+                control_occupancy(&natural_res, arch, target).ok_or(LaunchError::Unlaunchable)?;
             (ctl.resources, ctl.blocks_per_sm, ctl.reg_cap)
         }
         None => {
@@ -196,11 +199,17 @@ pub fn launch<K: SimKernel>(
     };
 
     let ctx = ProfileCtx { reg_cap };
-    let issue_mult = if cfg.issue_multiplier > 0.0 { cfg.issue_multiplier } else { 1.0 };
+    let issue_mult = if cfg.issue_multiplier > 0.0 {
+        cfg.issue_multiplier
+    } else {
+        1.0
+    };
 
     // Phase 1: profile all blocks in parallel (pure, deterministic).
-    let profiles: Vec<BlockProfile> =
-        (0..grid).into_par_iter().map(|b| kernel.profile_block(b, &ctx)).collect();
+    let profiles: Vec<BlockProfile> = (0..grid)
+        .into_par_iter()
+        .map(|b| kernel.profile_block(b, &ctx))
+        .collect();
 
     // Phase 2: grid-level memory behaviour.
     let total_bytes: u64 = profiles.iter().map(|p| p.bytes_accessed).sum();
@@ -208,7 +217,9 @@ pub fn launch<K: SimKernel>(
     let mem = MemorySystem::from_traffic(arch, total_bytes, unique_bytes, cfg.extra_l2_pressure);
 
     // Phase 3: block times under the launch environment.
-    let b_eff = (blocks_per_sm as f64).min((grid as f64 / arch.num_sms as f64).ceil()).max(1.0);
+    let b_eff = (blocks_per_sm as f64)
+        .min((grid as f64 / arch.num_sms as f64).ceil())
+        .max(1.0);
     let dram_rate = arch.dram_bytes_per_sm_cycle();
     let l2_rate = arch.l2_bytes_per_sm_cycle();
 
@@ -278,7 +289,8 @@ pub fn launch<K: SimKernel>(
     let total_shared: f64 = block_times.iter().sum();
     let throughput_bound = total_shared / slots as f64;
     let sms = arch.num_sms as f64;
-    let dram_bound: f64 = profiles.iter().map(|p| mem.dram_bytes(p)).sum::<f64>() / (dram_rate * sms);
+    let dram_bound: f64 =
+        profiles.iter().map(|p| mem.dram_bytes(p)).sum::<f64>() / (dram_rate * sms);
     let l2_bound: f64 = profiles.iter().map(|p| mem.l2_bytes(p)).sum::<f64>() / (l2_rate * sms);
     let issue_bound: f64 = profiles.iter().map(|p| p.issue_cycles).sum::<f64>() * issue_mult
         / (arch.warp_schedulers as f64 * sms);
@@ -304,8 +316,9 @@ pub fn launch<K: SimKernel>(
         .map(|p| (mem.dram_bytes(p) + mem.l2_bytes(p)) * p.active_warps.max(1) as f64)
         .sum::<f64>()
         / total_membytes;
-    let eff_warps_per_sm =
-        (b_eff * weighted_active_warps).min(occ.warps_per_sm as f64).max(1.0);
+    let eff_warps_per_sm = (b_eff * weighted_active_warps)
+        .min(occ.warps_per_sm as f64)
+        .max(1.0);
     let supply_rate = eff_warps_per_sm * weighted_mlp * arch.sector_bytes as f64 / mem.avg_latency;
     let supply_bound = total_membytes / (supply_rate * sms);
     // UVM traffic crosses the host interconnect, a chip-global channel.
@@ -332,7 +345,11 @@ pub fn launch<K: SimKernel>(
     let outcome = crate::scheduler::ScheduleOutcome {
         makespan,
         total_block_cycles: total_shared,
-        utilization: if makespan > 0.0 { (throughput_bound.max(dram_bound)) / makespan } else { 0.0 },
+        utilization: if makespan > 0.0 {
+            (throughput_bound.max(dram_bound)) / makespan
+        } else {
+            0.0
+        },
     };
     let latency_us = arch.cycles_to_us(outcome.makespan) + arch.kernel_launch_us;
 
@@ -349,8 +366,8 @@ pub fn launch<K: SimKernel>(
     let memory_throughput_gbps = dram_total / time_s / 1e9;
     let max_bandwidth_pct = 100.0 * memory_throughput_gbps / arch.dram_bw_gbps;
     let l2_throughput_pct = 100.0 * (l2_total / time_s / 1e9) / arch.l2_bw_gbps;
-    let l1_throughput_pct = 100.0 * trans_total as f64
-        / (outcome.makespan * arch.num_sms as f64 * arch.lsu_per_sm);
+    let l1_throughput_pct =
+        100.0 * trans_total as f64 / (outcome.makespan * arch.num_sms as f64 * arch.lsu_per_sm);
     let memory_busy_pct =
         100.0 * mem_bound_cycles / (slots as f64 * outcome.makespan.max(1e-9)) / b_eff.max(1.0)
             * blocks_per_sm as f64;
@@ -516,7 +533,10 @@ mod tests {
         let crowded = launch(
             &k,
             &arch,
-            &LaunchConfig { extra_l2_pressure: 512 << 20, ..Default::default() },
+            &LaunchConfig {
+                extra_l2_pressure: 512 << 20,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(crowded.latency_us > alone.latency_us);
@@ -531,7 +551,10 @@ mod tests {
         let fnptr = launch(
             &k,
             &arch,
-            &LaunchConfig { issue_multiplier: 1.45, ..Default::default() },
+            &LaunchConfig {
+                issue_multiplier: 1.45,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(fnptr.latency_us > ifelse.latency_us * 1.2);

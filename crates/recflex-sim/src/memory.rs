@@ -43,10 +43,19 @@ impl MemorySystem {
         let l2_hit_rate = (arch.l2_size as f64 / footprint as f64).min(1.0);
 
         let dram_bytes = unique as f64 + reuse as f64 * (1.0 - l2_hit_rate);
-        let dram_fraction = if total_bytes == 0 { 0.0 } else { dram_bytes / total_bytes as f64 };
-        let avg_latency = dram_fraction * arch.dram_latency + (1.0 - dram_fraction) * arch.l2_latency;
+        let dram_fraction = if total_bytes == 0 {
+            0.0
+        } else {
+            dram_bytes / total_bytes as f64
+        };
+        let avg_latency =
+            dram_fraction * arch.dram_latency + (1.0 - dram_fraction) * arch.l2_latency;
 
-        MemorySystem { l2_hit_rate, avg_latency, dram_fraction }
+        MemorySystem {
+            l2_hit_rate,
+            avg_latency,
+            dram_fraction,
+        }
     }
 
     /// DRAM bytes a block with profile `p` actually moves, given this
@@ -99,7 +108,11 @@ mod tests {
 
     #[test]
     fn block_dram_bytes_include_writes() {
-        let m = MemorySystem { l2_hit_rate: 1.0, avg_latency: 200.0, dram_fraction: 0.5 };
+        let m = MemorySystem {
+            l2_hit_rate: 1.0,
+            avg_latency: 200.0,
+            dram_fraction: 0.5,
+        };
         let p = BlockProfile {
             bytes_accessed: 1000,
             unique_bytes: 400,
@@ -114,7 +127,11 @@ mod tests {
     #[test]
     fn latency_bounded_by_endpoints() {
         let arch = v100();
-        for (t, u) in [(1u64 << 20, 1u64 << 18), (1 << 28, 1 << 27), (1 << 31, 1 << 30)] {
+        for (t, u) in [
+            (1u64 << 20, 1u64 << 18),
+            (1 << 28, 1 << 27),
+            (1 << 31, 1 << 30),
+        ] {
             let m = MemorySystem::from_traffic(&arch, t, u, 0);
             assert!(m.avg_latency >= arch.l2_latency - 1e-9);
             assert!(m.avg_latency <= arch.dram_latency + 1e-9);

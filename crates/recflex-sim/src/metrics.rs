@@ -48,8 +48,14 @@ impl KernelMetrics {
             ("Max Bandwidth (%)", self.max_bandwidth_pct),
             ("L1 Cache Throughput (%)", self.l1_throughput_pct),
             ("L2 Cache Throughput (%)", self.l2_throughput_pct),
-            ("Avg. Active Threads Per Warp", self.avg_active_threads_per_warp),
-            ("Avg. Not Predicted Off Threads per Warp", self.avg_not_pred_off_threads_per_warp),
+            (
+                "Avg. Active Threads Per Warp",
+                self.avg_active_threads_per_warp,
+            ),
+            (
+                "Avg. Not Predicted Off Threads per Warp",
+                self.avg_not_pred_off_threads_per_warp,
+            ),
         ]
     }
 }

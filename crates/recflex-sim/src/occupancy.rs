@@ -24,7 +24,11 @@ pub struct BlockResources {
 impl BlockResources {
     /// Convenience constructor.
     pub fn new(threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> Self {
-        BlockResources { threads_per_block, regs_per_thread, smem_per_block }
+        BlockResources {
+            threads_per_block,
+            regs_per_thread,
+            smem_per_block,
+        }
     }
 
     /// Warps per block, rounded up.
@@ -79,14 +83,21 @@ fn round_up(x: u32, granularity: u32) -> u32 {
 pub fn occupancy(res: &BlockResources, arch: &GpuArch) -> Occupancy {
     let warps = res.warps_per_block(arch.warp_size);
     if warps == 0 {
-        return Occupancy { blocks_per_sm: 0, warps_per_sm: 0, limiter: Limiter::Unlaunchable };
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            limiter: Limiter::Unlaunchable,
+        };
     }
 
     let by_warps = arch.max_warps_per_sm / warps;
     let by_blocks = arch.max_blocks_per_sm;
 
     // Registers are allocated per warp with a granularity.
-    let regs_per_warp = round_up(res.regs_per_thread.max(16) * arch.warp_size, arch.reg_alloc_granularity);
+    let regs_per_warp = round_up(
+        res.regs_per_thread.max(16) * arch.warp_size,
+        arch.reg_alloc_granularity,
+    );
     let by_regs = if res.regs_per_thread > arch.max_regs_per_thread {
         0
     } else {
@@ -113,7 +124,11 @@ pub fn occupancy(res: &BlockResources, arch: &GpuArch) -> Occupancy {
         Limiter::SharedMemory
     };
 
-    Occupancy { blocks_per_sm: blocks, warps_per_sm: blocks * warps, limiter }
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * warps,
+        limiter,
+    }
 }
 
 /// Occupancy control (paper Section IV-A2): force a kernel's residency to a
@@ -180,7 +195,8 @@ pub fn control_occupancy(
         // Cap registers so `target` blocks fit; spilling is accounted by the
         // kernel cost model via `reg_cap`.
         let regs_per_warp_budget = arch.regs_per_sm / (target * warps);
-        let regs_per_warp = regs_per_warp_budget - (regs_per_warp_budget % arch.reg_alloc_granularity);
+        let regs_per_warp =
+            regs_per_warp_budget - (regs_per_warp_budget % arch.reg_alloc_granularity);
         let cap = (regs_per_warp / arch.warp_size).max(16);
         if cap < res.regs_per_thread {
             reg_cap = Some(cap);
@@ -194,7 +210,12 @@ pub fn control_occupancy(
     if achieved == 0 {
         return None;
     }
-    Some(OccupancyControl { resources: adjusted, blocks_per_sm: achieved.min(target), reg_cap, smem_pad })
+    Some(OccupancyControl {
+        resources: adjusted,
+        blocks_per_sm: achieved.min(target),
+        reg_cap,
+        smem_pad,
+    })
 }
 
 #[cfg(test)]

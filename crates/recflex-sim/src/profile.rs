@@ -64,7 +64,12 @@ impl BlockProfile {
     /// An empty (idle) block — used for over-allocated static thread
     /// mappings where a block finds no work at runtime.
     pub fn idle() -> Self {
-        BlockProfile { issue_cycles: 8.0, mlp: 1.0, active_warps: 0, ..Default::default() }
+        BlockProfile {
+            issue_cycles: 8.0,
+            mlp: 1.0,
+            active_warps: 0,
+            ..Default::default()
+        }
     }
 
     /// Whether this block performs no memory work.

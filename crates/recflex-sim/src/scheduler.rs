@@ -49,15 +49,27 @@ pub fn schedule_blocks(block_times: &[f64], slots: u32) -> ScheduleOutcome {
     assert!(slots > 0, "cannot schedule onto zero slots");
     let total: f64 = block_times.iter().sum();
     if block_times.is_empty() {
-        return ScheduleOutcome { makespan: 0.0, total_block_cycles: 0.0, utilization: 0.0 };
+        return ScheduleOutcome {
+            makespan: 0.0,
+            total_block_cycles: 0.0,
+            utilization: 0.0,
+        };
     }
 
     let slots = slots as usize;
     if block_times.len() <= slots {
         // Everything runs immediately in parallel.
         let makespan = block_times.iter().copied().fold(0.0f64, f64::max);
-        let utilization = if makespan > 0.0 { total / (slots as f64 * makespan) } else { 0.0 };
-        return ScheduleOutcome { makespan, total_block_cycles: total, utilization };
+        let utilization = if makespan > 0.0 {
+            total / (slots as f64 * makespan)
+        } else {
+            0.0
+        };
+        return ScheduleOutcome {
+            makespan,
+            total_block_cycles: total,
+            utilization,
+        };
     }
 
     // Min-heap of slot free times; dispatch each block to the earliest
@@ -70,8 +82,16 @@ pub fn schedule_blocks(block_times: &[f64], slots: u32) -> ScheduleOutcome {
         makespan = makespan.max(end);
         heap.push(Reverse(Time(end)));
     }
-    let utilization = if makespan > 0.0 { total / (slots as f64 * makespan) } else { 0.0 };
-    ScheduleOutcome { makespan, total_block_cycles: total, utilization }
+    let utilization = if makespan > 0.0 {
+        total / (slots as f64 * makespan)
+    } else {
+        0.0
+    };
+    ScheduleOutcome {
+        makespan,
+        total_block_cycles: total,
+        utilization,
+    }
 }
 
 #[cfg(test)]

@@ -97,7 +97,15 @@ impl<'a> CoExecKernel<'a> {
             .map(|c| c.resources())
             .reduce(|a, b| a.union(&b))
             .expect("non-empty candidates");
-        CoExecKernel { candidates, fb, workload, segments, pad_blocks, pad_profile, resources }
+        CoExecKernel {
+            candidates,
+            fb,
+            workload,
+            segments,
+            pad_blocks,
+            pad_profile,
+            resources,
+        }
     }
 
     /// Block range of candidate `i` (for scoring from a launch report).

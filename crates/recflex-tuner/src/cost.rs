@@ -60,7 +60,10 @@ impl TuningCost {
     /// solution 2) would need: `Π N_f`, returned as log10 because the
     /// number itself does not fit in anything.
     pub fn holistic_kernels_log10(&self, candidates_per_feature: &[usize]) -> f64 {
-        candidates_per_feature.iter().map(|&n| (n.max(1) as f64).log10()).sum()
+        candidates_per_feature
+            .iter()
+            .map(|&n| (n.max(1) as f64).log10())
+            .sum()
     }
 
     /// Total kernels this tuner compiles — the `O(F·K + K)` headline.
@@ -87,7 +90,10 @@ mod tests {
         let c2 = TuningCost::estimate(&TuningContext::new(&m2, &d2, &arch, &cfg), &cfg, 8);
         assert_eq!(c1.local_kernels, m1.features.len() * 3);
         assert_eq!(c2.local_kernels, m2.features.len() * 3);
-        assert_eq!(c1.global_kernels, c2.global_kernels, "global stage is O(K), not O(F)");
+        assert_eq!(
+            c1.global_kernels, c2.global_kernels,
+            "global stage is O(K), not O(F)"
+        );
         // Doubling features doubles the local stage exactly.
         assert_eq!(c2.local_kernels, 2 * c1.local_kernels);
     }
@@ -105,14 +111,24 @@ mod tests {
             total_candidates: 400,
         };
         let log10 = cost.holistic_kernels_log10(&[4; 100]);
-        assert!((log10 - 60.2).abs() < 0.2, "4^100 ≈ 10^60.2, got 10^{log10}");
-        assert!(cost.total_kernels() < 1000, "vs O(F·K+K) = {}", cost.total_kernels());
+        assert!(
+            (log10 - 60.2).abs() < 0.2,
+            "4^100 ≈ 10^60.2, got 10^{log10}"
+        );
+        assert!(
+            cost.total_kernels() < 1000,
+            "vs O(F·K+K) = {}",
+            cost.total_kernels()
+        );
     }
 
     #[test]
     fn default_levels_fall_back_to_arch() {
         let arch = GpuArch::v100();
-        let cfg = TunerConfig { occupancy_levels: None, ..TunerConfig::fast() };
+        let cfg = TunerConfig {
+            occupancy_levels: None,
+            ..TunerConfig::fast()
+        };
         let m = ModelPreset::A.scaled(0.005);
         let d = Dataset::synthesize(&m, 2, 32, 5);
         let ctx = TuningContext::new(&m, &d, &arch, &cfg);

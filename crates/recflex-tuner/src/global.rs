@@ -67,7 +67,12 @@ pub fn tune_global_stage(
         .enumerate()
         .map(|(f, &c)| ctx.candidates[f].candidates[c])
         .collect();
-    TuneResult { schedules, choices, occupancy: best_occ, global_latencies }
+    TuneResult {
+        schedules,
+        choices,
+        occupancy: best_occ,
+        global_latencies,
+    }
 }
 
 #[cfg(test)]
@@ -124,8 +129,7 @@ mod tests {
         let ds = Dataset::synthesize(&m, 2, 64, 5);
         let arch = GpuArch::v100();
         let result = tune_two_stage(&m, &ds, &arch, &TunerConfig::fast());
-        let kinds: std::collections::HashSet<_> =
-            result.schedules.iter().map(|s| s.kind).collect();
+        let kinds: std::collections::HashSet<_> = result.schedules.iter().map(|s| s.kind).collect();
         let labels: std::collections::HashSet<_> =
             result.schedules.iter().map(|s| s.label()).collect();
         assert!(

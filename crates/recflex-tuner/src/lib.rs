@@ -50,14 +50,22 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { occupancy_levels: None, tuning_batches: 4, pad_fill: 2.0 }
+        TunerConfig {
+            occupancy_levels: None,
+            tuning_batches: 4,
+            pad_fill: 2.0,
+        }
     }
 }
 
 impl TunerConfig {
     /// Reduced-cost configuration for tests and examples.
     pub fn fast() -> Self {
-        TunerConfig { occupancy_levels: Some(vec![2, 4, 8]), tuning_batches: 2, pad_fill: 1.5 }
+        TunerConfig {
+            occupancy_levels: Some(vec![2, 4, 8]),
+            tuning_batches: 2,
+            pad_fill: 1.5,
+        }
     }
 }
 
@@ -113,7 +121,13 @@ impl<'a> TuningContext<'a> {
             .par_iter()
             .map(|b| analyze_batch(model, b))
             .collect();
-        TuningContext { model, dataset, arch, candidates, history }
+        TuningContext {
+            model,
+            dataset,
+            arch,
+            candidates,
+            history,
+        }
     }
 
     /// The tuning batches in use.
@@ -130,7 +144,10 @@ pub fn tune_two_stage(
     cfg: &TunerConfig,
 ) -> TuneResult {
     let ctx = TuningContext::new(model, dataset, arch, cfg);
-    let levels = cfg.occupancy_levels.clone().unwrap_or_else(|| arch.occupancy_levels());
+    let levels = cfg
+        .occupancy_levels
+        .clone()
+        .unwrap_or_else(|| arch.occupancy_levels());
     // Local stage: winners per occupancy level.
     let winners_per_level: Vec<Vec<usize>> = levels
         .iter()

@@ -97,7 +97,10 @@ mod tests {
         let winners = tune_local_stage(&ctx, 4, &cfg);
         assert_eq!(winners.len(), m.features.len());
         for (f, &w) in winners.iter().enumerate() {
-            assert!(w < ctx.candidates[f].len(), "feature {f} choice out of range");
+            assert!(
+                w < ctx.candidates[f].len(),
+                "feature {f} choice out of range"
+            );
         }
     }
 
@@ -108,7 +111,10 @@ mod tests {
         let arch = GpuArch::v100();
         let cfg = TunerConfig::fast();
         let ctx = TuningContext::new(&m, &ds, &arch, &cfg);
-        assert_eq!(tune_local_stage(&ctx, 4, &cfg), tune_local_stage(&ctx, 4, &cfg));
+        assert_eq!(
+            tune_local_stage(&ctx, 4, &cfg),
+            tune_local_stage(&ctx, 4, &cfg)
+        );
     }
 
     #[test]

@@ -42,8 +42,7 @@ pub fn tune(ctx: &TuningContext<'_>) -> TuneResult {
                     let kern = CoExecKernel::new(single, fb, w, 0, BlockProfile::idle());
                     match launch(&kern, ctx.arch, &LaunchConfig::default()) {
                         Ok(report) => {
-                            let observed = (report.latency_us / MEASUREMENT_GRANULARITY_US)
-                                .round()
+                            let observed = (report.latency_us / MEASUREMENT_GRANULARITY_US).round()
                                 * MEASUREMENT_GRANULARITY_US;
                             scores[i] += observed;
                         }
@@ -60,7 +59,12 @@ pub fn tune(ctx: &TuningContext<'_>) -> TuneResult {
         .enumerate()
         .map(|(f, &c)| ctx.candidates[f].candidates[c])
         .collect();
-    TuneResult { schedules, choices, occupancy: None, global_latencies: Vec::new() }
+    TuneResult {
+        schedules,
+        choices,
+        occupancy: None,
+        global_latencies: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +80,10 @@ mod tests {
         let arch = GpuArch::v100();
         let r = tune_separate_combine(&m, &ds, &arch, &TunerConfig::fast());
         assert_eq!(r.schedules.len(), m.features.len());
-        assert!(r.occupancy.is_none(), "straw man does not control occupancy");
+        assert!(
+            r.occupancy.is_none(),
+            "straw man does not control occupancy"
+        );
         assert!(r.global_latencies.is_empty());
     }
 

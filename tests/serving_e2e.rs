@@ -1,0 +1,106 @@
+//! Cross-crate integration: tune a RecFlex engine through the facade and
+//! serve an online request stream with every batching policy, ending in a
+//! drift-triggered hot swap. This is the README's tune → compile → serve
+//! story run end to end.
+
+use recflex::data::shift_distribution;
+use recflex::prelude::*;
+
+fn tuned() -> (ModelConfig, TableSet, GpuArch, RecFlexEngine) {
+    let model = ModelPreset::A.scaled(0.01);
+    let tables = TableSet::for_model(&model);
+    let arch = GpuArch::v100();
+    let history = Dataset::synthesize(&model, 2, 64, 5);
+    let engine = RecFlexEngine::tune(&model, &history, &arch, &TunerConfig::fast());
+    (model, tables, arch, engine)
+}
+
+#[test]
+fn facade_tune_then_serve_all_policies() {
+    let (model, tables, arch, engine) = tuned();
+    let stream = WorkloadSpec::long_tail(600.0).stream(&model, 16, 11);
+    for policy in [
+        BatchPolicy::Unsplit,
+        BatchPolicy::Split { cap: 128 },
+        BatchPolicy::Dynamic {
+            max_batch: 256,
+            max_wait_us: 200.0,
+        },
+    ] {
+        let runtime = ServeRuntime {
+            backend: &engine,
+            model: &model,
+            tables: &tables,
+            arch: &arch,
+            config: ServeConfig {
+                streams: 2,
+                policy,
+                slo_deadline_us: None,
+                closed_loop: false,
+            },
+        };
+        let report = runtime.serve(&stream).unwrap();
+        assert_eq!(report.records.len(), 16);
+        assert_eq!(report.shed_rate(), 0.0);
+        let replay = runtime.serve(&stream).unwrap();
+        assert_eq!(report, replay, "deterministic replay through the facade");
+    }
+}
+
+#[test]
+fn facade_offline_wrapper_matches_paper_splitting_semantics() {
+    let (model, tables, arch, engine) = tuned();
+    let server = ServingSimulator {
+        backend: &engine,
+        model: &model,
+        tables: &tables,
+        arch,
+        max_batch: Some(128),
+    };
+    let long = Batch::generate(&model, 512, 3);
+    let stats = server.serve(std::slice::from_ref(&long)).unwrap();
+    assert_eq!(stats.request_latencies.len(), 1);
+    assert_eq!(stats.kernel_launches, 4, "512 samples split into 4 chunks");
+}
+
+#[test]
+fn facade_drift_retune_hot_swaps_a_fresh_engine() {
+    let (model, tables, arch, engine) = tuned();
+    let shifted = shift_distribution(&model, 2.5, 0.0);
+    let stream = WorkloadSpec::long_tail(600.0).stream(&shifted, 20, 23);
+    let mut policy = RetunePolicy {
+        drift: DriftConfig {
+            window: 6,
+            threshold: 0.3,
+        },
+        retune_latency_us: 2_000.0,
+        retuner: Box::new(|recent: &[Batch]| {
+            let ds = Dataset::from_batches(recent.to_vec());
+            Box::new(RecFlexEngine::tune(
+                &ModelPreset::A.scaled(0.01),
+                &ds,
+                &GpuArch::v100(),
+                &TunerConfig::fast(),
+            )) as Box<dyn Backend>
+        }),
+    };
+    let runtime = ServeRuntime {
+        backend: &engine,
+        model: &model,
+        tables: &tables,
+        arch: &arch,
+        config: ServeConfig {
+            streams: 2,
+            policy: BatchPolicy::Split { cap: 256 },
+            slo_deadline_us: None,
+            closed_loop: false,
+        },
+    };
+    let report = runtime.serve_with_retune(&stream, &mut policy).unwrap();
+    assert!(report.retunes >= 1, "shifted traffic must trigger a retune");
+    assert_eq!(
+        report.records.len(),
+        20,
+        "serving continues across the swap"
+    );
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness, `Criterion`,
+//! benchmark groups and `Bencher::{iter, iter_batched}`. Each benchmark is
+//! timed with a fixed-iteration wall-clock loop and the mean per-iteration
+//! time is printed — enough to compare the Section VI-E overhead claims in
+//! an offline container, without criterion's statistical machinery.
+
+use std::time::Instant;
+
+/// How batched setup results are passed to the routine (API-compat enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs of each batch run once.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    iterations: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_nanos = 0u128;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total_nanos += start.elapsed().as_nanos();
+        }
+        self.nanos_per_iter = total_nanos as f64 / self.iterations as f64;
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    sample_size: u64,
+    group_prefix: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50, group_prefix: None }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = match &self.group_prefix {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        let mut b = Bencher { iterations: self.sample_size, nanos_per_iter: 0.0 };
+        f(&mut b);
+        println!("{full:<44} {:>12.1} ns/iter", b.nanos_per_iter);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let saved_size = self.criterion.sample_size;
+        let saved_prefix = self.criterion.group_prefix.take();
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.group_prefix = Some(self.name.clone());
+        self.criterion.bench_function(name, f);
+        self.criterion.sample_size = saved_size;
+        self.criterion.group_prefix = saved_prefix;
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export point used by some criterion idioms.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build container has no crates.io access, so the root manifest
+//! patches `rayon` to this crate. Every `par_*` entry point returns the
+//! corresponding **sequential** std iterator, which makes the whole std
+//! `Iterator` adapter surface (`map`, `enumerate`, `collect`, `sum`, …)
+//! available unchanged. Results are bit-identical to a real rayon run for
+//! this codebase because all its parallel maps are pure and
+//! order-preserving; only wall-clock parallelism is lost.
+
+/// Run two closures ("in parallel") and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    /// `collection.into_par_iter()` — sequential: the std `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `collection.par_iter()` — sequential: iterate by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The underlying sequential iterator.
+        type Iter: Iterator;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `collection.par_iter_mut()` — sequential: iterate by `&mut`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The underlying sequential iterator.
+        type Iter: Iterator;
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `slice.par_chunks(n)` / `slice.par_chunks_mut(n)` — sequential.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable sibling of [`ParallelSlice`].
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let ranged: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(ranged, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunks_and_join() {
+        let v = [1, 2, 3, 4, 5];
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+        let mut m = [1, 2, 3, 4];
+        m.par_chunks_mut(2).for_each(|c| c.reverse());
+        assert_eq!(m, [2, 1, 4, 3]);
+        assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+}

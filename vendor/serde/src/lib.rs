@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no crates.io access, so the root manifest
+//! patches `serde` (and `serde_derive`, `serde_json`) to these vendored
+//! crates. Unlike real serde's visitor architecture, this stand-in uses a
+//! simple JSON-shaped value tree: [`Serialize`] renders a type into a
+//! [`Value`], [`Deserialize`] rebuilds the type from one, and the derive
+//! macro generates both impls for plain structs and enums (unit, newtype
+//! and struct variants — the shapes this workspace declares). The
+//! `serde_json` stand-in then prints/parses that tree as real JSON, so
+//! files written by this build are ordinary JSON documents.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers (kept exact; `u64::MAX` seeds round-trip).
+    UInt(u64),
+    /// Negative integers.
+    Int(i64),
+    /// Everything with a fractional part or exponent.
+    Float(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Arr(Vec<Value>),
+    /// JSON objects, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// (De)serialization failure: a path-less description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Append a key to an object (panics on non-objects: derive-internal).
+    pub fn insert(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Obj(entries) => entries.push((key.to_string(), value)),
+            _ => panic!("insert on non-object Value"),
+        }
+    }
+
+    /// Look up a required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{key}`"))),
+            _ => Err(Error(format!("expected object with field `{key}`"))),
+        }
+    }
+
+    /// The sole key/value pair of a one-entry object (enum payloads).
+    pub fn sole_entry(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Obj(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => Err(Error("expected single-entry object for enum variant".into())),
+        }
+    }
+}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree, reporting shape mismatches as [`Error`]s.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    _ => return Err(Error(format!("expected unsigned integer, got {v:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::Int(n) } else { Value::UInt(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => {
+                        i64::try_from(n).map_err(|_| Error(format!("integer {n} too large")))?
+                    }
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    _ => return Err(Error(format!("expected integer, got {v:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    _ => Err(Error(format!("expected number, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::deserialize_value(&7u32.serialize_value()), Ok(7));
+        assert_eq!(i64::deserialize_value(&(-3i64).serialize_value()), Ok(-3));
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(u64::deserialize_value(&u64::MAX.serialize_value()), Ok(u64::MAX));
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize_value(&v.serialize_value()), Ok(v));
+        assert_eq!(
+            Option::<String>::deserialize_value(&Value::Null),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u32::deserialize_value(&Value::Str("x".into())).is_err());
+        assert!(String::deserialize_value(&Value::UInt(3)).is_err());
+        assert!(Value::Obj(vec![]).field("missing").is_err());
+    }
+}

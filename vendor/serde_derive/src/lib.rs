@@ -1,0 +1,299 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates [`serde::Serialize`]/[`serde::Deserialize`] impls against the
+//! vendored value-tree model. Implemented directly on `proc_macro` token
+//! trees (no `syn`/`quote` — the build container is offline), so it
+//! supports exactly the shapes this workspace declares:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit, one-field newtype, or named-field
+//!   structs,
+//! * no generics, no `where` clauses, no `#[serde(...)]` attributes.
+//!
+//! Anything else fails the build with an explicit message rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut __obj = ::serde::Value::object();\n");
+            for f in fields {
+                body += &format!(
+                    "__obj.insert({f:?}, ::serde::Serialize::serialize_value(&self.{f}));\n"
+                );
+            }
+            body += "__obj";
+            impl_block(name, "Serialize", &format!(
+                "fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}"
+            ))
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms += &format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    ),
+                    Variant::Newtype(vn) => arms += &format!(
+                        "{name}::{vn}(__x0) => {{\n\
+                         let mut __o = ::serde::Value::object();\n\
+                         __o.insert({vn:?}, ::serde::Serialize::serialize_value(__x0));\n\
+                         __o\n}}\n"
+                    ),
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::Value::object();\n");
+                        for f in fields {
+                            inner += &format!(
+                                "__inner.insert({f:?}, ::serde::Serialize::serialize_value({f}));\n"
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __o = ::serde::Value::object();\n\
+                             __o.insert({vn:?}, __inner);\n\
+                             __o\n}}\n"
+                        );
+                    }
+                }
+            }
+            impl_block(name, "Serialize", &format!(
+                "fn serialize_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}"
+            ))
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits += &format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(__v.field({f:?})?)?,\n"
+                );
+            }
+            impl_block(name, "Deserialize", &format!(
+                "fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}"
+            ))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms += &format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ),
+                    Variant::Newtype(vn) => tagged_arms += &format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__payload)?)),\n"
+                    ),
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits += &format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 __payload.field({f:?})?)?,\n"
+                            );
+                        }
+                        tagged_arms += &format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                        );
+                    }
+                }
+            }
+            impl_block(name, "Deserialize", &format!(
+                "fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 _ => {{\n\
+                 let (__tag, __payload) = __v.sole_entry()?;\n\
+                 match __tag {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n}}"
+            ))
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\n\
+         impl ::serde::{trait_name} for {name} {{\n{body}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: parse_named_fields(g.stream()) }
+            }
+            other => panic!(
+                "vendored serde_derive supports only named-field structs; `{name}` has {other:?}"
+            ),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde_derive cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `pub name: Type, ...` field lists, returning field names in
+/// declaration order. Types are skipped by scanning to the next comma at
+/// angle-bracket depth zero (sufficient for the non-generic types used
+/// here, including `Vec<T>` paths).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|tt| matches!(tt, TokenTree::Punct(p)
+                        if p.as_char() == ',') )
+                    .count();
+                let has_tokens = g.stream().into_iter().next().is_some();
+                if !has_tokens || arity != 1 {
+                    panic!(
+                        "vendored serde_derive supports only 1-field tuple variants; \
+                         `{name}` has {arity}"
+                    );
+                }
+                variants.push(Variant::Newtype(name));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
