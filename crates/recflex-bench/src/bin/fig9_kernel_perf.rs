@@ -4,14 +4,46 @@
 //! Prints one normalized-performance table per (architecture, model) — the
 //! bars of Figures 9(a)/9(b) — and the pooled average speedups the paper
 //! headline cites (35.40×/11.31×/20.77×/2.64×).
+//!
+//! `--json <path>` writes every table plus the pooled speedups as a JSON
+//! report for CI artifact upload. `--check` arms the perf gate: the fused
+//! RecFlex kernel must be at least as fast as the *slowest* baseline on
+//! every (architecture, model) cell — a deliberately loose floor that
+//! still catches a regression that wrecks the fused schedule, while
+//! staying meaningful at CI smoke scale.
 
-use recflex_bench::{both_archs, print_average_speedups, print_normalized, Fixture, Row, Scale};
+use std::process::ExitCode;
+
+use recflex_bench::{
+    both_archs, geomean, print_average_speedups, print_normalized, CliOpts, Fixture, Row, Scale,
+};
 use recflex_data::ModelPreset;
+use serde::Serialize;
 use std::collections::BTreeMap;
 
-fn main() {
+#[derive(Serialize)]
+struct KernelCell {
+    arch: String,
+    model: String,
+    batch_size: u32,
+    /// `(system, total latency over the eval set in µs)` rows,
+    /// RecFlex first.
+    rows: Vec<(String, f64)>,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    cells: Vec<KernelCell>,
+    /// Geometric-mean speedup of RecFlex over each baseline, pooled
+    /// across every cell the baseline supports.
+    average_speedups: Vec<(String, f64)>,
+}
+
+fn main() -> ExitCode {
+    let opts = CliOpts::from_args();
     let scale = Scale::from_env();
     let mut pools: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut cells = Vec::new();
 
     for arch in both_archs() {
         println!("\n#### {} ####", arch.name);
@@ -48,6 +80,12 @@ fn main() {
                 ),
                 &rows,
             );
+            cells.push(KernelCell {
+                arch: arch.name.to_string(),
+                model: preset.name().to_string(),
+                batch_size: scale.batch_size,
+                rows: rows.into_iter().map(|r| (r.name, r.latency_us)).collect(),
+            });
         }
     }
 
@@ -55,4 +93,49 @@ fn main() {
     print_average_speedups("RecFlex (kernel)", &pooled);
     println!("\nPaper reference: 35.40x over TensorFlow, 11.31x over RECom,");
     println!("20.77x over HugeCTR, 2.64x over TorchRec (two-platform averages).");
+
+    let report = KernelReport {
+        cells,
+        average_speedups: pooled
+            .iter()
+            .map(|(name, ratios)| (name.clone(), geomean(ratios)))
+            .collect(),
+    };
+    opts.write_json(&report);
+
+    if opts.check && !perf_gate_holds(&report) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI perf gate: in every cell, the fused kernel must not be slower
+/// than the slowest baseline that supports the model.
+fn perf_gate_holds(report: &KernelReport) -> bool {
+    let mut ok = true;
+    for cell in &report.cells {
+        let ours = cell.rows[0].1;
+        let slowest = cell
+            .rows
+            .iter()
+            .skip(1)
+            .map(|(_, lat)| *lat)
+            .fold(0.0f64, f64::max);
+        if ours > slowest {
+            eprintln!(
+                "check FAILED: RecFlex {ours:.1} us slower than every baseline \
+                 (slowest {slowest:.1} us) on {} / model {}",
+                cell.arch, cell.model
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "check passed: fused kernel at or below the slowest baseline on \
+             all {} cells",
+            report.cells.len()
+        );
+    }
+    ok
 }

@@ -1,0 +1,214 @@
+//! Multi-shard serving sweep (Section VII "Larger model sizes" composed
+//! with the Section VI-D serving runtime).
+//!
+//! Crosses shard counts {1, 2, 4, 8} with three placement policies
+//! (round-robin, LPT over expected bytes, LPT over measured per-feature
+//! cost) and two offered loads, serving the same seeded long-tail Poisson
+//! stream through `recflex-serve`'s sharded tier with a tuned RecFlex
+//! engine per shard. Reports the latency breakdown per row: p50/p99
+//! end-to-end, p50 pure device time, the all-gather overhang and the
+//! straggler gap, plus per-shard peak queue depth.
+//!
+//! Everything is seeded — two runs print identical numbers, which the CI
+//! determinism job asserts by diffing `--json` outputs. With `--check`
+//! the binary also enforces the scaling acceptance gate: at the highest
+//! load, p50 device time under the cost-driven placement must be monotone
+//! non-increasing from 1 to 4 shards.
+
+use std::process::ExitCode;
+
+use recflex_bench::{CliOpts, Scale};
+use recflex_core::{feature_cost_estimates, RecFlexEngine};
+use recflex_data::{Dataset, ModelConfig, ModelPreset, Placement};
+use recflex_serve::{BatchPolicy, ServeConfig, ShardedServeRuntime, WorkloadSpec};
+use recflex_sim::{GpuArch, Interconnect};
+use serde::Serialize;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Mean Poisson inter-arrival gaps, µs: high load first.
+const GAPS_US: [f64; 2] = [150.0, 600.0];
+/// The policy the `--check` gate grades (measured cost, the default).
+const GATED_POLICY: &str = "lpt_cost";
+
+#[derive(Serialize)]
+struct SweepRow {
+    shards: usize,
+    policy: String,
+    gap_us: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    p50_device_us: f64,
+    mean_queue_us: f64,
+    mean_gather_us: f64,
+    p99_straggler_us: f64,
+    max_queue_depth: usize,
+    kernel_launches: u64,
+    makespan_us: f64,
+}
+
+#[derive(Serialize)]
+struct SweepReport {
+    model: String,
+    num_features: usize,
+    requests: usize,
+    streams: u32,
+    split_cap: u32,
+    interconnect_gbps: f64,
+    rows: Vec<SweepRow>,
+}
+
+/// The three placement policies under test, in report order.
+fn placements(model: &ModelConfig, shards: usize, costs: &[f64]) -> Vec<(&'static str, Placement)> {
+    vec![
+        ("round_robin", Placement::round_robin(model, shards)),
+        ("lpt_bytes", Placement::balance(model, shards)),
+        ("lpt_cost", Placement::balance_by_cost(shards, costs)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let opts = CliOpts::from_args();
+    let scale = Scale::from_env();
+    let arch = GpuArch::v100();
+    let model = scale.model(ModelPreset::A);
+    let history = Dataset::synthesize(&model, 3, scale.batch_size, 7);
+    let costs = feature_cost_estimates(&model, &history, &arch);
+    let interconnect = Interconnect::nvlink();
+    let split_cap = 256u32;
+    let config = ServeConfig {
+        streams: 4,
+        policy: BatchPolicy::Split { cap: split_cap },
+        slo_deadline_us: None,
+        closed_loop: false,
+    };
+    let n_requests = (scale.eval_batches * 16).clamp(24, 96);
+
+    println!(
+        "== shard sweep: model {} ({} features), {n_requests} Poisson long-tail \
+         requests, split@{split_cap}, NVLink gather ==",
+        model.name,
+        model.features.len()
+    );
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10} {:>7}",
+        "shards x policy",
+        "gap (us)",
+        "p50 (us)",
+        "p99 (us)",
+        "p50 dev",
+        "queue (us)",
+        "gather",
+        "p99 strag",
+        "depth"
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for (pname, placement) in placements(&model, shards, &costs) {
+            let tier = ShardedServeRuntime::build(
+                &model,
+                &arch,
+                placement,
+                config,
+                interconnect.clone(),
+                |sub_model| {
+                    let sub_history = Dataset::synthesize(sub_model, 3, scale.batch_size, 7);
+                    Box::new(RecFlexEngine::tune(
+                        sub_model,
+                        &sub_history,
+                        &arch,
+                        &scale.tuner,
+                    ))
+                },
+            );
+            for &gap in &GAPS_US {
+                let stream = WorkloadSpec::long_tail(gap).stream(&model, n_requests, 42);
+                let report = tier.serve(&stream).expect("sweep config is valid");
+                let row = SweepRow {
+                    shards,
+                    policy: pname.to_string(),
+                    gap_us: gap,
+                    p50_latency_us: report.percentile_us(0.5),
+                    p99_latency_us: report.percentile_us(0.99),
+                    p50_device_us: report.percentile_device_us(0.5),
+                    mean_queue_us: report.mean_queue_us(),
+                    mean_gather_us: report.mean_gather_us(),
+                    p99_straggler_us: report.percentile_straggler_us(0.99),
+                    max_queue_depth: report
+                        .per_shard
+                        .iter()
+                        .map(|s| s.max_queue_depth)
+                        .max()
+                        .unwrap_or(0),
+                    kernel_launches: report.kernel_launches,
+                    makespan_us: report.makespan_us,
+                };
+                println!(
+                    "{:<22} {:>9.0} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>10.2} {:>10.1} {:>7}",
+                    format!("{shards} x {pname}"),
+                    row.gap_us,
+                    row.p50_latency_us,
+                    row.p99_latency_us,
+                    row.p50_device_us,
+                    row.mean_queue_us,
+                    row.mean_gather_us,
+                    row.p99_straggler_us,
+                    row.max_queue_depth
+                );
+                rows.push(row);
+            }
+        }
+        println!();
+    }
+    println!(
+        "(the slowest shard gates the all-gather, so the straggler column is \
+         latency lost to placement imbalance)"
+    );
+
+    let report = SweepReport {
+        model: model.name.clone(),
+        num_features: model.features.len(),
+        requests: n_requests,
+        streams: config.streams,
+        split_cap,
+        interconnect_gbps: interconnect.bandwidth_gbps,
+        rows,
+    };
+    opts.write_json(&report);
+
+    if opts.check && !scaling_gate_holds(&report) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI acceptance gate: under the cost-driven placement at the highest
+/// load, adding shards (1 → 2 → 4) must not increase p50 device time.
+fn scaling_gate_holds(report: &SweepReport) -> bool {
+    let gap = GAPS_US[0];
+    let p50_dev = |shards: usize| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.shards == shards && r.policy == GATED_POLICY && r.gap_us == gap)
+            .map(|r| r.p50_device_us)
+            .expect("sweep covers the gated cell")
+    };
+    let series: Vec<(usize, f64)> = [1, 2, 4].map(|s| (s, p50_dev(s))).to_vec();
+    for pair in series.windows(2) {
+        let ((a, ta), (b, tb)) = (pair[0], pair[1]);
+        if tb > ta + 1e-6 {
+            eprintln!(
+                "check FAILED: p50 device time rose from {ta:.1} us ({a} shards) \
+                 to {tb:.1} us ({b} shards) under {GATED_POLICY} at gap {gap} us"
+            );
+            return false;
+        }
+    }
+    println!(
+        "check passed: p50 device time monotone non-increasing over {:?} shards \
+         ({GATED_POLICY}, gap {gap} us)",
+        [1, 2, 4]
+    );
+    true
+}

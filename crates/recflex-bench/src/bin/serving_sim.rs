@@ -12,13 +12,45 @@
 //! this binary print identical numbers.
 
 use recflex_baselines::{Backend, TensorFlowBackend, TorchRecBackend};
-use recflex_bench::Scale;
+use recflex_bench::{CliOpts, Scale};
 use recflex_core::{RecFlexEngine, ServingSimulator};
 use recflex_data::{Batch, Dataset, ModelConfig, ModelPreset};
 use recflex_embedding::TableSet;
 use recflex_serve::{BatchPolicy, ServeConfig, ServeRuntime, WorkloadSpec};
 use recflex_sim::GpuArch;
 use recflex_tuner::TunerConfig;
+use serde::Serialize;
+
+/// One row of the closed-loop table, as written to `--json`.
+#[derive(Serialize)]
+struct ClosedLoopRow {
+    backend: String,
+    mode: String,
+    mean_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    kernel_launches: u32,
+}
+
+/// One row of the open-loop load sweep, as written to `--json`.
+#[derive(Serialize)]
+struct SweepRow {
+    backend: String,
+    policy: String,
+    gap_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_queue_us: f64,
+    shed_rate: f64,
+}
+
+#[derive(Serialize)]
+struct SimReport {
+    model: String,
+    num_features: usize,
+    closed_loop: Vec<ClosedLoopRow>,
+    load_sweep: Vec<SweepRow>,
+}
 
 fn closed_loop_table(
     model: &ModelConfig,
@@ -26,7 +58,7 @@ fn closed_loop_table(
     arch: &GpuArch,
     engine: &RecFlexEngine,
     torchrec: &TorchRecBackend,
-) {
+) -> Vec<ClosedLoopRow> {
     // Request stream: mostly moderate requests, one 2 560-sample tail.
     let mut requests: Vec<Batch> = [64u32, 128, 256, 96, 512, 32, 192, 256]
         .iter()
@@ -43,6 +75,7 @@ fn closed_loop_table(
         "{:<22} {:>12} {:>12} {:>12} {:>10}",
         "configuration", "mean (us)", "p99 (us)", "max (us)", "launches"
     );
+    let mut rows = Vec::new();
     for (name, backend) in [("RecFlex", engine as &dyn Backend), ("TorchRec", torchrec)] {
         for (mode, cap) in [("split@512", Some(512u32)), ("unsplit", None)] {
             let server = ServingSimulator {
@@ -61,9 +94,18 @@ fn closed_loop_table(
                 stats.percentile_us(1.0),
                 stats.kernel_launches
             );
+            rows.push(ClosedLoopRow {
+                backend: name.to_string(),
+                mode: mode.to_string(),
+                mean_us: stats.mean_us(),
+                p99_us: stats.percentile_us(0.99),
+                max_us: stats.percentile_us(1.0),
+                kernel_launches: stats.kernel_launches,
+            });
         }
     }
     println!("\n(runtime thread mapping lets RecFlex absorb the unsplit tail, Section VI-D)\n");
+    rows
 }
 
 fn load_sweep(
@@ -72,7 +114,7 @@ fn load_sweep(
     arch: &GpuArch,
     backends: &[(&str, &dyn Backend)],
     n_requests: usize,
-) {
+) -> Vec<SweepRow> {
     let policies = [
         ("unsplit", BatchPolicy::Unsplit),
         ("split@256", BatchPolicy::Split { cap: 256 }),
@@ -96,6 +138,7 @@ fn load_sweep(
         "{:<28} {:>10} {:>12} {:>12} {:>12} {:>8}",
         "configuration", "gap (us)", "p50 (us)", "p99 (us)", "queue (us)", "shed %"
     );
+    let mut rows = Vec::new();
     for (bname, backend) in backends {
         for (pname, policy) in &policies {
             for &gap in &gaps_us {
@@ -122,6 +165,15 @@ fn load_sweep(
                     report.mean_queue_us(),
                     report.shed_rate() * 100.0
                 );
+                rows.push(SweepRow {
+                    backend: bname.to_string(),
+                    policy: pname.to_string(),
+                    gap_us: gap,
+                    p50_us: report.percentile_us(0.5),
+                    p99_us: report.percentile_us(0.99),
+                    mean_queue_us: report.mean_queue_us(),
+                    shed_rate: report.shed_rate(),
+                });
             }
         }
         println!();
@@ -130,9 +182,11 @@ fn load_sweep(
         "(dynamic batching trades queueing delay for fewer launches; splitting \
          caps per-kernel residency so the tail shares the device fairly)"
     );
+    rows
 }
 
 fn main() {
+    let opts = CliOpts::from_args();
     let scale = Scale::from_env();
     let arch = GpuArch::v100();
     let model = scale.model(ModelPreset::A);
@@ -142,7 +196,7 @@ fn main() {
     let torchrec = TorchRecBackend::compile(&model);
     let tensorflow = TensorFlowBackend;
 
-    closed_loop_table(&model, &tables, &arch, &engine, &torchrec);
+    let closed_loop = closed_loop_table(&model, &tables, &arch, &engine, &torchrec);
 
     let backends: Vec<(&str, &dyn Backend)> = vec![
         ("RecFlex", &engine),
@@ -152,5 +206,12 @@ fn main() {
     // Keep the sweep proportional to the configured scale so the smoke
     // run in CI stays fast while a full run gets a denser stream.
     let n_requests = (scale.eval_batches * 16).clamp(24, 96);
-    load_sweep(&model, &tables, &arch, &backends, n_requests);
+    let load_sweep = load_sweep(&model, &tables, &arch, &backends, n_requests);
+
+    opts.write_json(&SimReport {
+        model: model.name.clone(),
+        num_features: model.features.len(),
+        closed_loop,
+        load_sweep,
+    });
 }

@@ -216,6 +216,64 @@ pub fn both_archs() -> Vec<GpuArch> {
     vec![GpuArch::v100(), GpuArch::a100()]
 }
 
+/// Command-line options shared by the experiment binaries.
+///
+/// * `--json <path>` — also write the run's results as a JSON report, for
+///   CI artifact upload and the determinism-replay diff.
+/// * `--check` — after printing, verify the run's acceptance thresholds
+///   and exit non-zero on violation (the CI perf gate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliOpts {
+    /// Where to write the JSON report, if requested.
+    pub json_path: Option<std::path::PathBuf>,
+    /// Whether to enforce the binary's acceptance thresholds.
+    pub check: bool,
+}
+
+impl CliOpts {
+    /// Parse from an argument iterator (without the program name).
+    /// Unknown arguments abort: a typoed flag silently ignored would
+    /// void the CI gate it was meant to arm.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = CliOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let path = it.next().ok_or("--json requires a path argument")?;
+                    opts.json_path = Some(std::path::PathBuf::from(path));
+                }
+                "--check" => opts.check = true,
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse the process arguments, exiting with a usage message on error.
+    pub fn from_args() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: <binary> [--json <path>] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Write `report` as pretty JSON to the `--json` path, if one was
+    /// given. Panics on I/O failure — in CI a missing artifact must fail
+    /// the job, not pass silently.
+    pub fn write_json<T: serde::Serialize>(&self, report: &T) {
+        if let Some(path) = &self.json_path {
+            let text = serde_json::to_string_pretty(report).expect("serialize report");
+            std::fs::write(path, text + "\n")
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("\nJSON report written to {}", path.display());
+        }
+    }
+}
+
 /// Generate a single long-tail request (Section VI-D's 2 560-sample batch).
 pub fn long_tail_batch(model: &ModelConfig) -> Batch {
     Batch::generate(model, 2560, 0x1077A11)
@@ -224,6 +282,20 @@ pub fn long_tail_batch(model: &ModelConfig) -> Batch {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_opts_parse_json_and_check() {
+        let opts =
+            CliOpts::parse_from(["--json", "out.json", "--check"].map(String::from)).unwrap();
+        assert_eq!(
+            opts.json_path.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert!(opts.check);
+        assert_eq!(CliOpts::parse_from([]).unwrap(), CliOpts::default());
+        assert!(CliOpts::parse_from(["--json".into()]).is_err());
+        assert!(CliOpts::parse_from(["--jsno".into()]).is_err());
+    }
 
     #[test]
     fn geomean_basics() {

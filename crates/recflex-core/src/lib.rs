@@ -20,4 +20,4 @@ pub mod sharding;
 pub use end_to_end::EndToEndModel;
 pub use engine::RecFlexEngine;
 pub use serving::{ServingSimulator, ServingStats};
-pub use sharding::{Placement, ShardedEngine};
+pub use sharding::{feature_cost_estimates, Placement, ShardedEngine};

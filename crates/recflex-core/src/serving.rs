@@ -305,6 +305,7 @@ mod tests {
             drift: DriftConfig {
                 window: 8,
                 threshold: 0.3,
+                feature_threshold: 0.5,
             },
             retune_latency_us: 5_000.0,
             retuner: Box::new(|recent: &[Batch]| {

@@ -3,81 +3,54 @@
 //! When embedding tables exceed one GPU's memory, the paper proposes
 //! placing tables on multiple GPUs "through heuristics" and then using
 //! RecFlex to optimize the embedding operations *on each GPU*. This module
-//! implements that composition: a greedy longest-processing-time placement
-//! balances the expected per-batch embedding traffic across devices, each
-//! shard is tuned independently with the two-stage tuner, and a request is
-//! served by launching every shard's fused kernel concurrently (latency =
-//! slowest shard + a fixed all-gather of the pooled outputs).
+//! implements that composition over the shared [`Placement`] partition
+//! from the data layer: per-feature device-time estimates measured on the
+//! tuning history drive an LPT placement ([`Placement::balance_by_cost`]),
+//! each shard is tuned independently with the two-stage tuner, and a
+//! request is served by launching every shard's fused kernel concurrently
+//! (latency = slowest shard + a ring all-gather of the pooled outputs over
+//! a configurable [`Interconnect`]).
 
 use rayon::prelude::*;
 use recflex_baselines::BackendError;
-use recflex_data::{Batch, Dataset, FeatureSpec, ModelConfig};
-use recflex_embedding::FusedOutput;
-use recflex_sim::GpuArch;
+use recflex_data::{Batch, Dataset, ModelConfig};
+use recflex_embedding::{analyze_batch, FusedOutput};
+use recflex_sim::{GpuArch, Interconnect};
 use recflex_tuner::TunerConfig;
 
 use crate::engine::RecFlexEngine;
 
-/// Assignment of model features to devices.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Placement {
-    /// `feature_idx → device` in model order.
-    pub device_of: Vec<usize>,
-    /// Number of devices.
-    pub num_devices: usize,
-}
+pub use recflex_data::Placement;
 
-impl Placement {
-    /// Greedy LPT placement: features sorted by expected per-batch bytes,
-    /// each assigned to the currently lightest device.
-    pub fn balance(model: &ModelConfig, num_devices: usize) -> Self {
-        assert!(num_devices >= 1);
-        let mut order: Vec<usize> = (0..model.features.len()).collect();
-        let weight = |f: &FeatureSpec| f.expected_lookups_per_sample() * f.row_bytes() as f64;
-        order.sort_by(|&a, &b| weight(&model.features[b]).total_cmp(&weight(&model.features[a])));
-        let mut load = vec![0.0f64; num_devices];
-        let mut device_of = vec![0usize; model.features.len()];
-        for f in order {
-            let dev = load
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .expect("num_devices >= 1");
-            device_of[f] = dev;
-            load[dev] += weight(&model.features[f]).max(1.0);
-        }
-        Placement {
-            device_of,
-            num_devices,
+/// Per-feature device-time estimates (µs per tuning batch), measured on
+/// the historical dataset rather than read off the feature specs.
+///
+/// The embedding stage is bandwidth-bound, so a feature's cost is its
+/// memory time under the architecture's roofline: first-touch rows stream
+/// from DRAM, re-referenced rows hit L2, and the pooled output writes
+/// back. Unlike the spec-derived expected-bytes weight this reflects what
+/// the traffic *actually* does — realized pooling factors, coverage, and
+/// the hot-row reuse that makes a skewed feature far cheaper than its raw
+/// lookup count suggests.
+pub fn feature_cost_estimates(model: &ModelConfig, dataset: &Dataset, arch: &GpuArch) -> Vec<f64> {
+    let mut costs = vec![0.0f64; model.features.len()];
+    let batches = dataset.batches();
+    if batches.is_empty() {
+        return costs;
+    }
+    for batch in batches {
+        for w in analyze_batch(model, batch) {
+            let dram_bytes = (w.unique_bytes() + w.bytes_written()) as f64;
+            let l2_bytes = (w.bytes_read() - w.unique_bytes()) as f64;
+            let us = dram_bytes / (arch.dram_bw_gbps * 1e9) * 1e6
+                + l2_bytes / (arch.l2_bw_gbps * 1e9) * 1e6;
+            costs[w.feature_idx] += us;
         }
     }
-
-    /// Feature indices on one device, in model order.
-    pub fn features_on(&self, device: usize) -> Vec<usize> {
-        self.device_of
-            .iter()
-            .enumerate()
-            .filter(|&(_, &d)| d == device)
-            .map(|(f, _)| f)
-            .collect()
+    for c in &mut costs {
+        *c /= batches.len() as f64;
     }
-
-    /// Load imbalance: max device weight / mean device weight under the
-    /// given per-feature weights.
-    pub fn imbalance(&self, weights: &[f64]) -> f64 {
-        let mut load = vec![0.0f64; self.num_devices];
-        for (f, &d) in self.device_of.iter().enumerate() {
-            load[d] += weights[f];
-        }
-        let max = load.iter().copied().fold(0.0f64, f64::max);
-        let mean = load.iter().sum::<f64>() / self.num_devices as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
-    }
+    costs
 }
 
 /// A model sharded over several simulated GPUs, each with its own tuned
@@ -89,15 +62,14 @@ pub struct ShardedEngine {
     pub shards: Vec<RecFlexEngine>,
     /// The original model (for output layout).
     pub model: ModelConfig,
+    /// The link the pooled outputs are gathered over.
+    pub interconnect: Interconnect,
 }
 
-/// Fixed cost of gathering the pooled outputs to one device over NVLink,
-/// in microseconds per megabyte.
-const ALLGATHER_US_PER_MB: f64 = 5.0;
-
 impl ShardedEngine {
-    /// Shard `model` over `num_devices` simulated `arch` GPUs and tune
-    /// each shard on its slice of `dataset`.
+    /// Shard `model` over `num_devices` simulated `arch` GPUs using the
+    /// cost-model-driven placement and tune each shard on its slice of
+    /// `dataset`. Gathers are accounted over NVLink.
     pub fn tune(
         model: &ModelConfig,
         dataset: &Dataset,
@@ -105,16 +77,27 @@ impl ShardedEngine {
         cfg: &TunerConfig,
         num_devices: usize,
     ) -> Self {
-        let placement = Placement::balance(model, num_devices);
-        let shards: Vec<RecFlexEngine> = (0..num_devices)
+        let costs = feature_cost_estimates(model, dataset, arch);
+        let placement = Placement::balance_by_cost(num_devices, &costs);
+        Self::tune_with_placement(model, dataset, arch, cfg, placement, Interconnect::nvlink())
+    }
+
+    /// Shard under an explicit placement and interconnect — the entry the
+    /// placement-policy sweeps use.
+    pub fn tune_with_placement(
+        model: &ModelConfig,
+        dataset: &Dataset,
+        arch: &GpuArch,
+        cfg: &TunerConfig,
+        placement: Placement,
+        interconnect: Interconnect,
+    ) -> Self {
+        assert_eq!(placement.device_of.len(), model.features.len());
+        let shards: Vec<RecFlexEngine> = (0..placement.num_devices)
             .into_par_iter()
             .map(|dev| {
-                let feats = placement.features_on(dev);
-                let sub_model = ModelConfig {
-                    name: format!("{}@dev{dev}", model.name),
-                    features: feats.iter().map(|&f| model.features[f].clone()).collect(),
-                };
-                let sub_data = project_dataset(dataset, &feats);
+                let sub_model = placement.sub_model(model, dev);
+                let sub_data = project_dataset(dataset, &placement, dev);
                 RecFlexEngine::tune(&sub_model, &sub_data, arch, cfg)
             })
             .collect();
@@ -122,6 +105,7 @@ impl ShardedEngine {
             placement,
             shards,
             model: model.clone(),
+            interconnect,
         }
     }
 
@@ -133,21 +117,20 @@ impl ShardedEngine {
             .par_iter()
             .enumerate()
             .map(|(dev, engine)| {
-                let feats = self.placement.features_on(dev);
-                let sub_batch = Batch {
-                    batch_size: batch.batch_size,
-                    features: feats.iter().map(|&f| batch.features[f].clone()).collect(),
-                };
+                let sub_batch = self.placement.project_batch(batch, dev);
                 engine
                     .run(&sub_batch)
                     .map(|(out, report)| (out, report.latency_us))
             })
             .collect::<Result<_, _>>()?;
 
-        // Latency: slowest shard plus gathering the concatenated output.
+        // Latency: slowest shard plus the all-gather of the pooled output.
         let slowest = shard_results.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
-        let out_mb = self.model.concat_dim() as f64 * batch.batch_size as f64 * 4.0 / 1e6;
-        let latency = slowest + out_mb * ALLGATHER_US_PER_MB;
+        let out_bytes = self.model.concat_dim() as u64 * batch.batch_size as u64 * 4;
+        let latency = slowest
+            + self
+                .interconnect
+                .all_gather_us(out_bytes, self.placement.num_devices);
 
         // Scatter shard outputs into model feature order.
         let mut out = FusedOutput::zeros(&self.model, batch.batch_size);
@@ -165,15 +148,12 @@ impl ShardedEngine {
     }
 }
 
-/// Project a dataset onto a feature subset (per-device tuning data).
-fn project_dataset(dataset: &Dataset, feats: &[usize]) -> Dataset {
+/// Project a dataset onto one device's features (per-device tuning data).
+fn project_dataset(dataset: &Dataset, placement: &Placement, device: usize) -> Dataset {
     let batches: Vec<Batch> = dataset
         .batches()
         .iter()
-        .map(|b| Batch {
-            batch_size: b.batch_size,
-            features: feats.iter().map(|&f| b.features[f].clone()).collect(),
-        })
+        .map(|b| placement.project_batch(b, device))
         .collect();
     Dataset::from_batches(batches)
 }
@@ -212,6 +192,25 @@ mod tests {
     }
 
     #[test]
+    fn cost_driven_placement_beats_round_robin_on_measured_costs() {
+        let m = ModelPreset::C.scaled(0.05);
+        let ds = Dataset::synthesize(&m, 2, 64, 5);
+        let arch = GpuArch::v100();
+        let costs = feature_cost_estimates(&m, &ds, &arch);
+        assert_eq!(costs.len(), m.features.len());
+        assert!(costs.iter().all(|&c| c >= 0.0));
+        assert!(costs.iter().sum::<f64>() > 0.0, "history implies work");
+        let by_cost = Placement::balance_by_cost(4, &costs);
+        let naive = Placement::round_robin(&m, 4);
+        assert!(
+            by_cost.imbalance(&costs) <= naive.imbalance(&costs) + 1e-9,
+            "LPT {} vs round-robin {}",
+            by_cost.imbalance(&costs),
+            naive.imbalance(&costs)
+        );
+    }
+
+    #[test]
     fn sharded_output_matches_reference() {
         let m = ModelPreset::A.scaled(0.015);
         let ds = Dataset::synthesize(&m, 2, 48, 5);
@@ -228,10 +227,7 @@ mod tests {
             let feats = sharded.placement.features_on(dev);
             let sub_model = &sharded.shards[dev].model;
             let tables = TableSet::for_model(sub_model);
-            let sub_batch = Batch {
-                batch_size: batch.batch_size,
-                features: feats.iter().map(|&f| batch.features[f].clone()).collect(),
-            };
+            let sub_batch = sharded.placement.project_batch(&batch, dev);
             let golden = reference_model_output(sub_model, &tables, &sub_batch);
             for (local, &global) in feats.iter().enumerate() {
                 assert_eq!(
@@ -254,5 +250,21 @@ mod tests {
         let (_, l1) = one.run(&batch).unwrap();
         let (_, l4) = four.run(&batch).unwrap();
         assert!(l4 < l1, "4 devices {l4} vs 1 device {l1}");
+    }
+
+    #[test]
+    fn single_device_gather_is_free_and_matches_unsharded() {
+        let m = ModelPreset::A.scaled(0.01);
+        let ds = Dataset::synthesize(&m, 2, 32, 3);
+        let arch = GpuArch::v100();
+        let sharded = ShardedEngine::tune(&m, &ds, &arch, &TunerConfig::fast(), 1);
+        let plain = RecFlexEngine::tune(&m, &ds, &arch, &TunerConfig::fast());
+        let batch = Batch::generate(&m, 32, 11);
+        let (_, sharded_lat) = sharded.run(&batch).unwrap();
+        let (_, plain_report) = plain.run(&batch).unwrap();
+        assert_eq!(
+            sharded_lat, plain_report.latency_us,
+            "1-shard latency must equal the unsharded engine bit-for-bit"
+        );
     }
 }

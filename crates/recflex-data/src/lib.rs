@@ -27,6 +27,7 @@ pub mod distribution;
 pub mod feature;
 pub mod io;
 pub mod models;
+pub mod placement;
 pub mod shift;
 
 pub use batch::{Batch, FeatureBatch, SplitError};
@@ -35,4 +36,5 @@ pub use distribution::PoolingDist;
 pub use feature::{FeatureSpec, ModelConfig};
 pub use io::{load_dataset, load_model, save_dataset, save_model};
 pub use models::ModelPreset;
+pub use placement::Placement;
 pub use shift::shift_distribution;

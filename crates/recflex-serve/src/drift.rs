@@ -10,6 +10,15 @@
 //! indices / batch size), which moves monotonically with both
 //! pooling-factor scale and coverage shift (the two axes of
 //! [`recflex_data::shift_distribution`]).
+//!
+//! The aggregate alone is blind to *redistributions*: one feature's
+//! pooling doubling while another's halves leaves the model-wide mean
+//! flat, yet the tuned schedule — which assigned thread resources
+//! per-feature — is now wrong on both. A monitor built with
+//! [`DriftMonitor::for_model`] therefore also tracks lookups-per-sample
+//! **per feature** against each feature's tuned reference
+//! (coverage × mean pooling factor) and fires when any single feature
+//! deviates, even when the aggregate cancels out.
 
 use recflex_data::{Batch, ModelConfig};
 
@@ -21,6 +30,12 @@ pub struct DriftConfig {
     /// Relative deviation of the window mean from the tuned reference
     /// that counts as drift (e.g. `0.25` = ±25 %).
     pub threshold: f64,
+    /// Relative deviation of any *single feature's* window mean from its
+    /// own reference that counts as drift. Deliberately wider than
+    /// `threshold`: a per-feature estimate averages far fewer lookups
+    /// than the model-wide mean, so small-mean features wander tens of
+    /// percent on pure sampling noise.
+    pub feature_threshold: f64,
 }
 
 impl Default for DriftConfig {
@@ -28,43 +43,83 @@ impl Default for DriftConfig {
         DriftConfig {
             window: 16,
             threshold: 0.25,
+            feature_threshold: 0.5,
         }
     }
 }
 
+/// A feature whose reference traffic rounds to zero still gets a sane
+/// relative-deviation denominator (lookups per sample).
+const MIN_FEATURE_REFERENCE_LPS: f64 = 1e-3;
+
 /// Sliding-window monitor comparing live lookups-per-sample against the
-/// value the current engine was tuned for.
+/// value the current engine was tuned for — model-wide, and (when built
+/// with [`DriftMonitor::for_model`] or
+/// [`DriftMonitor::with_feature_references`]) per feature.
 #[derive(Debug, Clone)]
 pub struct DriftMonitor {
     config: DriftConfig,
     reference_lps: f64,
+    /// Per-feature tuned references; empty for an aggregate-only monitor.
+    reference_feature_lps: Vec<f64>,
     window_sum_lookups: f64,
     window_sum_samples: f64,
+    /// Per-feature lookup sums over the current window (parallel to
+    /// `reference_feature_lps`).
+    window_feature_lookups: Vec<f64>,
     window_len: usize,
+    drifted_features: Vec<usize>,
 }
 
 impl DriftMonitor {
-    /// Monitor against an explicit tuned reference (lookups per sample).
+    /// Monitor against an explicit aggregate reference (lookups per
+    /// sample). Tracks only the model-wide mean; use
+    /// [`Self::for_model`] to also catch per-feature redistributions.
     pub fn new(config: DriftConfig, reference_lps: f64) -> Self {
+        Self::with_feature_references_inner(config, reference_lps, Vec::new())
+    }
+
+    /// Monitor against explicit per-feature references (lookups per
+    /// sample each, in model feature order). The aggregate reference is
+    /// their sum.
+    pub fn with_feature_references(config: DriftConfig, per_feature: Vec<f64>) -> Self {
+        let total = per_feature.iter().sum();
+        Self::with_feature_references_inner(config, total, per_feature)
+    }
+
+    fn with_feature_references_inner(
+        config: DriftConfig,
+        reference_lps: f64,
+        per_feature: Vec<f64>,
+    ) -> Self {
+        let n = per_feature.len();
         DriftMonitor {
             config,
             reference_lps: reference_lps.max(f64::MIN_POSITIVE),
+            reference_feature_lps: per_feature,
             window_sum_lookups: 0.0,
             window_sum_samples: 0.0,
+            window_feature_lookups: vec![0.0; n],
             window_len: 0,
+            drifted_features: Vec::new(),
         }
     }
 
     /// Monitor against the *expected* lookups-per-sample of the model
-    /// configuration the engine was tuned on: Σ coverage·mean-pooling
-    /// over features.
+    /// configuration the engine was tuned on: coverage·mean-pooling per
+    /// feature, and their sum model-wide.
     pub fn for_model(config: DriftConfig, model: &ModelConfig) -> Self {
-        Self::new(config, expected_lookups_per_sample(model))
+        Self::with_feature_references(config, expected_lookups_per_sample_per_feature(model))
     }
 
-    /// The reference the monitor currently compares against.
+    /// The aggregate reference the monitor currently compares against.
     pub fn reference_lps(&self) -> f64 {
         self.reference_lps
+    }
+
+    /// Per-feature references, if the monitor tracks features.
+    pub fn reference_feature_lps(&self) -> &[f64] {
+        &self.reference_feature_lps
     }
 
     /// Mean lookups-per-sample over the current (possibly partial)
@@ -73,46 +128,106 @@ impl DriftMonitor {
         (self.window_sum_samples > 0.0).then(|| self.window_sum_lookups / self.window_sum_samples)
     }
 
+    /// Per-feature mean lookups-per-sample over the current (possibly
+    /// partial) window, if the monitor tracks features and has observed
+    /// anything.
+    pub fn window_feature_lps(&self) -> Option<Vec<f64>> {
+        (self.window_sum_samples > 0.0 && !self.window_feature_lookups.is_empty()).then(|| {
+            self.window_feature_lookups
+                .iter()
+                .map(|&l| l / self.window_sum_samples)
+                .collect()
+        })
+    }
+
+    /// Features that tripped the threshold at the last completed window
+    /// (empty if the last verdict was clean, purely aggregate, or no
+    /// window has completed yet). Tells the retuner *where* traffic
+    /// moved.
+    pub fn drifted_features(&self) -> &[usize] {
+        &self.drifted_features
+    }
+
     /// Record one admitted batch. Returns `true` when a full window has
-    /// accumulated and its mean deviates from the reference by more than
-    /// the threshold — i.e. the caller should kick off a retune. The
-    /// window restarts after every verdict (drifted or not).
+    /// accumulated and either the window mean deviates from the aggregate
+    /// reference by more than the threshold, or — for a feature-tracking
+    /// monitor — any single feature's window mean deviates from its own
+    /// reference. The window restarts after every verdict (drifted or
+    /// not).
     pub fn observe(&mut self, batch: &Batch) -> bool {
         self.window_sum_lookups += batch.total_lookups() as f64;
         self.window_sum_samples += batch.batch_size as f64;
+        if batch.features.len() == self.window_feature_lookups.len() {
+            for (sum, fb) in self.window_feature_lookups.iter_mut().zip(&batch.features) {
+                *sum += fb.total_lookups() as f64;
+            }
+        }
         self.window_len += 1;
         if self.window_len < self.config.window {
             return false;
         }
-        let mean = if self.window_sum_samples > 0.0 {
-            self.window_sum_lookups / self.window_sum_samples
+        let samples = self.window_sum_samples;
+        let mean = if samples > 0.0 {
+            self.window_sum_lookups / samples
         } else {
             0.0
         };
+        let aggregate_drift = (mean / self.reference_lps - 1.0).abs() > self.config.threshold;
+        self.drifted_features = if samples > 0.0 {
+            self.window_feature_lookups
+                .iter()
+                .zip(&self.reference_feature_lps)
+                .enumerate()
+                .filter(|&(_, (&sum, &reference))| {
+                    let lps = sum / samples;
+                    let reference = reference.max(MIN_FEATURE_REFERENCE_LPS);
+                    (lps / reference - 1.0).abs() > self.config.feature_threshold
+                })
+                .map(|(f, _)| f)
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.window_sum_lookups = 0.0;
         self.window_sum_samples = 0.0;
+        self.window_feature_lookups
+            .iter_mut()
+            .for_each(|s| *s = 0.0);
         self.window_len = 0;
-        (mean / self.reference_lps - 1.0).abs() > self.config.threshold
+        aggregate_drift || !self.drifted_features.is_empty()
     }
 
     /// Re-anchor after a retune: the freshly tuned engine now matches
-    /// `new_reference_lps`, so deviation is measured from there.
+    /// `new_reference_lps`, so deviation is measured from there. The
+    /// caller provided only an aggregate, so per-feature tracking is
+    /// dropped — use [`Self::rebase_for_model`] to keep it.
     pub fn rebase(&mut self, new_reference_lps: f64) {
-        self.reference_lps = new_reference_lps.max(f64::MIN_POSITIVE);
-        self.window_sum_lookups = 0.0;
-        self.window_sum_samples = 0.0;
-        self.window_len = 0;
+        *self = Self::with_feature_references_inner(self.config, new_reference_lps, Vec::new());
+    }
+
+    /// Re-anchor after a retune on `model`'s distribution, keeping
+    /// per-feature tracking against the new per-feature references.
+    pub fn rebase_for_model(&mut self, model: &ModelConfig) {
+        *self = Self::for_model(self.config, model);
     }
 }
 
 /// Expected lookups per sample of a model configuration:
 /// Σ over features of coverage × mean pooling factor.
 pub fn expected_lookups_per_sample(model: &ModelConfig) -> f64 {
+    expected_lookups_per_sample_per_feature(model)
+        .into_iter()
+        .sum()
+}
+
+/// Expected lookups per sample of each feature (coverage × mean pooling
+/// factor), in model feature order.
+pub fn expected_lookups_per_sample_per_feature(model: &ModelConfig) -> Vec<f64> {
     model
         .features
         .iter()
         .map(|f| f.coverage * f.pooling.mean())
-        .sum()
+        .collect()
 }
 
 #[cfg(test)]
@@ -132,6 +247,7 @@ mod tests {
         let cfg = DriftConfig {
             window: 8,
             threshold: 0.25,
+            feature_threshold: 0.5,
         };
         let mut mon = DriftMonitor::for_model(cfg, &model);
         for b in batches(&model, 32, 100) {
@@ -147,6 +263,7 @@ mod tests {
         let cfg = DriftConfig {
             window: 8,
             threshold: 0.25,
+            feature_threshold: 0.5,
         };
         let mut mon = DriftMonitor::for_model(cfg, &model);
         let mut fired = false;
@@ -163,6 +280,7 @@ mod tests {
         let cfg = DriftConfig {
             window: 4,
             threshold: 0.25,
+            feature_threshold: 0.5,
         };
         let mut mon = DriftMonitor::for_model(cfg, &model);
         for b in batches(&shifted, 4, 300) {
@@ -173,6 +291,100 @@ mod tests {
         for b in batches(&shifted, 8, 400) {
             assert!(!mon.observe(&b), "rebased monitor sees no drift");
         }
+    }
+
+    /// Two always-present fixed-pooling features: per-feature traffic is
+    /// exact, so the test isolates the redistribution logic from
+    /// sampling noise.
+    fn two_feature_model(pooling_a: u32, pooling_b: u32) -> ModelConfig {
+        use recflex_data::{FeatureSpec, PoolingDist};
+        let feat = |name: &str, k: u32| FeatureSpec {
+            name: name.into(),
+            table_rows: 1000,
+            emb_dim: 16,
+            pooling: PoolingDist::Fixed(k),
+            coverage: 1.0,
+            row_skew: 0.0,
+        };
+        ModelConfig {
+            name: "drift-pair".into(),
+            features: vec![feat("up", pooling_a), feat("down", pooling_b)],
+        }
+    }
+
+    #[test]
+    fn opposed_per_feature_shifts_cancel_in_aggregate_but_fire() {
+        let tuned = two_feature_model(20, 20);
+        // Feature 0 rises 60 %, feature 1 falls 60 %: the model-wide mean
+        // is still exactly 40 lookups/sample.
+        let redistributed = two_feature_model(32, 8);
+        let cfg = DriftConfig {
+            window: 4,
+            threshold: 0.25,
+            feature_threshold: 0.5,
+        };
+
+        let mut aggregate_only = DriftMonitor::new(cfg, expected_lookups_per_sample(&tuned));
+        let mut per_feature = DriftMonitor::for_model(cfg, &tuned);
+        let mut aggregate_fired = false;
+        let mut per_feature_fired = false;
+        for b in batches(&redistributed, 4, 500) {
+            aggregate_fired |= aggregate_only.observe(&b);
+            per_feature_fired |= per_feature.observe(&b);
+        }
+        assert!(
+            !aggregate_fired,
+            "the aggregate mean is unchanged, so the aggregate monitor is blind"
+        );
+        assert!(
+            per_feature_fired,
+            "per-feature tracking must catch the redistribution"
+        );
+        assert_eq!(
+            per_feature.drifted_features(),
+            &[0, 1],
+            "both the rising and the falling feature deviate"
+        );
+    }
+
+    #[test]
+    fn rebase_for_model_keeps_per_feature_tracking() {
+        let tuned = two_feature_model(20, 20);
+        let redistributed = two_feature_model(32, 8);
+        let cfg = DriftConfig {
+            window: 4,
+            threshold: 0.25,
+            feature_threshold: 0.5,
+        };
+        let mut mon = DriftMonitor::for_model(cfg, &tuned);
+        for b in batches(&redistributed, 4, 600) {
+            mon.observe(&b);
+        }
+        // Retune on the redistributed traffic: the monitor re-anchors and
+        // the same stream is clean...
+        mon.rebase_for_model(&redistributed);
+        assert_eq!(mon.reference_feature_lps().len(), 2);
+        for b in batches(&redistributed, 4, 700) {
+            assert!(!mon.observe(&b));
+        }
+        // ...but a shift back to the original mix fires again.
+        let mut fired = false;
+        for b in batches(&tuned, 4, 800) {
+            fired |= mon.observe(&b);
+        }
+        assert!(fired, "per-feature refs survive the rebase");
+    }
+
+    #[test]
+    fn per_feature_references_match_the_specs() {
+        let model = ModelPreset::A.scaled(0.01);
+        let per_feature = expected_lookups_per_sample_per_feature(&model);
+        assert_eq!(per_feature.len(), model.features.len());
+        for (r, f) in per_feature.iter().zip(&model.features) {
+            assert!((r - f.coverage * f.pooling.mean()).abs() < 1e-12);
+        }
+        let total: f64 = per_feature.iter().sum();
+        assert!((total - expected_lookups_per_sample(&model)).abs() < 1e-9);
     }
 
     #[test]

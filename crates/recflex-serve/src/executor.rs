@@ -84,6 +84,13 @@ impl DeviceExecutor {
         self.resident.is_empty() && self.queue.is_empty()
     }
 
+    /// Jobs currently on the device: resident plus FIFO-queued. The
+    /// sharded tier samples this at every submission to report per-shard
+    /// peak queue depth.
+    pub fn depth(&self) -> usize {
+        self.resident.len() + self.queue.len()
+    }
+
     /// Advance the device clock to `t`, retiring every kernel that
     /// finishes on the way and promoting queued kernels into freed
     /// streams. Completions are buffered for [`Self::drain_completed`].

@@ -21,7 +21,14 @@
 //!   on live traffic triggering a *background* retune whose engine is
 //!   hot-swapped in at a later simulated timestamp,
 //! * [`ServeReport`] — per-request latency breakdown (batching wait vs
-//!   device time) with nearest-rank percentiles and shed rate.
+//!   device time) with nearest-rank percentiles and shed rate,
+//! * [`ShardedServeRuntime`] — the multi-GPU tier: a
+//!   [`recflex_data::Placement`] partitions the model's features over `N`
+//!   per-shard lanes (each with its own queue and processor-sharing
+//!   executor), and every chunk's latency appends a ring all-gather of
+//!   the pooled outputs gated by the slowest shard
+//!   ([`ShardedReport`] breaks latency into queue + device + gather and
+//!   reports straggler gaps and per-shard lane stats).
 //!
 //! Simulated time is the only clock; ties resolve in a fixed priority.
 //! A run is a pure function of `(config, stream, backend)`, so replaying
@@ -32,13 +39,17 @@ pub mod drift;
 pub mod executor;
 pub mod request;
 pub mod runtime;
+pub mod sharded;
 pub mod stats;
 
-pub use drift::{expected_lookups_per_sample, DriftConfig, DriftMonitor};
+pub use drift::{
+    expected_lookups_per_sample, expected_lookups_per_sample_per_feature, DriftConfig, DriftMonitor,
+};
 pub use executor::{DeviceExecutor, JobId};
 pub use request::{Request, WorkloadSpec};
 pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
-pub use stats::{RequestRecord, ServeReport};
+pub use sharded::{ShardLane, ShardedServeRuntime};
+pub use stats::{RequestRecord, ServeReport, ShardLaneStats, ShardedReport, ShardedRequestRecord};
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +299,7 @@ mod tests {
             drift: DriftConfig {
                 window: 8,
                 threshold: 0.3,
+                feature_threshold: 0.5,
             },
             retune_latency_us: 1_000.0,
             retuner: Box::new(|recent: &[Batch]| {
@@ -327,6 +339,7 @@ mod tests {
             drift: DriftConfig {
                 window: 8,
                 threshold: 0.3,
+                feature_threshold: 0.5,
             },
             retune_latency_us: 1_000.0,
             retuner: Box::new(|_: &[Batch]| {

@@ -1,0 +1,767 @@
+//! The multi-shard serving tier.
+//!
+//! Scales the single-device [`crate::ServeRuntime`] across `N` simulated
+//! GPUs the TorchRec way: the model's features are partitioned by a
+//! [`Placement`], every admitted device batch is *projected* onto each
+//! shard's feature subset, and the per-shard fused kernels run
+//! concurrently on independent devices — each with its own FIFO launch
+//! queue and processor-sharing executor. A chunk's embedding output is
+//! only usable once every shard has finished **and** the pooled rows have
+//! been exchanged, so the latency model appends a ring all-gather
+//! (bytes = rows × concatenated dim × 4, over a configurable
+//! [`Interconnect`]) gated by the *slowest* shard. Stragglers are
+//! first-class observables: every record carries the gap between the
+//! fastest and slowest shard for its chunks, and the report breaks
+//! latency into queue + device + gather.
+//!
+//! With one shard the projection is the identity, the gather is skipped
+//! entirely, and the event sequence degenerates to the single-device
+//! runtime's — a 1-shard tier reproduces [`crate::ServeRuntime`]
+//! latencies bit-for-bit (tested in this module).
+//!
+//! Batch shaping (unsplit / split / dynamic coalescing) happens *before*
+//! the fan-out, on whole requests: all shards always see the same sample
+//! axis for a chunk, which is what keeps the all-gather well-defined.
+
+use std::collections::HashMap;
+
+use recflex_baselines::Backend;
+use recflex_data::{Batch, ModelConfig, Placement};
+use recflex_embedding::TableSet;
+use recflex_sim::{GpuArch, Interconnect};
+
+use crate::executor::DeviceExecutor;
+use crate::request::Request;
+use crate::runtime::{BatchPolicy, ServeConfig, ServeError};
+use crate::stats::{RequestRecord, ShardLaneStats, ShardedReport, ShardedRequestRecord};
+
+/// One shard's serving lane: the sub-model it owns, its tables and the
+/// engine compiled for it.
+pub struct ShardLane {
+    /// The features this shard serves, as a model.
+    pub model: ModelConfig,
+    /// The shard's embedding tables.
+    pub tables: TableSet,
+    /// The engine serving this shard.
+    pub backend: Box<dyn Backend>,
+}
+
+/// The sharded serving runtime: one model partitioned over `N` devices.
+pub struct ShardedServeRuntime<'a> {
+    /// Feature → device partition.
+    pub placement: Placement,
+    /// Per-device lanes, indexed by device.
+    pub lanes: Vec<ShardLane>,
+    /// The full model (for gather sizing).
+    pub model: &'a ModelConfig,
+    /// The simulated device type (same for every shard).
+    pub arch: &'a GpuArch,
+    /// Runtime configuration, shared across shards.
+    pub config: ServeConfig,
+    /// The link pooled outputs are gathered over.
+    pub interconnect: Interconnect,
+}
+
+impl<'a> ShardedServeRuntime<'a> {
+    /// Build the tier: partition `model` by `placement` and compile one
+    /// lane per device with `make_backend`.
+    pub fn build(
+        model: &'a ModelConfig,
+        arch: &'a GpuArch,
+        placement: Placement,
+        config: ServeConfig,
+        interconnect: Interconnect,
+        make_backend: impl Fn(&ModelConfig) -> Box<dyn Backend>,
+    ) -> Self {
+        assert_eq!(placement.device_of.len(), model.features.len());
+        let lanes = (0..placement.num_devices)
+            .map(|dev| {
+                let sub_model = placement.sub_model(model, dev);
+                let tables = TableSet::for_model(&sub_model);
+                let backend = make_backend(&sub_model);
+                ShardLane {
+                    model: sub_model,
+                    tables,
+                    backend,
+                }
+            })
+            .collect();
+        ShardedServeRuntime {
+            placement,
+            lanes,
+            model,
+            arch,
+            config,
+            interconnect,
+        }
+    }
+
+    /// Serve a request stream across all shards.
+    pub fn serve(&self, requests: &[Request]) -> Result<ShardedReport, ServeError> {
+        match self.config.policy {
+            BatchPolicy::Split { cap: 0 } => {
+                return Err(ServeError::Policy("split cap must be at least 1"))
+            }
+            BatchPolicy::Dynamic {
+                max_batch,
+                max_wait_us,
+            } => {
+                if max_batch == 0 {
+                    return Err(ServeError::Policy("dynamic max_batch must be at least 1"));
+                }
+                if !max_wait_us.is_finite() || max_wait_us < 0.0 {
+                    return Err(ServeError::Policy(
+                        "dynamic max_wait_us must be finite and >= 0",
+                    ));
+                }
+            }
+            _ => {}
+        }
+
+        let n = requests.len();
+        let num_shards = self.placement.num_devices;
+        let mut st = ShardedRunState {
+            executors: (0..num_shards)
+                .map(|_| DeviceExecutor::new(self.config.streams))
+                .collect(),
+            lane_stats: vec![ShardLaneStats::default(); num_shards],
+            records: vec![None; n],
+            remaining_chunks: vec![0u32; n],
+            first_start_us: vec![f64::INFINITY; n],
+            device_done_us: vec![0.0f64; n],
+            last_done_us: vec![0.0f64; n],
+            straggler_us: vec![0.0f64; n],
+            arrival_eff_us: requests.iter().map(|r| r.arrival_us).collect(),
+            chunks: HashMap::new(),
+            pending_gathers: Vec::new(),
+            next_chunk: 0,
+            launches: 0,
+            buffer: Vec::new(),
+            buffer_size: 0,
+            buffer_oldest_us: f64::INFINITY,
+        };
+
+        let mut cursor = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // Candidate events, probed in tie-break priority order:
+            // completion, gather, arrival, flush.
+            let mut next: Option<(f64, EventKind)> = None;
+            let mut consider = |t: Option<f64>, kind: EventKind| {
+                if let Some(t) = t {
+                    if next.is_none_or(|(bt, _)| t < bt) {
+                        next = Some((t, kind));
+                    }
+                }
+            };
+            let completion_t = st
+                .executors
+                .iter()
+                .filter_map(|e| e.next_completion_us())
+                .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.min(t))));
+            consider(completion_t, EventKind::Completion);
+            let gather_t = st
+                .pending_gathers
+                .iter()
+                .map(|&(t, _)| t)
+                .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.min(t))));
+            consider(gather_t, EventKind::Gather);
+            let arrival_t = if cursor < n {
+                if self.config.closed_loop {
+                    // Admit only when the previous request fully drained,
+                    // gathers included.
+                    (st.all_idle() && st.buffer.is_empty() && st.pending_gathers.is_empty())
+                        .then_some(now)
+                } else {
+                    Some(requests[cursor].arrival_us.max(now))
+                }
+            } else {
+                None
+            };
+            consider(arrival_t, EventKind::Arrival);
+            let flush_t = match self.config.policy {
+                BatchPolicy::Dynamic { max_wait_us, .. } if !st.buffer.is_empty() => {
+                    Some((st.buffer_oldest_us + max_wait_us).max(now))
+                }
+                _ => None,
+            };
+            consider(flush_t, EventKind::Flush);
+
+            let Some((t, kind)) = next else { break };
+            now = t;
+
+            match kind {
+                EventKind::Completion => {
+                    for ex in &mut st.executors {
+                        ex.advance_to(now);
+                    }
+                    st.note_starts();
+                    st.collect_completions(self, requests);
+                    // Work-conserving: idle devices drain the batcher.
+                    if st.all_idle() && !st.buffer.is_empty() {
+                        st.flush_buffer(now, self, requests)?;
+                    }
+                }
+                EventKind::Gather => {
+                    st.retire_gathers(now, requests);
+                }
+                EventKind::Arrival => {
+                    st.admit(cursor, now, self, requests)?;
+                    cursor += 1;
+                }
+                EventKind::Flush => {
+                    st.flush_buffer(now, self, requests)?;
+                }
+            }
+        }
+
+        debug_assert!(st.records.iter().all(Option::is_some));
+        Ok(ShardedReport {
+            records: st.records.into_iter().flatten().collect(),
+            per_shard: st.lane_stats,
+            kernel_launches: st.launches,
+            makespan_us: now,
+        })
+    }
+}
+
+/// Which event fires next; declaration order is tie-break priority.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+enum EventKind {
+    Completion,
+    Gather,
+    Arrival,
+    Flush,
+}
+
+/// In-flight bookkeeping for one device chunk fanned out over all shards.
+struct ChunkState {
+    owners: Vec<usize>,
+    /// Shards whose kernel has not started yet.
+    pending_starts: usize,
+    /// Latest per-shard kernel start seen so far. A chunk only counts as
+    /// "on the device" once its *gating* (last-starting) lane picked it
+    /// up; until then it is queue time, exactly as the single-device
+    /// runtime counts its one lane's launch-queue wait.
+    start_max_us: f64,
+    /// Shards whose kernel has not completed yet.
+    pending_shards: usize,
+    /// Earliest / latest per-shard completion seen so far.
+    done_min_us: f64,
+    done_max_us: f64,
+    /// Samples in the chunk (sizes the all-gather).
+    rows: u32,
+}
+
+struct ShardedRunState {
+    executors: Vec<DeviceExecutor>,
+    lane_stats: Vec<ShardLaneStats>,
+    records: Vec<Option<ShardedRequestRecord>>,
+    remaining_chunks: Vec<u32>,
+    first_start_us: Vec<f64>,
+    /// Last per-shard kernel completion over the request's chunks.
+    device_done_us: Vec<f64>,
+    /// Last gather completion over the request's chunks.
+    last_done_us: Vec<f64>,
+    /// Worst chunk straggler gap over the request's chunks.
+    straggler_us: Vec<f64>,
+    arrival_eff_us: Vec<f64>,
+    chunks: HashMap<u64, ChunkState>,
+    /// Gathers in flight: (completion timestamp, chunk id).
+    pending_gathers: Vec<(f64, u64)>,
+    next_chunk: u64,
+    launches: u64,
+    /// Request indices waiting in the dynamic batcher.
+    buffer: Vec<usize>,
+    buffer_size: u32,
+    buffer_oldest_us: f64,
+}
+
+impl ShardedRunState {
+    fn all_idle(&self) -> bool {
+        self.executors.iter().all(|e| e.is_idle())
+    }
+
+    fn max_backlog_us(&self) -> f64 {
+        self.executors
+            .iter()
+            .map(|e| e.backlog_us())
+            .fold(0.0, f64::max)
+    }
+
+    fn admit(
+        &mut self,
+        ri: usize,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        let req = &requests[ri];
+        self.arrival_eff_us[ri] = if rt.config.closed_loop {
+            now
+        } else {
+            req.arrival_us
+        };
+
+        // SLO admission: the slowest shard gates a chunk, so the tier's
+        // effective backlog is the worst per-shard backlog.
+        if let Some(deadline) = rt.config.slo_deadline_us {
+            if self.max_backlog_us() > deadline {
+                self.records[ri] = Some(ShardedRequestRecord {
+                    base: RequestRecord {
+                        id: req.id,
+                        batch_size: req.batch.batch_size,
+                        arrival_us: self.arrival_eff_us[ri],
+                        queue_us: 0.0,
+                        service_us: 0.0,
+                        done_us: self.arrival_eff_us[ri],
+                        shed: true,
+                    },
+                    device_us: 0.0,
+                    gather_us: 0.0,
+                    straggler_us: 0.0,
+                });
+                return Ok(());
+            }
+        }
+
+        match rt.config.policy {
+            BatchPolicy::Unsplit => {
+                self.submit_chunk(req.batch.clone(), vec![ri], now, rt, requests)?;
+            }
+            BatchPolicy::Split { cap } => {
+                let chunks = req
+                    .batch
+                    .split(cap)
+                    .map_err(|_| ServeError::Policy("split cap must be at least 1"))?;
+                if chunks.is_empty() {
+                    self.finalize_empty(ri, now, requests);
+                } else {
+                    for chunk in chunks {
+                        self.submit_chunk(chunk, vec![ri], now, rt, requests)?;
+                    }
+                }
+            }
+            BatchPolicy::Dynamic { max_batch, .. } => {
+                if req.batch.batch_size == 0 {
+                    self.finalize_empty(ri, now, requests);
+                } else if req.batch.batch_size >= max_batch {
+                    // Oversized: flush waiting small requests first so
+                    // device order stays FIFO, then split the big one.
+                    self.flush_buffer(now, rt, requests)?;
+                    let chunks = req
+                        .batch
+                        .split(max_batch)
+                        .map_err(|_| ServeError::Policy("dynamic max_batch must be at least 1"))?;
+                    for chunk in chunks {
+                        self.submit_chunk(chunk, vec![ri], now, rt, requests)?;
+                    }
+                } else {
+                    if self.buffer_size + req.batch.batch_size > max_batch {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                    self.buffer.push(ri);
+                    self.buffer_size += req.batch.batch_size;
+                    self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                    if self.buffer_size == max_batch || self.all_idle() {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_buffer(
+        &mut self,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let owners = std::mem::take(&mut self.buffer);
+        self.buffer_size = 0;
+        self.buffer_oldest_us = f64::INFINITY;
+        let parts: Vec<Batch> = owners
+            .iter()
+            .map(|&ri| requests[ri].batch.clone())
+            .collect();
+        let merged = Batch::merge(&parts);
+        self.submit_chunk(merged, owners, now, rt, requests)
+    }
+
+    /// Fan one device chunk out over every shard.
+    fn submit_chunk(
+        &mut self,
+        batch: Batch,
+        owners: Vec<usize>,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        let chunk_id = self.next_chunk;
+        self.next_chunk += 1;
+        for &ri in &owners {
+            self.remaining_chunks[ri] += 1;
+        }
+        self.chunks.insert(
+            chunk_id,
+            ChunkState {
+                owners,
+                pending_starts: rt.lanes.len(),
+                start_max_us: 0.0,
+                pending_shards: rt.lanes.len(),
+                done_min_us: f64::INFINITY,
+                done_max_us: 0.0,
+                rows: batch.batch_size,
+            },
+        );
+        for (dev, lane) in rt.lanes.iter().enumerate() {
+            let sub_batch = rt.placement.project_batch(&batch, dev);
+            let run = lane
+                .backend
+                .run(&lane.model, &lane.tables, &sub_batch, rt.arch)?;
+            self.launches += u64::from(run.kernel_launches);
+            let stats = &mut self.lane_stats[dev];
+            stats.jobs += 1;
+            stats.device_us += run.latency_us;
+            self.executors[dev].submit(now, chunk_id, run.latency_us);
+            stats.max_backlog_us = stats.max_backlog_us.max(self.executors[dev].backlog_us());
+            stats.max_queue_depth = stats.max_queue_depth.max(self.executors[dev].depth());
+        }
+        self.note_starts();
+        // Zero-cost shard kernels retire inside `submit`; collect them so
+        // their owners don't wait for a completion event that may never
+        // have a distinct timestamp.
+        self.collect_completions(rt, requests);
+        Ok(())
+    }
+
+    /// Drain per-shard completions, resolve finished chunks, and either
+    /// finalize them (1 shard / free gather) or start their all-gather.
+    fn collect_completions(&mut self, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
+        let num_shards = rt.placement.num_devices;
+        for dev in 0..self.executors.len() {
+            for (t_done, chunk_id) in self.executors[dev].drain_completed() {
+                let chunk = self
+                    .chunks
+                    .get_mut(&chunk_id)
+                    .expect("completion for unknown chunk");
+                chunk.pending_shards -= 1;
+                chunk.done_min_us = chunk.done_min_us.min(t_done);
+                chunk.done_max_us = chunk.done_max_us.max(t_done);
+                if chunk.pending_shards > 0 {
+                    continue;
+                }
+                let chunk = self.chunks.remove(&chunk_id).expect("chunk state");
+                let out_bytes = rt.model.concat_dim() as u64 * chunk.rows as u64 * 4;
+                let gather_us = rt.interconnect.all_gather_us(out_bytes, num_shards);
+                let straggler = chunk.done_max_us - chunk.done_min_us;
+                for &ri in &chunk.owners {
+                    self.device_done_us[ri] = self.device_done_us[ri].max(chunk.done_max_us);
+                    self.straggler_us[ri] = self.straggler_us[ri].max(straggler);
+                }
+                if gather_us > 0.0 {
+                    self.pending_gathers
+                        .push((chunk.done_max_us + gather_us, chunk_id));
+                    self.chunks.insert(chunk_id, chunk);
+                } else {
+                    // One shard (or an ideal link): the chunk is done the
+                    // moment the device finishes — exactly the
+                    // single-device runtime's event sequence.
+                    self.retire_chunk(&chunk, chunk.done_max_us, requests);
+                }
+            }
+        }
+    }
+
+    /// Retire every gather due at `now` (submission order on ties).
+    fn retire_gathers(&mut self, now: f64, requests: &[Request]) {
+        let mut due: Vec<(f64, u64)> = Vec::new();
+        self.pending_gathers.retain(|&(t, id)| {
+            if t <= now {
+                due.push((t, id));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (t, chunk_id) in due {
+            let chunk = self.chunks.remove(&chunk_id).expect("gather chunk state");
+            self.retire_chunk(&chunk, t, requests);
+        }
+    }
+
+    fn retire_chunk(&mut self, chunk: &ChunkState, done_us: f64, requests: &[Request]) {
+        for &ri in &chunk.owners {
+            self.remaining_chunks[ri] -= 1;
+            self.last_done_us[ri] = self.last_done_us[ri].max(done_us);
+            if self.remaining_chunks[ri] == 0 {
+                self.finalize(ri, requests);
+            }
+        }
+    }
+
+    /// Fold freshly drained kernel-start events into per-request first
+    /// *gating* start times: a chunk starts when its last lane picks it
+    /// up, and a request starts at its earliest chunk start.
+    fn note_starts(&mut self) {
+        for dev in 0..self.executors.len() {
+            for (t_start, chunk_id) in self.executors[dev].drain_started() {
+                if let Some(chunk) = self.chunks.get_mut(&chunk_id) {
+                    chunk.pending_starts -= 1;
+                    chunk.start_max_us = chunk.start_max_us.max(t_start);
+                    if chunk.pending_starts == 0 {
+                        let gating = chunk.start_max_us;
+                        let owners = chunk.owners.clone();
+                        for ri in owners {
+                            self.first_start_us[ri] = self.first_start_us[ri].min(gating);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, ri: usize, requests: &[Request]) {
+        let arrival = self.arrival_eff_us[ri];
+        let first = self.first_start_us[ri];
+        let done = self.last_done_us[ri];
+        let device_done = self.device_done_us[ri];
+        self.records[ri] = Some(ShardedRequestRecord {
+            base: RequestRecord {
+                id: requests[ri].id,
+                batch_size: requests[ri].batch.batch_size,
+                arrival_us: arrival,
+                queue_us: first - arrival,
+                service_us: done - first,
+                done_us: done,
+                shed: false,
+            },
+            device_us: device_done - first,
+            gather_us: done - device_done,
+            straggler_us: self.straggler_us[ri],
+        });
+    }
+
+    fn finalize_empty(&mut self, ri: usize, now: f64, requests: &[Request]) {
+        self.records[ri] = Some(ShardedRequestRecord {
+            base: RequestRecord {
+                id: requests[ri].id,
+                batch_size: 0,
+                arrival_us: self.arrival_eff_us[ri],
+                queue_us: 0.0,
+                service_us: 0.0,
+                done_us: now,
+                shed: false,
+            },
+            device_us: 0.0,
+            gather_us: 0.0,
+            straggler_us: 0.0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkloadSpec;
+    use crate::runtime::ServeRuntime;
+    use recflex_baselines::TorchRecBackend;
+    use recflex_data::ModelPreset;
+
+    fn setup() -> (ModelConfig, GpuArch) {
+        (ModelPreset::A.scaled(0.01), GpuArch::v100())
+    }
+
+    fn tier<'a>(
+        model: &'a ModelConfig,
+        arch: &'a GpuArch,
+        shards: usize,
+        config: ServeConfig,
+        interconnect: Interconnect,
+    ) -> ShardedServeRuntime<'a> {
+        ShardedServeRuntime::build(
+            model,
+            arch,
+            Placement::balance(model, shards),
+            config,
+            interconnect,
+            |m| Box::new(TorchRecBackend::compile(m)),
+        )
+    }
+
+    fn load_config() -> ServeConfig {
+        ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Split { cap: 256 },
+            slo_deadline_us: None,
+            closed_loop: false,
+        }
+    }
+
+    #[test]
+    fn one_shard_reproduces_single_device_latencies_bit_for_bit() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
+        for policy in [
+            BatchPolicy::Unsplit,
+            BatchPolicy::Split { cap: 128 },
+            BatchPolicy::Dynamic {
+                max_batch: 256,
+                max_wait_us: 200.0,
+            },
+        ] {
+            let config = ServeConfig {
+                streams: 4,
+                policy,
+                slo_deadline_us: Some(20_000.0),
+                closed_loop: false,
+            };
+            let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
+                .serve(&reqs)
+                .unwrap();
+            let backend = TorchRecBackend::compile(&m);
+            let tables = TableSet::for_model(&m);
+            let single = ServeRuntime {
+                backend: &backend,
+                model: &m,
+                tables: &tables,
+                arch: &arch,
+                config,
+            }
+            .serve(&reqs)
+            .unwrap();
+            assert_eq!(sharded.flat(), single, "policy {policy:?}");
+            assert!(sharded.records.iter().all(|r| r.gather_us == 0.0));
+            assert!(sharded.records.iter().all(|r| r.straggler_us == 0.0));
+        }
+    }
+
+    #[test]
+    fn replaying_a_seed_reproduces_the_report_bit_for_bit() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(250.0).stream(&m, 48, 7);
+        let rt = tier(&m, &arch, 4, load_config(), Interconnect::nvlink());
+        let a = rt.serve(&reqs).unwrap();
+        let b = rt.serve(&reqs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.records.len(), 48);
+        assert_eq!(a.per_shard.len(), 4);
+    }
+
+    #[test]
+    fn more_shards_cut_device_time_under_load() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(150.0).stream(&m, 48, 9);
+        let p50 = |shards: usize| {
+            tier(&m, &arch, shards, load_config(), Interconnect::nvlink())
+                .serve(&reqs)
+                .unwrap()
+                .percentile_device_us(0.5)
+        };
+        let one = p50(1);
+        let two = p50(2);
+        let four = p50(4);
+        assert!(two <= one, "2 shards {two} vs 1 shard {one}");
+        assert!(four <= two, "4 shards {four} vs 2 shards {two}");
+    }
+
+    #[test]
+    fn gather_and_straggler_terms_appear_with_multiple_shards() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 24, 3);
+        let report = tier(&m, &arch, 4, load_config(), Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap();
+        assert!(report.mean_gather_us() > 0.0, "gather must be accounted");
+        assert!(
+            report.mean_straggler_us() > 0.0,
+            "heterogeneous shards must straggle"
+        );
+        // The breakdown is additive on the critical path.
+        for r in report.completed() {
+            let sum = r.base.queue_us + r.device_us + r.gather_us;
+            assert!(
+                (r.base.latency_us() - sum).abs() < 1e-6,
+                "queue {} + device {} + gather {} != latency {}",
+                r.base.queue_us,
+                r.device_us,
+                r.gather_us,
+                r.base.latency_us()
+            );
+        }
+    }
+
+    #[test]
+    fn slower_interconnect_raises_tail_latency() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 5);
+        let p99 = |link: Interconnect| {
+            tier(&m, &arch, 4, load_config(), link)
+                .serve(&reqs)
+                .unwrap()
+                .percentile_us(0.99)
+        };
+        assert!(p99(Interconnect::pcie()) > p99(Interconnect::nvlink()));
+        assert!(p99(Interconnect::nvlink()) > p99(Interconnect::ideal()));
+    }
+
+    #[test]
+    fn per_shard_stats_cover_every_chunk() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 24, 13);
+        let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap();
+        let jobs: Vec<u64> = report.per_shard.iter().map(|s| s.jobs).collect();
+        // Every chunk fans out to every shard.
+        assert!(jobs.iter().all(|&j| j == jobs[0] && j > 0));
+        assert!(report.per_shard.iter().all(|s| s.device_us > 0.0));
+        assert!(report.per_shard.iter().all(|s| s.max_queue_depth >= 1));
+    }
+
+    #[test]
+    fn slo_shedding_works_in_the_sharded_tier() {
+        let (m, arch) = setup();
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| Request {
+                id: i,
+                arrival_us: i as f64,
+                batch: Batch::generate(&m, 512, 3000 + i),
+            })
+            .collect();
+        let config = ServeConfig {
+            streams: 2,
+            policy: BatchPolicy::Split { cap: 128 },
+            slo_deadline_us: Some(2_000.0),
+            closed_loop: false,
+        };
+        let report = tier(&m, &arch, 2, config, Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap();
+        assert!(report.shed_rate() > 0.0, "overload must shed");
+        for r in report.records.iter().filter(|r| r.base.shed) {
+            assert_eq!(r.base.done_us, r.base.arrival_us);
+            assert_eq!(r.device_us, 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_split_cap_is_a_policy_error() {
+        let (m, arch) = setup();
+        let config = ServeConfig {
+            streams: 1,
+            policy: BatchPolicy::Split { cap: 0 },
+            slo_deadline_us: None,
+            closed_loop: false,
+        };
+        let rt = tier(&m, &arch, 2, config, Interconnect::nvlink());
+        let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 2, 1);
+        assert!(matches!(rt.serve(&reqs), Err(ServeError::Policy(_))));
+    }
+}

@@ -64,40 +64,143 @@ impl ServeReport {
 
     /// Mean end-to-end latency over completed requests, µs.
     pub fn mean_latency_us(&self) -> f64 {
-        let (sum, n) = self
-            .completed()
-            .fold((0.0, 0u64), |(s, n), r| (s + r.latency_us(), n + 1));
-        if n == 0 {
-            0.0
-        } else {
-            sum / n as f64
-        }
+        mean(self.completed().map(|r| r.latency_us()))
     }
 
     /// Nearest-rank latency percentile over completed requests, µs.
     /// `q` in `[0, 1]`; `q = 0` is the minimum, `q = 1` the maximum.
     pub fn percentile_us(&self, q: f64) -> f64 {
-        let mut lat: Vec<f64> = self.completed().map(|r| r.latency_us()).collect();
-        if lat.is_empty() {
-            return 0.0;
-        }
-        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((lat.len() as f64 * q).ceil() as usize).clamp(1, lat.len());
-        lat[rank - 1]
+        percentile(self.completed().map(|r| r.latency_us()), q)
     }
 
     /// Mean queue wait over completed requests, µs — the batching +
     /// stream-contention share of latency.
     pub fn mean_queue_us(&self) -> f64 {
-        let (sum, n) = self
-            .completed()
-            .fold((0.0, 0u64), |(s, n), r| (s + r.queue_us, n + 1));
-        if n == 0 {
-            0.0
-        } else {
-            sum / n as f64
+        mean(self.completed().map(|r| r.queue_us))
+    }
+}
+
+/// What happened to one request in the sharded tier: the single-device
+/// breakdown plus the cross-shard terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRequestRecord {
+    /// The single-device-shaped record (`service_us` and `done_us`
+    /// include the all-gather; latency = queue + device + gather).
+    pub base: RequestRecord,
+    /// Gating launch to last per-shard kernel completion, µs — the pure
+    /// device share of service time. A chunk is "launched" once its
+    /// *last* lane picks it up, so a backlogged shard's launch-queue
+    /// wait stays in `queue_us` rather than inflating device time.
+    pub device_us: f64,
+    /// All-gather overhang on the critical path, µs (last device
+    /// completion to final completion). Zero with one shard.
+    pub gather_us: f64,
+    /// Largest straggler gap over this request's chunks, µs: slowest
+    /// shard completion minus fastest for the same chunk. The slowest
+    /// shard gates the gather, so this is the latency lost to imbalance.
+    pub straggler_us: f64,
+}
+
+/// Aggregate view of one shard's lane over a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardLaneStats {
+    /// Chunks executed on this shard.
+    pub jobs: u64,
+    /// Total device work submitted, µs.
+    pub device_us: f64,
+    /// Peak backlog (device-µs owed) observed at any submission.
+    pub max_backlog_us: f64,
+    /// Peak queue depth (resident + FIFO-queued jobs) at any submission.
+    pub max_queue_depth: usize,
+}
+
+/// Aggregate outcome of one sharded serving run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardedReport {
+    /// One record per request, in arrival order (shed included).
+    pub records: Vec<ShardedRequestRecord>,
+    /// Per-shard lane statistics, indexed by device.
+    pub per_shard: Vec<ShardLaneStats>,
+    /// Kernel launches summed over every shard.
+    pub kernel_launches: u64,
+    /// Timestamp of the last completion (or last arrival if all shed).
+    pub makespan_us: f64,
+}
+
+impl ShardedReport {
+    /// Records of requests that actually ran.
+    pub fn completed(&self) -> impl Iterator<Item = &ShardedRequestRecord> {
+        self.records.iter().filter(|r| !r.base.shed)
+    }
+
+    /// Fraction of requests shed by admission control, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.base.shed).count() as f64 / self.records.len() as f64
+    }
+
+    /// Nearest-rank percentile of end-to-end latency, µs.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        percentile(self.completed().map(|r| r.base.latency_us()), q)
+    }
+
+    /// Nearest-rank percentile of the pure device share of service, µs.
+    pub fn percentile_device_us(&self, q: f64) -> f64 {
+        percentile(self.completed().map(|r| r.device_us), q)
+    }
+
+    /// Nearest-rank percentile of the straggler gap, µs.
+    pub fn percentile_straggler_us(&self, q: f64) -> f64 {
+        percentile(self.completed().map(|r| r.straggler_us), q)
+    }
+
+    /// Mean all-gather overhang over completed requests, µs.
+    pub fn mean_gather_us(&self) -> f64 {
+        mean(self.completed().map(|r| r.gather_us))
+    }
+
+    /// Mean straggler gap over completed requests, µs.
+    pub fn mean_straggler_us(&self) -> f64 {
+        mean(self.completed().map(|r| r.straggler_us))
+    }
+
+    /// Mean queue wait over completed requests, µs.
+    pub fn mean_queue_us(&self) -> f64 {
+        mean(self.completed().map(|r| r.base.queue_us))
+    }
+
+    /// The run flattened to the single-device report shape, for code that
+    /// only cares about the request-level outcome (and for the 1-shard
+    /// equivalence tests).
+    pub fn flat(&self) -> ServeReport {
+        ServeReport {
+            records: self.records.iter().map(|r| r.base.clone()).collect(),
+            kernel_launches: self.kernel_launches,
+            retunes: 0,
+            makespan_us: self.makespan_us,
         }
     }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0u64), |(s, n), x| (s + x, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn percentile(xs: impl Iterator<Item = f64>, q: f64) -> f64 {
+    let mut v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((v.len() as f64 * q).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
 }
 
 #[cfg(test)]

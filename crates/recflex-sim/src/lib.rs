@@ -27,6 +27,7 @@
 //! experiments reproducible bit-for-bit.
 
 pub mod arch;
+pub mod interconnect;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
@@ -36,6 +37,7 @@ pub mod profile;
 pub mod scheduler;
 
 pub use arch::GpuArch;
+pub use interconnect::Interconnect;
 pub use kernel::{ProfileCtx, SimKernel};
 pub use launch::{launch, LaunchConfig, LaunchReport};
 pub use memory::MemorySystem;

@@ -250,6 +250,25 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// JSON has no tuple type; serde_json maps tuples to fixed-length arrays.
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            _ => Err(Error(format!("expected 2-element array, got {v:?}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +284,11 @@ mod tests {
         assert_eq!(
             Option::<String>::deserialize_value(&Value::Null),
             Ok(None)
+        );
+        let pair = ("x".to_string(), 2.5f64);
+        assert_eq!(
+            <(String, f64)>::deserialize_value(&pair.serialize_value()),
+            Ok(pair)
         );
     }
 
