@@ -21,7 +21,7 @@ use recflex_bench::{CliOpts, Scale};
 use recflex_core::{feature_cost_estimates, RecFlexEngine};
 use recflex_data::{Dataset, ModelConfig, ModelPreset, Placement};
 use recflex_serve::{BatchPolicy, ServeConfig, ShardedServeRuntime, WorkloadSpec};
-use recflex_sim::{GpuArch, Interconnect};
+use recflex_sim::GpuArch;
 use serde::Serialize;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -53,6 +53,7 @@ struct SweepReport {
     requests: usize,
     streams: u32,
     split_cap: u32,
+    interconnect: String,
     interconnect_gbps: f64,
     rows: Vec<SweepRow>,
 }
@@ -73,7 +74,7 @@ fn main() -> ExitCode {
     let model = scale.model(ModelPreset::A);
     let history = Dataset::synthesize(&model, 3, scale.batch_size, 7);
     let costs = feature_cost_estimates(&model, &history, &arch);
-    let interconnect = Interconnect::nvlink();
+    let interconnect = scale.interconnect.clone();
     let split_cap = 256u32;
     let config = ServeConfig {
         streams: 4,
@@ -85,9 +86,10 @@ fn main() -> ExitCode {
 
     println!(
         "== shard sweep: model {} ({} features), {n_requests} Poisson long-tail \
-         requests, split@{split_cap}, NVLink gather ==",
+         requests, split@{split_cap}, {} gather ==",
         model.name,
-        model.features.len()
+        model.features.len(),
+        scale.interconnect_name
     );
     println!(
         "{:<22} {:>9} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10} {:>7}",
@@ -171,6 +173,7 @@ fn main() -> ExitCode {
         requests: n_requests,
         streams: config.streams,
         split_cap,
+        interconnect: scale.interconnect_name.clone(),
         interconnect_gbps: interconnect.bandwidth_gbps,
         rows,
     };

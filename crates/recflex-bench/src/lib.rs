@@ -13,6 +13,8 @@
 //! * `RECFLEX_SCALE`  — fraction of each model's feature count (default 0.1),
 //! * `RECFLEX_BATCH`  — evaluation batch size (default 256),
 //! * `RECFLEX_EVAL_BATCHES` — evaluation batches (default 16, paper 128),
+//! * `RECFLEX_INTERCONNECT` — the link the sharded serving binaries
+//!   gather over: `nvlink` (default), `pcie` or `ideal`,
 //!
 //! so `RECFLEX_SCALE=1.0 RECFLEX_BATCH=512 RECFLEX_EVAL_BATCHES=128` runs
 //! the paper-size experiments. Relative results (who wins, by how much) are
@@ -24,7 +26,7 @@ use recflex_baselines::{
 use recflex_core::RecFlexEngine;
 use recflex_data::{Batch, Dataset, ModelConfig, ModelPreset};
 use recflex_embedding::TableSet;
-use recflex_sim::GpuArch;
+use recflex_sim::{GpuArch, Interconnect};
 use recflex_tuner::TunerConfig;
 
 /// Experiment scaling knobs (see crate docs).
@@ -36,12 +38,22 @@ pub struct Scale {
     pub batch_size: u32,
     /// Number of evaluation batches.
     pub eval_batches: usize,
+    /// The interconnect preset name (`nvlink`, `pcie` or `ideal`) —
+    /// kept alongside [`Self::interconnect`] for report labels.
+    pub interconnect_name: String,
+    /// The link the sharded serving binaries gather pooled outputs over.
+    pub interconnect: Interconnect,
     /// Tuner configuration.
     pub tuner: TunerConfig,
 }
 
 impl Scale {
     /// Read the knobs from the environment.
+    ///
+    /// The numeric knobs fall back to their defaults on parse failure,
+    /// but an unknown `RECFLEX_INTERCONNECT` aborts: silently serving
+    /// over NVLink when the run asked for PCIe would invalidate the
+    /// experiment without any visible symptom.
     pub fn from_env() -> Self {
         let model_frac = std::env::var("RECFLEX_SCALE")
             .ok()
@@ -55,6 +67,12 @@ impl Scale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(16);
+        let interconnect_name = std::env::var("RECFLEX_INTERCONNECT")
+            .unwrap_or_else(|_| "nvlink".to_string())
+            .to_ascii_lowercase();
+        let interconnect = Interconnect::by_name(&interconnect_name).unwrap_or_else(|| {
+            panic!("RECFLEX_INTERCONNECT={interconnect_name} is not one of nvlink, pcie, ideal")
+        });
         let tuner = TunerConfig {
             occupancy_levels: Some(vec![1, 2, 4, 8, 16]),
             tuning_batches: 3,
@@ -64,6 +82,8 @@ impl Scale {
             model_frac,
             batch_size,
             eval_batches,
+            interconnect_name,
+            interconnect,
             tuner,
         }
     }
@@ -310,6 +330,8 @@ mod tests {
             model_frac: 0.005,
             batch_size: 32,
             eval_batches: 2,
+            interconnect_name: "nvlink".to_string(),
+            interconnect: Interconnect::nvlink(),
             tuner: TunerConfig::fast(),
         };
         let f = Fixture::prepare(ModelPreset::A, &GpuArch::v100(), &scale);
@@ -324,6 +346,8 @@ mod tests {
             model_frac: 0.005,
             batch_size: 32,
             eval_batches: 1,
+            interconnect_name: "nvlink".to_string(),
+            interconnect: Interconnect::nvlink(),
             tuner: TunerConfig::fast(),
         };
         let f = Fixture::prepare(ModelPreset::A, &GpuArch::v100(), &scale);

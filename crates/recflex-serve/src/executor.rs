@@ -9,6 +9,15 @@
 //! occupancy. Kernels beyond the stream limit wait in a FIFO launch
 //! queue. The model is event-driven and exactly reproducible: ties are
 //! broken by submission order, never by wall clock or hash order.
+//!
+//! Fault injection hooks into the same model: a *slowdown* scales the
+//! device's aggregate throughput (rate `r` µs of work per µs of wall
+//! time), a *stall* is rate zero (resident kernels freeze in place), and
+//! a *crash* drains every resident and queued kernel without completion
+//! events so the serving tier can re-execute or degrade them. At the
+//! default rate of 1 every code path is arithmetically identical to the
+//! fault-free model — the no-fault bit-for-bit guarantee leans on
+//! `x / 1.0 == x` and `x * 1.0 == x` being exact in IEEE arithmetic.
 
 use std::collections::VecDeque;
 
@@ -27,6 +36,10 @@ struct Job {
 pub struct DeviceExecutor {
     streams: usize,
     clock: f64,
+    /// Aggregate throughput: µs of device work retired per µs of wall
+    /// time. 1 is a healthy device, (0, 1) a fault-injected slowdown,
+    /// 0 a stall (kernels freeze until the rate recovers).
+    rate: f64,
     resident: Vec<Job>,
     queue: VecDeque<Job>,
     started: Vec<(f64, JobId)>,
@@ -39,6 +52,7 @@ impl DeviceExecutor {
         DeviceExecutor {
             streams: streams.max(1) as usize,
             clock: 0.0,
+            rate: 1.0,
             resident: Vec::new(),
             queue: VecDeque::new(),
             started: Vec::new(),
@@ -60,14 +74,61 @@ impl DeviceExecutor {
     }
 
     /// The absolute time at which the next resident kernel finishes, if
-    /// any work is in flight.
+    /// any work is in flight. A stalled device (rate 0) never completes
+    /// on its own — it needs a rate recovery first.
     pub fn next_completion_us(&self) -> Option<f64> {
+        if self.rate <= 0.0 {
+            return None;
+        }
         let k = self.resident.len();
         self.resident
             .iter()
             .map(|j| j.remaining_us)
             .fold(None, |m: Option<f64>, r| Some(m.map_or(r, |m| m.min(r))))
-            .map(|min| self.clock + min * k as f64)
+            .map(|min| self.clock + min * k as f64 / self.rate)
+    }
+
+    /// Change the device's aggregate throughput at time `now_us`,
+    /// accounting all progress made under the old rate first. Rate 1 is
+    /// healthy, (0, 1) a slowdown, 0 a stall.
+    pub fn set_rate(&mut self, now_us: f64, rate: f64) {
+        self.advance_to(now_us);
+        self.rate = rate.max(0.0);
+    }
+
+    /// The current aggregate throughput.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Kill the device at time `now_us`: every resident and queued kernel
+    /// is dropped *without* a completion event and their ids are returned
+    /// (resident first, in submission order, then the FIFO queue) so the
+    /// caller can re-execute them elsewhere or serve degraded output.
+    /// Partial progress on resident kernels is lost.
+    pub fn fail_all(&mut self, now_us: f64) -> Vec<JobId> {
+        self.advance_to(now_us);
+        let mut failed: Vec<JobId> = self.resident.drain(..).map(|j| j.id).collect();
+        failed.extend(self.queue.drain(..).map(|j| j.id));
+        failed
+    }
+
+    /// Cancel one kernel at time `now_us` (hedged re-execution lost the
+    /// race, or its chunk was served degraded). Progress is accounted
+    /// first; a freed stream immediately promotes queued work. Returns
+    /// false if the job already completed or was never submitted.
+    pub fn cancel(&mut self, now_us: f64, id: JobId) -> bool {
+        self.advance_to(now_us);
+        if let Some(i) = self.resident.iter().position(|j| j.id == id) {
+            self.resident.remove(i);
+            self.promote();
+            return true;
+        }
+        if let Some(i) = self.queue.iter().position(|j| j.id == id) {
+            self.queue.remove(i);
+            return true;
+        }
+        false
     }
 
     /// Total device-µs of outstanding work (resident + queued). Because
@@ -96,7 +157,8 @@ impl DeviceExecutor {
     /// streams. Completions are buffered for [`Self::drain_completed`].
     pub fn advance_to(&mut self, t: f64) {
         while self.clock < t {
-            if self.resident.is_empty() {
+            if self.resident.is_empty() || self.rate <= 0.0 {
+                // Nothing resident, or stalled: time passes, work doesn't.
                 self.clock = t;
                 break;
             }
@@ -106,9 +168,9 @@ impl DeviceExecutor {
                 .iter()
                 .map(|j| j.remaining_us)
                 .fold(f64::INFINITY, f64::min);
-            let finish_at = self.clock + min_rem * k;
+            let finish_at = self.clock + min_rem * k / self.rate;
             if finish_at > t {
-                let per_job = (t - self.clock) / k;
+                let per_job = (t - self.clock) * self.rate / k;
                 for j in &mut self.resident {
                     j.remaining_us -= per_job;
                 }
@@ -231,6 +293,65 @@ mod tests {
         ex.submit(0.0, 2, 50.0);
         run_until_idle(&mut ex);
         assert_eq!(ex.drain_started(), vec![(0.0, 1), (100.0, 2)]);
+    }
+
+    #[test]
+    fn slowdown_stretches_completions_by_the_rate() {
+        // 100 µs of work at rate 0.5 takes 200 µs of wall time.
+        let mut ex = DeviceExecutor::new(4);
+        ex.set_rate(0.0, 0.5);
+        ex.submit(0.0, 1, 100.0);
+        assert_eq!(run_until_idle(&mut ex), vec![(200.0, 1)]);
+    }
+
+    #[test]
+    fn mid_flight_rate_change_accounts_prior_progress() {
+        // Half the work at rate 1 (50 µs), the rest at rate 0.25 (200 µs).
+        let mut ex = DeviceExecutor::new(1);
+        ex.submit(0.0, 1, 100.0);
+        ex.set_rate(50.0, 0.25);
+        assert_eq!(run_until_idle(&mut ex), vec![(250.0, 1)]);
+    }
+
+    #[test]
+    fn stall_freezes_work_until_recovery() {
+        let mut ex = DeviceExecutor::new(1);
+        ex.submit(0.0, 1, 100.0);
+        ex.set_rate(30.0, 0.0);
+        assert_eq!(ex.next_completion_us(), None, "stalled device never fires");
+        ex.advance_to(500.0);
+        assert!(
+            (ex.backlog_us() - 70.0).abs() < 1e-9,
+            "no progress while stalled"
+        );
+        ex.set_rate(500.0, 1.0);
+        assert_eq!(run_until_idle(&mut ex), vec![(570.0, 1)]);
+    }
+
+    #[test]
+    fn fail_all_drains_resident_and_queued_without_completions() {
+        let mut ex = DeviceExecutor::new(1);
+        ex.submit(0.0, 1, 100.0);
+        ex.submit(0.0, 2, 50.0);
+        let failed = ex.fail_all(10.0);
+        assert_eq!(failed, vec![1, 2], "resident first, then the queue");
+        assert!(ex.is_idle());
+        assert!(ex.drain_completed().is_empty());
+        // The device serves fresh work normally after the crash.
+        ex.submit(20.0, 3, 30.0);
+        assert_eq!(run_until_idle(&mut ex), vec![(50.0, 3)]);
+    }
+
+    #[test]
+    fn cancel_removes_one_job_and_promotes_queued_work() {
+        let mut ex = DeviceExecutor::new(1);
+        ex.submit(0.0, 1, 100.0);
+        ex.submit(0.0, 2, 50.0);
+        assert!(ex.cancel(10.0, 1), "resident job cancels");
+        assert!(!ex.cancel(10.0, 1), "already gone");
+        // Job 2 starts at the cancellation instant and runs alone.
+        assert_eq!(run_until_idle(&mut ex), vec![(60.0, 2)]);
+        assert_eq!(ex.drain_started(), vec![(0.0, 1), (10.0, 2)]);
     }
 
     #[test]

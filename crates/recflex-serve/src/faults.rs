@@ -1,0 +1,581 @@
+//! Deterministic fault injection and the graceful-degradation policy.
+//!
+//! Production recommendation serving treats degraded hardware and tail
+//! stragglers as first-class (Hercules provisions around heterogeneous,
+//! partially-failed capacity; DeepRecSys schedules around tail-latency
+//! SLAs). This module gives the simulated tier the same vocabulary, with
+//! the same determinism contract as [`crate::WorkloadSpec`]: a
+//! [`FaultSpec`] plus a seed replays to a bit-identical [`FaultPlan`],
+//! so a chaotic run is still a pure function of its inputs.
+//!
+//! Four fault kinds, all timed windows over simulated µs:
+//!
+//! * [`FaultKind::Slowdown`] — a shard's executor retires work at a
+//!   fraction of its healthy throughput (thermal throttling, a noisy
+//!   neighbor on the host),
+//! * [`FaultKind::Stall`] — the lane stops draining entirely until the
+//!   window closes (driver hiccup, PCIe reset),
+//! * [`FaultKind::Crash`] — the lane is dead until a recovery timestamp;
+//!   in-flight work is lost and must be re-executed or degraded,
+//! * [`FaultKind::LinkDegrade`] — the all-gather bandwidth is cut by a
+//!   factor (flaky switch, congested fabric).
+//!
+//! The response side is configured by [`ResilienceConfig`]: per-chunk
+//! shard deadlines with hedged re-execution on a standby replica lane
+//! ([`ReplicationPolicy`]), crash failover that re-projects a dead
+//! shard's work onto its replica or the least-loaded survivor, and a
+//! [`LadderConfig`] that under sustained backlog pressure first drops
+//! the hedge, then serves chunks touched by a crashed shard with partial
+//! (zero-pooled) embeddings instead of shedding — availability degrades
+//! before goodput does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use recflex_data::Placement;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// Shard `shard` retires work at `rate` (in `(0, 1)`) of healthy
+    /// throughput for the fault window.
+    Slowdown { shard: usize, rate: f64 },
+    /// Shard `shard` stops draining entirely; queued and resident work
+    /// freezes in place and resumes at the window end.
+    Stall { shard: usize },
+    /// Shard `shard` is dead until the window end (its recovery
+    /// timestamp). In-flight work is lost, not paused.
+    Crash { shard: usize },
+    /// Every all-gather started inside the window sees its bandwidth cut
+    /// by `factor` (≥ 1).
+    LinkDegrade { factor: f64 },
+}
+
+impl FaultKind {
+    /// The shard this fault pins down, if it is shard-scoped.
+    pub fn shard(&self) -> Option<usize> {
+        match *self {
+            FaultKind::Slowdown { shard, .. }
+            | FaultKind::Stall { shard }
+            | FaultKind::Crash { shard } => Some(shard),
+            FaultKind::LinkDegrade { .. } => None,
+        }
+    }
+}
+
+/// One timed fault window: active on `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fault {
+    /// When the fault begins, µs.
+    pub start_us: f64,
+    /// When the fault clears (a crash's recovery timestamp), µs.
+    pub end_us: f64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    fn active_at(&self, t: f64) -> bool {
+        self.start_us <= t && t < self.end_us
+    }
+}
+
+/// A replayable schedule of faults for one run. Construct scripted plans
+/// with [`FaultPlan::scripted`] or seeded ones with [`FaultSpec::plan`];
+/// an empty plan ([`FaultPlan::none`]) leaves the serving tier on its
+/// fault-free fast path, bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct FaultPlan {
+    /// Fault windows, sorted by start time (ties keep insertion order).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, byte-identical behavior to a runtime
+    /// without fault injection at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A hand-written plan. Windows are sorted by start time; windows
+    /// with `end_us <= start_us` are empty and dropped.
+    pub fn scripted(mut faults: Vec<Fault>) -> Self {
+        faults.retain(|f| f.end_us > f.start_us);
+        faults.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        FaultPlan { faults }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Every timestamp at which some fault starts or ends, sorted and
+    /// deduplicated — the event points where lane rates change.
+    pub fn transitions(&self) -> Vec<f64> {
+        let mut ts: Vec<f64> = self
+            .faults
+            .iter()
+            .flat_map(|f| [f.start_us, f.end_us])
+            .collect();
+        ts.sort_by(f64::total_cmp);
+        ts.dedup();
+        ts
+    }
+
+    /// True when any fault window covers `t`.
+    pub fn any_active(&self, t: f64) -> bool {
+        self.faults.iter().any(|f| f.active_at(t))
+    }
+
+    /// The throughput rate of `shard` at `t` from slowdowns and stalls:
+    /// 1 healthy, 0 stalled, the product of active slowdown rates
+    /// otherwise. Crashes are *not* folded in — they change job
+    /// ownership, not just speed, so the runtime handles them separately
+    /// via [`FaultPlan::crashed`].
+    pub fn rate_of(&self, shard: usize, t: f64) -> f64 {
+        let mut rate = 1.0f64;
+        for f in &self.faults {
+            if !f.active_at(t) {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Stall { shard: s } if s == shard => return 0.0,
+                FaultKind::Slowdown { shard: s, rate: r } if s == shard => {
+                    rate *= r.clamp(0.0, 1.0);
+                }
+                _ => {}
+            }
+        }
+        rate
+    }
+
+    /// True when a crash window covers `(shard, t)`.
+    pub fn crashed(&self, shard: usize, t: f64) -> bool {
+        self.faults.iter().any(|f| {
+            f.active_at(t) && matches!(f.kind, FaultKind::Crash { shard: s } if s == shard)
+        })
+    }
+
+    /// The all-gather slowdown factor at `t` (≥ 1): the product of every
+    /// active link-degradation factor.
+    pub fn link_factor(&self, t: f64) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(t))
+            .map(|f| match f.kind {
+                FaultKind::LinkDegrade { factor } => factor.max(1.0),
+                _ => 1.0,
+            })
+            .product()
+    }
+
+    /// Total time `shard` could make no progress (crash or stall
+    /// windows) within `[0, until]`, µs. Overlapping windows are merged
+    /// so downtime never exceeds `until`.
+    pub fn downtime_us(&self, shard: usize, until: f64) -> f64 {
+        let mut windows: Vec<(f64, f64)> = self
+            .faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::Crash { shard: s } | FaultKind::Stall { shard: s } if s == shard
+                )
+            })
+            .map(|f| (f.start_us.max(0.0), f.end_us.min(until)))
+            .filter(|&(s, e)| e > s)
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = 0.0;
+        let mut frontier = f64::NEG_INFINITY;
+        for (s, e) in windows {
+            let s = s.max(frontier);
+            if e > s {
+                total += e - s;
+                frontier = e;
+            }
+        }
+        total
+    }
+}
+
+/// The statistical shape of a seeded fault schedule — the fault-side
+/// analogue of [`crate::WorkloadSpec`]. Fault starts are a Poisson
+/// process (exponential gaps), durations are exponential, kinds are
+/// drawn by weight, and shard-scoped faults pick a shard uniformly.
+/// Identical `(spec, num_shards, horizon, seed)` replays a bit-identical
+/// [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Mean gap between fault starts, µs.
+    pub mean_time_between_us: f64,
+    /// Mean fault duration, µs.
+    pub mean_duration_us: f64,
+    /// Relative draw weight of slowdown faults.
+    pub slowdown_weight: f64,
+    /// Relative draw weight of stall faults.
+    pub stall_weight: f64,
+    /// Relative draw weight of crash faults.
+    pub crash_weight: f64,
+    /// Relative draw weight of link-degradation faults.
+    pub link_weight: f64,
+    /// Throughput multiplier a slowdown imposes, in `(0, 1)`.
+    pub slowdown_rate: f64,
+    /// Bandwidth-cut factor a link degradation imposes, ≥ 1.
+    pub link_factor: f64,
+}
+
+impl FaultSpec {
+    /// A balanced mix of all four fault kinds at the given cadence.
+    pub fn mixed(mean_time_between_us: f64, mean_duration_us: f64) -> Self {
+        FaultSpec {
+            mean_time_between_us,
+            mean_duration_us,
+            slowdown_weight: 3.0,
+            stall_weight: 1.0,
+            crash_weight: 1.0,
+            link_weight: 1.0,
+            slowdown_rate: 0.4,
+            link_factor: 8.0,
+        }
+    }
+
+    /// Synthesize the fault schedule for `num_shards` shards over
+    /// `[0, horizon_us)` from `seed`. Identical arguments produce
+    /// byte-identical plans.
+    pub fn plan(&self, num_shards: usize, horizon_us: f64, seed: u64) -> FaultPlan {
+        let total_weight =
+            self.slowdown_weight + self.stall_weight + self.crash_weight + self.link_weight;
+        if num_shards == 0 || horizon_us <= 0.0 || total_weight <= 0.0 {
+            return FaultPlan::none();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x000F_A017_5EED);
+        let mut faults = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -self.mean_time_between_us * (1.0 - u).ln();
+            if t >= horizon_us {
+                break;
+            }
+            let d: f64 = rng.gen_range(0.0..1.0);
+            let duration = -self.mean_duration_us * (1.0 - d).ln();
+            let shard = rng.gen_range(0..num_shards as u64) as usize;
+            let pick = rng.gen_range(0.0..total_weight);
+            let kind = if pick < self.slowdown_weight {
+                FaultKind::Slowdown {
+                    shard,
+                    rate: self.slowdown_rate.clamp(1e-3, 1.0),
+                }
+            } else if pick < self.slowdown_weight + self.stall_weight {
+                FaultKind::Stall { shard }
+            } else if pick < self.slowdown_weight + self.stall_weight + self.crash_weight {
+                FaultKind::Crash { shard }
+            } else {
+                FaultKind::LinkDegrade {
+                    factor: self.link_factor.max(1.0),
+                }
+            };
+            faults.push(Fault {
+                start_us: t,
+                end_us: t + duration.max(1.0),
+                kind,
+            });
+        }
+        FaultPlan::scripted(faults)
+    }
+}
+
+/// How much standby capacity backs the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum ReplicationPolicy {
+    /// No replicas: hedging is impossible; crash failover can only
+    /// re-project onto survivors.
+    #[default]
+    None,
+    /// One standby lane mirroring the costliest shard (by the same
+    /// per-feature costs [`Placement::balance_by_cost`] places with) —
+    /// the shard most likely to gate the gather gets a spare.
+    MirrorHottest,
+    /// One standby lane per shard.
+    Full,
+}
+
+impl ReplicationPolicy {
+    /// Which shards get a standby replica lane, in ascending shard
+    /// order. `costs` are per-feature costs in the same units
+    /// [`Placement::balance_by_cost`] consumes; ties break toward the
+    /// lower shard index so the choice is a pure function of its inputs.
+    pub fn mirrored_shards(&self, placement: &Placement, costs: &[f64]) -> Vec<usize> {
+        match self {
+            ReplicationPolicy::None => Vec::new(),
+            ReplicationPolicy::Full => (0..placement.num_devices).collect(),
+            ReplicationPolicy::MirrorHottest => {
+                let mut load = vec![0.0f64; placement.num_devices];
+                for (f, &d) in placement.device_of.iter().enumerate() {
+                    load[d] += costs.get(f).copied().unwrap_or(0.0);
+                }
+                let hottest = load
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                vec![hottest]
+            }
+        }
+    }
+}
+
+/// The degradation ladder's thresholds, graded on the tier's worst
+/// effective backlog (device-µs owed divided by the lane's current
+/// throughput rate — a stalled lane is infinitely backlogged).
+///
+/// * level 0 — normal operation: hedging active, crash failover
+///   re-executes lost work,
+/// * level 1 (`backlog > drop_hedge_backlog_us`) — the hedge is dropped:
+///   duplicate work is the wrong spend when every lane is behind,
+/// * level 2 (`backlog > partial_backlog_us`) — chunks touched by a
+///   crashed shard are served with that shard's features zero-pooled
+///   (flagged [`degraded`](crate::stats::ShardedRequestRecord::degraded))
+///   instead of re-executed, so the tier keeps answering instead of
+///   shedding.
+///
+/// Backlog is itself an integral of pressure — it only exceeds a
+/// threshold after demand has outrun capacity for a sustained stretch —
+/// so grading on it implements "sustained SLO pressure" without a
+/// separate hysteresis clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Effective-backlog threshold above which hedging stops, µs.
+    pub drop_hedge_backlog_us: f64,
+    /// Effective-backlog threshold above which crashed-shard chunks are
+    /// served partial instead of failed over, µs.
+    pub partial_backlog_us: f64,
+}
+
+impl LadderConfig {
+    /// A ladder that fails over but never serves partial output.
+    pub fn failover_only() -> Self {
+        LadderConfig {
+            drop_hedge_backlog_us: f64::MAX,
+            partial_backlog_us: f64::MAX,
+        }
+    }
+
+    /// The ladder level at the given effective backlog.
+    pub fn level(&self, backlog_us: f64) -> u8 {
+        if backlog_us > self.partial_backlog_us {
+            2
+        } else if backlog_us > self.drop_hedge_backlog_us {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Fault injection plus the tier's full response policy. The default —
+/// empty plan, no deadline, no replication, no ladder — is the exact
+/// PR-2 serving tier: the event loop takes the same branches and
+/// produces bit-identical reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// The faults injected into the run.
+    pub plan: FaultPlan,
+    /// Per-chunk shard deadline, µs after fan-out: a shard that has not
+    /// finished a chunk by then triggers a hedged re-execution on its
+    /// replica lane (if one exists and the ladder still allows hedging).
+    pub chunk_deadline_us: Option<f64>,
+    /// Standby replica lanes.
+    pub replication: ReplicationPolicy,
+    /// Crash mitigation: `Some` enables failover and the degradation
+    /// ladder; `None` is the no-mitigation baseline where a crashed lane
+    /// holds its queue frozen until recovery (the restart-from-checkpoint
+    /// model) and the tier sheds under the resulting backlog.
+    pub ladder: Option<LadderConfig>,
+}
+
+impl ResilienceConfig {
+    /// True when every knob is off — the bit-for-bit fault-free path.
+    pub fn is_default(&self) -> bool {
+        self.plan.is_empty()
+            && self.chunk_deadline_us.is_none()
+            && self.replication == ReplicationPolicy::None
+            && self.ladder.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recflex_data::{ModelPreset, Placement};
+
+    fn crash(shard: usize, start: f64, end: f64) -> Fault {
+        Fault {
+            start_us: start,
+            end_us: end,
+            kind: FaultKind::Crash { shard },
+        }
+    }
+
+    #[test]
+    fn scripted_plans_sort_and_drop_empty_windows() {
+        let plan = FaultPlan::scripted(vec![
+            crash(1, 500.0, 900.0),
+            crash(0, 100.0, 100.0), // empty, dropped
+            Fault {
+                start_us: 50.0,
+                end_us: 200.0,
+                kind: FaultKind::Stall { shard: 2 },
+            },
+        ]);
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.faults[0].start_us, 50.0);
+        assert_eq!(plan.transitions(), vec![50.0, 200.0, 500.0, 900.0]);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::scripted(vec![crash(0, 100.0, 200.0)]);
+        assert!(!plan.crashed(0, 99.9));
+        assert!(plan.crashed(0, 100.0));
+        assert!(plan.crashed(0, 199.9));
+        assert!(!plan.crashed(0, 200.0), "faults clear at their end stamp");
+        assert!(!plan.crashed(1, 150.0), "other shards unaffected");
+        assert!(plan.any_active(150.0));
+        assert!(!plan.any_active(250.0));
+    }
+
+    #[test]
+    fn rates_compose_and_stall_dominates() {
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                start_us: 0.0,
+                end_us: 100.0,
+                kind: FaultKind::Slowdown {
+                    shard: 0,
+                    rate: 0.5,
+                },
+            },
+            Fault {
+                start_us: 50.0,
+                end_us: 100.0,
+                kind: FaultKind::Slowdown {
+                    shard: 0,
+                    rate: 0.5,
+                },
+            },
+            Fault {
+                start_us: 80.0,
+                end_us: 90.0,
+                kind: FaultKind::Stall { shard: 0 },
+            },
+        ]);
+        assert_eq!(plan.rate_of(0, 10.0), 0.5);
+        assert_eq!(plan.rate_of(0, 60.0), 0.25, "slowdowns compose");
+        assert_eq!(plan.rate_of(0, 85.0), 0.0, "stall wins");
+        assert_eq!(plan.rate_of(1, 60.0), 1.0, "other shards healthy");
+        assert_eq!(plan.rate_of(0, 150.0), 1.0, "clears after the window");
+    }
+
+    #[test]
+    fn link_factor_composes_and_defaults_to_one() {
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                start_us: 0.0,
+                end_us: 100.0,
+                kind: FaultKind::LinkDegrade { factor: 4.0 },
+            },
+            Fault {
+                start_us: 50.0,
+                end_us: 150.0,
+                kind: FaultKind::LinkDegrade { factor: 2.0 },
+            },
+        ]);
+        assert_eq!(plan.link_factor(10.0), 4.0);
+        assert_eq!(plan.link_factor(75.0), 8.0);
+        assert_eq!(plan.link_factor(120.0), 2.0);
+        assert_eq!(plan.link_factor(200.0), 1.0);
+    }
+
+    #[test]
+    fn downtime_merges_overlaps_and_clips_to_the_run() {
+        let plan = FaultPlan::scripted(vec![
+            crash(0, 100.0, 300.0),
+            Fault {
+                start_us: 200.0,
+                end_us: 400.0,
+                kind: FaultKind::Stall { shard: 0 },
+            },
+            crash(0, 1000.0, 2000.0),
+        ]);
+        // [100, 400) merged = 300, plus [1000, 1200) clipped = 200.
+        assert!((plan.downtime_us(0, 1200.0) - 500.0).abs() < 1e-9);
+        assert_eq!(plan.downtime_us(1, 1200.0), 0.0);
+    }
+
+    #[test]
+    fn seeded_plans_replay_bit_for_bit() {
+        let spec = FaultSpec::mixed(2_000.0, 1_500.0);
+        let a = spec.plan(4, 20_000.0, 7);
+        let b = spec.plan(4, 20_000.0, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "20k µs horizon at 2k µs cadence must fault");
+        assert_ne!(a, spec.plan(4, 20_000.0, 8), "different seed differs");
+        for f in &a.faults {
+            assert!(f.end_us > f.start_us);
+            assert!(f.start_us < 20_000.0);
+            if let Some(s) = f.kind.shard() {
+                assert!(s < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_hottest_tracks_the_costliest_shard() {
+        let m = ModelPreset::A.scaled(0.01);
+        let n = m.features.len();
+        // All cost on features of shard the last feature lands on.
+        let placement = Placement::round_robin(&m, 3);
+        let mut costs = vec![1.0; n];
+        costs[1] = 1e6; // feature 1 → shard 1 under round-robin
+        assert_eq!(
+            ReplicationPolicy::MirrorHottest.mirrored_shards(&placement, &costs),
+            vec![1]
+        );
+        assert_eq!(
+            ReplicationPolicy::None.mirrored_shards(&placement, &costs),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            ReplicationPolicy::Full.mirrored_shards(&placement, &costs),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn ladder_levels_grade_on_backlog() {
+        let ladder = LadderConfig {
+            drop_hedge_backlog_us: 1_000.0,
+            partial_backlog_us: 5_000.0,
+        };
+        assert_eq!(ladder.level(0.0), 0);
+        assert_eq!(ladder.level(1_000.0), 0, "thresholds are exclusive");
+        assert_eq!(ladder.level(1_001.0), 1);
+        assert_eq!(ladder.level(f64::INFINITY), 2, "a stalled lane maxes out");
+        assert_eq!(LadderConfig::failover_only().level(f64::MAX / 2.0), 0);
+    }
+
+    #[test]
+    fn default_resilience_is_the_fault_free_path() {
+        assert!(ResilienceConfig::default().is_default());
+        let cfg = ResilienceConfig {
+            chunk_deadline_us: Some(100.0),
+            ..Default::default()
+        };
+        assert!(!cfg.is_default());
+    }
+}

@@ -28,15 +28,24 @@
 //!   executor), and every chunk's latency appends a ring all-gather of
 //!   the pooled outputs gated by the slowest shard
 //!   ([`ShardedReport`] breaks latency into queue + device + gather and
-//!   reports straggler gaps and per-shard lane stats).
+//!   reports straggler gaps and per-shard lane stats),
+//! * [`FaultPlan`] / [`FaultSpec`] — deterministic fault injection
+//!   (per-shard slowdown, stall, crash; interconnect degradation) with
+//!   the response side in [`ResilienceConfig`]: per-chunk deadlines with
+//!   hedged re-execution on replica lanes ([`ReplicationPolicy`]), crash
+//!   failover onto survivors, and a graceful-degradation ladder
+//!   ([`LadderConfig`]) that serves partial (zero-pooled) embeddings
+//!   under sustained pressure instead of shedding.
 //!
 //! Simulated time is the only clock; ties resolve in a fixed priority.
-//! A run is a pure function of `(config, stream, backend)`, so replaying
-//! a seed reproduces the report bit-for-bit — the property every test
-//! here leans on.
+//! A run is a pure function of `(config, stream, backend, fault plan)`,
+//! so replaying a seed reproduces the report bit-for-bit — the property
+//! every test here leans on. An empty fault plan takes the exact same
+//! arithmetic path as a runtime without fault injection at all.
 
 pub mod drift;
 pub mod executor;
+pub mod faults;
 pub mod request;
 pub mod runtime;
 pub mod sharded;
@@ -46,10 +55,15 @@ pub use drift::{
     expected_lookups_per_sample, expected_lookups_per_sample_per_feature, DriftConfig, DriftMonitor,
 };
 pub use executor::{DeviceExecutor, JobId};
+pub use faults::{
+    Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, ReplicationPolicy, ResilienceConfig,
+};
 pub use request::{Request, WorkloadSpec};
 pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
 pub use sharded::{ShardLane, ShardedServeRuntime};
-pub use stats::{RequestRecord, ServeReport, ShardLaneStats, ShardedReport, ShardedRequestRecord};
+pub use stats::{
+    RequestRecord, ServeReport, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
+};
 
 #[cfg(test)]
 mod tests {
@@ -272,7 +286,7 @@ mod tests {
             "shedding bounds the tail"
         );
         // Shed records keep their identity for accounting.
-        for r in slo.records.iter().filter(|r| r.shed) {
+        for r in slo.records.iter().filter(|r| r.is_shed()) {
             assert_eq!(r.done_us, r.arrival_us);
             assert_eq!(r.service_us, 0.0);
         }

@@ -24,7 +24,7 @@ use recflex_sim::GpuArch;
 use crate::drift::{DriftConfig, DriftMonitor};
 use crate::executor::DeviceExecutor;
 use crate::request::Request;
-use crate::stats::{RequestRecord, ServeReport};
+use crate::stats::{RequestRecord, ServeReport, ShedReason};
 
 /// How the runtime shapes request batches before launching them.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -375,7 +375,7 @@ impl RunState<'_> {
                     queue_us: 0.0,
                     service_us: 0.0,
                     done_us: self.arrival_eff_us[ri],
-                    shed: true,
+                    shed: ShedReason::Admission,
                 });
                 return Ok(());
             }
@@ -531,7 +531,7 @@ impl RunState<'_> {
             queue_us: first - arrival,
             service_us: done - first,
             done_us: done,
-            shed: false,
+            shed: ShedReason::None,
         });
     }
 
@@ -543,7 +543,7 @@ impl RunState<'_> {
             queue_us: 0.0,
             service_us: 0.0,
             done_us: now,
-            shed: false,
+            shed: ShedReason::None,
         });
     }
 }

@@ -22,6 +22,38 @@
 //! Batch shaping (unsplit / split / dynamic coalescing) happens *before*
 //! the fan-out, on whole requests: all shards always see the same sample
 //! axis for a chunk, which is what keeps the all-gather well-defined.
+//!
+//! ## Faults and the degradation ladder
+//!
+//! A [`ResilienceConfig`] turns the tier chaotic-but-answerable. The
+//! [`crate::FaultPlan`] drives per-shard throughput (slowdown / stall), lane
+//! death (crash) and gather bandwidth (link degradation) at precomputed
+//! transition timestamps — fault transitions are ordinary events in the
+//! same deterministic loop. The response side:
+//!
+//! * **hedging** — each chunk may carry a deadline; shards that have not
+//!   delivered by then get a copy submitted to their standby replica lane
+//!   ([`crate::ReplicationPolicy`]). First finisher wins, the sibling is
+//!   cancelled.
+//! * **failover** — a crash drops the lane's resident and queued kernels;
+//!   each lost chunk-shard work item is re-executed on the shard's
+//!   replica, or the least-backlogged healthy survivor (the survivor
+//!   loads the dead shard's tables and runs the same fused kernel, so the
+//!   re-executed cost equals the original).
+//! * **the ladder** — graded on the tier's worst *effective* backlog
+//!   (device-µs owed ÷ current throughput; a stalled lane is infinitely
+//!   backlogged). Past `drop_hedge_backlog_us` the hedge stops; past
+//!   `partial_backlog_us` chunks touched by a crashed shard are served
+//!   with that shard's features zero-pooled and flagged `degraded`
+//!   instead of re-executed — availability degrades before goodput.
+//!
+//! `ladder: None` is the no-mitigation baseline: a crashed lane freezes
+//! with its queue intact (the restart-from-checkpoint model) and the tier
+//! simply sheds under the resulting backlog, which is exactly what the
+//! chaos gate proves is worse. With the default `ResilienceConfig` every
+//! rate is 1 and every branch below falls through to the fault-free
+//! arithmetic, so no-fault runs stay bit-for-bit identical to the
+//! pre-fault tier.
 
 use std::collections::HashMap;
 
@@ -31,9 +63,12 @@ use recflex_embedding::TableSet;
 use recflex_sim::{GpuArch, Interconnect};
 
 use crate::executor::DeviceExecutor;
+use crate::faults::ResilienceConfig;
 use crate::request::Request;
 use crate::runtime::{BatchPolicy, ServeConfig, ServeError};
-use crate::stats::{RequestRecord, ShardLaneStats, ShardedReport, ShardedRequestRecord};
+use crate::stats::{
+    RequestRecord, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
+};
 
 /// One shard's serving lane: the sub-model it owns, its tables and the
 /// engine compiled for it.
@@ -52,6 +87,10 @@ pub struct ShardedServeRuntime<'a> {
     pub placement: Placement,
     /// Per-device lanes, indexed by device.
     pub lanes: Vec<ShardLane>,
+    /// Standby replica lanes, parallel to [`Self::replica_of`].
+    pub replicas: Vec<ShardLane>,
+    /// Which shard each replica lane mirrors.
+    pub replica_of: Vec<usize>,
     /// The full model (for gather sizing).
     pub model: &'a ModelConfig,
     /// The simulated device type (same for every shard).
@@ -60,11 +99,15 @@ pub struct ShardedServeRuntime<'a> {
     pub config: ServeConfig,
     /// The link pooled outputs are gathered over.
     pub interconnect: Interconnect,
+    /// Fault injection and the tier's response policy. The default is
+    /// everything off — the exact pre-fault serving tier.
+    pub resilience: ResilienceConfig,
 }
 
 impl<'a> ShardedServeRuntime<'a> {
     /// Build the tier: partition `model` by `placement` and compile one
-    /// lane per device with `make_backend`.
+    /// lane per device with `make_backend`. No faults, no replication —
+    /// use [`Self::build_resilient`] for the chaos-capable tier.
     pub fn build(
         model: &'a ModelConfig,
         arch: &'a GpuArch,
@@ -73,26 +116,58 @@ impl<'a> ShardedServeRuntime<'a> {
         interconnect: Interconnect,
         make_backend: impl Fn(&ModelConfig) -> Box<dyn Backend>,
     ) -> Self {
+        Self::build_resilient(
+            model,
+            arch,
+            placement,
+            config,
+            interconnect,
+            ResilienceConfig::default(),
+            &[],
+            make_backend,
+        )
+    }
+
+    /// Build the tier with fault injection and mitigation. `costs` are
+    /// per-feature cost estimates (same units as
+    /// [`Placement::balance_by_cost`]) used to size replication —
+    /// [`crate::ReplicationPolicy::MirrorHottest`] puts the one standby
+    /// lane behind the costliest shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_resilient(
+        model: &'a ModelConfig,
+        arch: &'a GpuArch,
+        placement: Placement,
+        config: ServeConfig,
+        interconnect: Interconnect,
+        resilience: ResilienceConfig,
+        costs: &[f64],
+        make_backend: impl Fn(&ModelConfig) -> Box<dyn Backend>,
+    ) -> Self {
         assert_eq!(placement.device_of.len(), model.features.len());
-        let lanes = (0..placement.num_devices)
-            .map(|dev| {
-                let sub_model = placement.sub_model(model, dev);
-                let tables = TableSet::for_model(&sub_model);
-                let backend = make_backend(&sub_model);
-                ShardLane {
-                    model: sub_model,
-                    tables,
-                    backend,
-                }
-            })
-            .collect();
+        let make_lane = |dev: usize| {
+            let sub_model = placement.sub_model(model, dev);
+            let tables = TableSet::for_model(&sub_model);
+            let backend = make_backend(&sub_model);
+            ShardLane {
+                model: sub_model,
+                tables,
+                backend,
+            }
+        };
+        let lanes = (0..placement.num_devices).map(make_lane).collect();
+        let replica_of = resilience.replication.mirrored_shards(&placement, costs);
+        let replicas = replica_of.iter().map(|&s| make_lane(s)).collect();
         ShardedServeRuntime {
             placement,
             lanes,
+            replicas,
+            replica_of,
             model,
             arch,
             config,
             interconnect,
+            resilience,
         }
     }
 
@@ -120,33 +195,52 @@ impl<'a> ShardedServeRuntime<'a> {
 
         let n = requests.len();
         let num_shards = self.placement.num_devices;
+        let mut replica_lane_of = vec![None; num_shards];
+        for (pos, &s) in self.replica_of.iter().enumerate() {
+            replica_lane_of[s] = Some(num_shards + pos);
+        }
         let mut st = ShardedRunState {
-            executors: (0..num_shards)
+            executors: (0..num_shards + self.replicas.len())
                 .map(|_| DeviceExecutor::new(self.config.streams))
                 .collect(),
             lane_stats: vec![ShardLaneStats::default(); num_shards],
+            replica_stats: vec![ShardLaneStats::default(); self.replicas.len()],
+            replica_lane_of,
             records: vec![None; n],
             remaining_chunks: vec![0u32; n],
             first_start_us: vec![f64::INFINITY; n],
             device_done_us: vec![0.0f64; n],
             last_done_us: vec![0.0f64; n],
             straggler_us: vec![0.0f64; n],
+            degraded: vec![false; n],
             arrival_eff_us: requests.iter().map(|r| r.arrival_us).collect(),
             chunks: HashMap::new(),
+            job_info: HashMap::new(),
             pending_gathers: Vec::new(),
+            pending_deadlines: Vec::new(),
+            was_crashed: vec![false; num_shards],
             next_chunk: 0,
+            next_job: 0,
             launches: 0,
+            hedge_fires: 0,
+            hedge_wins: 0,
+            failovers: 0,
             buffer: Vec::new(),
             buffer_size: 0,
             buffer_oldest_us: f64::INFINITY,
         };
 
+        let transitions = self.resilience.plan.transitions();
+        let mut fault_cursor = 0usize;
         let mut cursor = 0usize;
         let mut now = 0.0f64;
 
         loop {
             // Candidate events, probed in tie-break priority order:
-            // completion, gather, arrival, flush.
+            // completion, gather, fault transition, hedge deadline,
+            // arrival, flush.
+            st.pending_deadlines
+                .retain(|&(_, c)| st.chunks.contains_key(&c));
             let mut next: Option<(f64, EventKind)> = None;
             let mut consider = |t: Option<f64>, kind: EventKind| {
                 if let Some(t) = t {
@@ -167,6 +261,23 @@ impl<'a> ShardedServeRuntime<'a> {
                 .map(|&(t, _)| t)
                 .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.min(t))));
             consider(gather_t, EventKind::Gather);
+            // Fault transitions matter only while the run is live; once
+            // every request is resolved there is nothing left to break,
+            // and skipping the tail keeps the makespan a completion
+            // timestamp.
+            let live = cursor < n
+                || !st.all_idle()
+                || !st.buffer.is_empty()
+                || !st.pending_gathers.is_empty();
+            if live && fault_cursor < transitions.len() {
+                consider(Some(transitions[fault_cursor].max(now)), EventKind::Fault);
+            }
+            let deadline_t = st
+                .pending_deadlines
+                .iter()
+                .map(|&(t, _)| t)
+                .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.min(t))));
+            consider(deadline_t, EventKind::Hedge);
             let arrival_t = if cursor < n {
                 if self.config.closed_loop {
                     // Admit only when the previous request fully drained,
@@ -196,7 +307,6 @@ impl<'a> ShardedServeRuntime<'a> {
                     for ex in &mut st.executors {
                         ex.advance_to(now);
                     }
-                    st.note_starts();
                     st.collect_completions(self, requests);
                     // Work-conserving: idle devices drain the batcher.
                     if st.all_idle() && !st.buffer.is_empty() {
@@ -205,6 +315,15 @@ impl<'a> ShardedServeRuntime<'a> {
                 }
                 EventKind::Gather => {
                     st.retire_gathers(now, requests);
+                }
+                EventKind::Fault => {
+                    while fault_cursor < transitions.len() && transitions[fault_cursor] <= now {
+                        fault_cursor += 1;
+                    }
+                    st.apply_fault_transitions(now, self, requests);
+                }
+                EventKind::Hedge => {
+                    st.fire_deadlines(now, self, requests);
                 }
                 EventKind::Arrival => {
                     st.admit(cursor, now, self, requests)?;
@@ -217,10 +336,17 @@ impl<'a> ShardedServeRuntime<'a> {
         }
 
         debug_assert!(st.records.iter().all(Option::is_some));
+        for (s, stats) in st.lane_stats.iter_mut().enumerate() {
+            stats.downtime_us = self.resilience.plan.downtime_us(s, now);
+        }
         Ok(ShardedReport {
             records: st.records.into_iter().flatten().collect(),
             per_shard: st.lane_stats,
+            per_replica: st.replica_stats,
             kernel_launches: st.launches,
+            hedge_fires: st.hedge_fires,
+            hedge_wins: st.hedge_wins,
+            failovers: st.failovers,
             makespan_us: now,
         })
     }
@@ -231,32 +357,84 @@ impl<'a> ShardedServeRuntime<'a> {
 enum EventKind {
     Completion,
     Gather,
+    Fault,
+    Hedge,
     Arrival,
     Flush,
+}
+
+/// What one device job is doing for the tier. One chunk fans out to one
+/// job per shard in the healthy case, but hedges and failovers mean a
+/// shard's slice of a chunk can be in flight on several lanes at once —
+/// job ids are globally unique and this record maps them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobRole {
+    /// The original fan-out job on the shard's own lane.
+    Primary,
+    /// A deadline-triggered duplicate racing the primary on a replica.
+    Hedge,
+    /// A re-execution of work lost to (or blocked by) a crash.
+    Failover,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JobInfo {
+    chunk: u64,
+    shard: usize,
+    /// Executor index (primary lanes first, then replicas).
+    lane: usize,
+    role: JobRole,
+    /// Whether the kernel has left the FIFO queue.
+    started: bool,
+    /// Whether this job's start gates the chunk's start accounting.
+    /// Primaries count; hedges never do (the race is extra capacity, not
+    /// the request's critical path); failovers inherit the slot of the
+    /// job they replace.
+    counts_start: bool,
 }
 
 /// In-flight bookkeeping for one device chunk fanned out over all shards.
 struct ChunkState {
     owners: Vec<usize>,
-    /// Shards whose kernel has not started yet.
+    /// Samples in the chunk (sizes the all-gather).
+    rows: u32,
+    /// Original per-shard kernel cost, µs — what a hedge or failover
+    /// re-submits (the replica runs the identical sub-model; a survivor
+    /// loads the dead shard's tables and runs the same fused kernel).
+    work_us: Vec<f64>,
+    /// Kernel launches per shard, re-counted on re-execution.
+    launches_of: Vec<u32>,
+    /// Which shards have delivered (first finisher wins) or been
+    /// zero-pooled.
+    shard_done: Vec<bool>,
+    /// Outstanding job ids per shard (primary + hedge + failover).
+    active_jobs: Vec<Vec<u64>>,
+    pending_shards: usize,
+    /// Start-gating slots still open (see [`JobInfo::counts_start`]).
     pending_starts: usize,
-    /// Latest per-shard kernel start seen so far. A chunk only counts as
+    gating_registered: bool,
+    any_start: bool,
+    /// Latest gating kernel start seen so far. A chunk only counts as
     /// "on the device" once its *gating* (last-starting) lane picked it
     /// up; until then it is queue time, exactly as the single-device
     /// runtime counts its one lane's launch-queue wait.
     start_max_us: f64,
-    /// Shards whose kernel has not completed yet.
-    pending_shards: usize,
-    /// Earliest / latest per-shard completion seen so far.
+    /// Earliest / latest real per-shard completion seen so far.
     done_min_us: f64,
     done_max_us: f64,
-    /// Samples in the chunk (sizes the all-gather).
-    rows: u32,
+    /// Whether any shard delivered a real (non-zero-pooled) result.
+    real_done: bool,
+    /// Whether any shard was zero-pooled.
+    degraded: bool,
 }
 
 struct ShardedRunState {
+    /// Primary lanes `0..num_shards`, then replica lanes.
     executors: Vec<DeviceExecutor>,
     lane_stats: Vec<ShardLaneStats>,
+    replica_stats: Vec<ShardLaneStats>,
+    /// Shard → executor index of its replica lane, if any.
+    replica_lane_of: Vec<Option<usize>>,
     records: Vec<Option<ShardedRequestRecord>>,
     remaining_chunks: Vec<u32>,
     first_start_us: Vec<f64>,
@@ -266,12 +444,22 @@ struct ShardedRunState {
     last_done_us: Vec<f64>,
     /// Worst chunk straggler gap over the request's chunks.
     straggler_us: Vec<f64>,
+    /// Whether any of the request's chunks was served partial.
+    degraded: Vec<bool>,
     arrival_eff_us: Vec<f64>,
     chunks: HashMap<u64, ChunkState>,
+    job_info: HashMap<u64, JobInfo>,
     /// Gathers in flight: (completion timestamp, chunk id).
     pending_gathers: Vec<(f64, u64)>,
+    /// Hedge deadlines in flight: (fire timestamp, chunk id).
+    pending_deadlines: Vec<(f64, u64)>,
+    was_crashed: Vec<bool>,
     next_chunk: u64,
+    next_job: u64,
     launches: u64,
+    hedge_fires: u64,
+    hedge_wins: u64,
+    failovers: u64,
     /// Request indices waiting in the dynamic batcher.
     buffer: Vec<usize>,
     buffer_size: u32,
@@ -279,15 +467,52 @@ struct ShardedRunState {
 }
 
 impl ShardedRunState {
+    fn num_shards(&self) -> usize {
+        self.lane_stats.len()
+    }
+
     fn all_idle(&self) -> bool {
         self.executors.iter().all(|e| e.is_idle())
     }
 
-    fn max_backlog_us(&self) -> f64 {
-        self.executors
-            .iter()
-            .map(|e| e.backlog_us())
-            .fold(0.0, f64::max)
+    /// The tier's worst effective backlog: device-µs owed divided by the
+    /// lane's current throughput. A lane that cannot progress (crash or
+    /// stall, rate 0) is infinitely backlogged when nothing will re-home
+    /// its work — but with mitigation armed its work moves to hedges,
+    /// failovers or the zero-pool, so the lane is *skipped* and the real
+    /// pressure shows up on the replica and survivor lanes that absorb
+    /// it. At the healthy rate of 1 the division is an exact IEEE
+    /// identity, so the fault-free path is bit-for-bit the old
+    /// raw-backlog admission test.
+    fn max_effective_backlog_us(&self, rt: &ShardedServeRuntime<'_>, _now: f64) -> f64 {
+        let mitigated = rt.resilience.ladder.is_some();
+        let mut worst = 0.0f64;
+        for ex in &self.executors[..self.num_shards()] {
+            let backlog = ex.backlog_us();
+            if backlog <= 0.0 {
+                continue;
+            }
+            let rate = ex.rate();
+            let eff = if rate > 0.0 {
+                backlog / rate
+            } else if mitigated {
+                continue;
+            } else {
+                f64::INFINITY
+            };
+            worst = worst.max(eff);
+        }
+        for ex in &self.executors[self.num_shards()..] {
+            worst = worst.max(ex.backlog_us());
+        }
+        worst
+    }
+
+    fn ladder_level(&self, rt: &ShardedServeRuntime<'_>, now: f64) -> u8 {
+        rt.resilience
+            .ladder
+            .map(|l| l.level(self.max_effective_backlog_us(rt, now)))
+            .unwrap_or(0)
     }
 
     fn admit(
@@ -305,9 +530,16 @@ impl ShardedRunState {
         };
 
         // SLO admission: the slowest shard gates a chunk, so the tier's
-        // effective backlog is the worst per-shard backlog.
+        // effective backlog is the worst per-shard backlog. A shed that
+        // happens while a fault is active is capacity loss, not traffic —
+        // record the reason so chaos reports can tell them apart.
         if let Some(deadline) = rt.config.slo_deadline_us {
-            if self.max_backlog_us() > deadline {
+            if self.max_effective_backlog_us(rt, now) > deadline {
+                let reason = if rt.resilience.plan.any_active(now) {
+                    ShedReason::Fault
+                } else {
+                    ShedReason::Admission
+                };
                 self.records[ri] = Some(ShardedRequestRecord {
                     base: RequestRecord {
                         id: req.id,
@@ -316,11 +548,12 @@ impl ShardedRunState {
                         queue_us: 0.0,
                         service_us: 0.0,
                         done_us: self.arrival_eff_us[ri],
-                        shed: true,
+                        shed: reason,
                     },
                     device_us: 0.0,
                     gather_us: 0.0,
                     straggler_us: 0.0,
+                    degraded: false,
                 });
                 return Ok(());
             }
@@ -393,7 +626,9 @@ impl ShardedRunState {
         self.submit_chunk(merged, owners, now, rt, requests)
     }
 
-    /// Fan one device chunk out over every shard.
+    /// Fan one device chunk out over every shard. Shards crashed at
+    /// submission time (under mitigation) never see the job — their slice
+    /// goes straight to a replica, a survivor, or the zero-pool.
     fn submit_chunk(
         &mut self,
         batch: Batch,
@@ -402,37 +637,55 @@ impl ShardedRunState {
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
     ) -> Result<(), ServeError> {
+        let num_shards = rt.placement.num_devices;
         let chunk_id = self.next_chunk;
         self.next_chunk += 1;
         for &ri in &owners {
             self.remaining_chunks[ri] += 1;
         }
-        self.chunks.insert(
-            chunk_id,
-            ChunkState {
-                owners,
-                pending_starts: rt.lanes.len(),
-                start_max_us: 0.0,
-                pending_shards: rt.lanes.len(),
-                done_min_us: f64::INFINITY,
-                done_max_us: 0.0,
-                rows: batch.batch_size,
-            },
-        );
+        let mut work_us = Vec::with_capacity(num_shards);
+        let mut launches_of = Vec::with_capacity(num_shards);
         for (dev, lane) in rt.lanes.iter().enumerate() {
             let sub_batch = rt.placement.project_batch(&batch, dev);
             let run = lane
                 .backend
                 .run(&lane.model, &lane.tables, &sub_batch, rt.arch)?;
-            self.launches += u64::from(run.kernel_launches);
-            let stats = &mut self.lane_stats[dev];
-            stats.jobs += 1;
-            stats.device_us += run.latency_us;
-            self.executors[dev].submit(now, chunk_id, run.latency_us);
-            stats.max_backlog_us = stats.max_backlog_us.max(self.executors[dev].backlog_us());
-            stats.max_queue_depth = stats.max_queue_depth.max(self.executors[dev].depth());
+            work_us.push(run.latency_us);
+            launches_of.push(run.kernel_launches);
         }
-        self.note_starts();
+        self.chunks.insert(
+            chunk_id,
+            ChunkState {
+                owners,
+                rows: batch.batch_size,
+                work_us,
+                launches_of,
+                shard_done: vec![false; num_shards],
+                active_jobs: vec![Vec::new(); num_shards],
+                pending_shards: num_shards,
+                pending_starts: 0,
+                gating_registered: false,
+                any_start: false,
+                start_max_us: 0.0,
+                done_min_us: f64::INFINITY,
+                done_max_us: 0.0,
+                real_done: false,
+                degraded: false,
+            },
+        );
+        let mitigated = rt.resilience.ladder.is_some();
+        for s in 0..num_shards {
+            if mitigated && rt.resilience.plan.crashed(s, now) {
+                self.dispatch_replacement(chunk_id, s, now, rt, requests, true);
+            } else {
+                self.submit_job(chunk_id, s, s, now, JobRole::Primary, true);
+            }
+        }
+        if let Some(ddl) = rt.resilience.chunk_deadline_us {
+            if !rt.replicas.is_empty() && self.chunks.contains_key(&chunk_id) {
+                self.pending_deadlines.push((now + ddl, chunk_id));
+            }
+        }
         // Zero-cost shard kernels retire inside `submit`; collect them so
         // their owners don't wait for a completion event that may never
         // have a distinct timestamp.
@@ -440,41 +693,366 @@ impl ShardedRunState {
         Ok(())
     }
 
-    /// Drain per-shard completions, resolve finished chunks, and either
-    /// finalize them (1 shard / free gather) or start their all-gather.
-    fn collect_completions(&mut self, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
-        let num_shards = rt.placement.num_devices;
-        for dev in 0..self.executors.len() {
-            for (t_done, chunk_id) in self.executors[dev].drain_completed() {
-                let chunk = self
-                    .chunks
-                    .get_mut(&chunk_id)
-                    .expect("completion for unknown chunk");
-                chunk.pending_shards -= 1;
-                chunk.done_min_us = chunk.done_min_us.min(t_done);
-                chunk.done_max_us = chunk.done_max_us.max(t_done);
-                if chunk.pending_shards > 0 {
+    /// Put `shard`'s slice of `chunk_id` on executor `lane`.
+    fn submit_job(
+        &mut self,
+        chunk_id: u64,
+        shard: usize,
+        lane: usize,
+        now: f64,
+        role: JobRole,
+        counts_start: bool,
+    ) {
+        let id = self.next_job;
+        self.next_job += 1;
+        let (work, kernels) = {
+            let chunk = self.chunks.get_mut(&chunk_id).expect("job for live chunk");
+            chunk.active_jobs[shard].push(id);
+            if counts_start {
+                chunk.pending_starts += 1;
+            }
+            (chunk.work_us[shard], chunk.launches_of[shard])
+        };
+        self.job_info.insert(
+            id,
+            JobInfo {
+                chunk: chunk_id,
+                shard,
+                lane,
+                role,
+                started: false,
+                counts_start,
+            },
+        );
+        self.launches += u64::from(kernels);
+        self.executors[lane].submit(now, id, work);
+        let num_shards = self.num_shards();
+        let backlog = self.executors[lane].backlog_us();
+        let depth = self.executors[lane].depth();
+        let stats = if lane < num_shards {
+            &mut self.lane_stats[lane]
+        } else {
+            &mut self.replica_stats[lane - num_shards]
+        };
+        stats.jobs += 1;
+        stats.device_us += work;
+        stats.max_backlog_us = stats.max_backlog_us.max(backlog);
+        stats.max_queue_depth = stats.max_queue_depth.max(depth);
+    }
+
+    /// Re-home `shard`'s slice of a chunk after a crash took (or blocks)
+    /// its primary job: replica lane if one exists, else the
+    /// least-backlogged healthy survivor, else — or past ladder level 2 —
+    /// the zero-pool.
+    fn dispatch_replacement(
+        &mut self,
+        chunk_id: u64,
+        shard: usize,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+        counts_start: bool,
+    ) {
+        let Some(chunk) = self.chunks.get(&chunk_id) else {
+            return;
+        };
+        if chunk.shard_done[shard] {
+            return;
+        }
+        if self.ladder_level(rt, now) >= 2 {
+            self.zero_pool(chunk_id, shard, now, rt, requests);
+            return;
+        }
+        let target = self.replica_lane_of[shard].or_else(|| {
+            let mut best: Option<(f64, usize)> = None;
+            for s2 in 0..self.num_shards() {
+                if s2 == shard || rt.resilience.plan.crashed(s2, now) {
                     continue;
                 }
-                let chunk = self.chunks.remove(&chunk_id).expect("chunk state");
-                let out_bytes = rt.model.concat_dim() as u64 * chunk.rows as u64 * 4;
-                let gather_us = rt.interconnect.all_gather_us(out_bytes, num_shards);
-                let straggler = chunk.done_max_us - chunk.done_min_us;
-                for &ri in &chunk.owners {
-                    self.device_done_us[ri] = self.device_done_us[ri].max(chunk.done_max_us);
-                    self.straggler_us[ri] = self.straggler_us[ri].max(straggler);
-                }
-                if gather_us > 0.0 {
-                    self.pending_gathers
-                        .push((chunk.done_max_us + gather_us, chunk_id));
-                    self.chunks.insert(chunk_id, chunk);
-                } else {
-                    // One shard (or an ideal link): the chunk is done the
-                    // moment the device finishes — exactly the
-                    // single-device runtime's event sequence.
-                    self.retire_chunk(&chunk, chunk.done_max_us, requests);
+                let b = self.executors[s2].backlog_us();
+                if best.is_none_or(|(bb, _)| b < bb) {
+                    best = Some((b, s2));
                 }
             }
+            best.map(|(_, s2)| s2)
+        });
+        match target {
+            Some(lane) => {
+                self.failovers += 1;
+                self.lane_stats[shard].failovers += 1;
+                self.submit_job(chunk_id, shard, lane, now, JobRole::Failover, counts_start);
+            }
+            None => self.zero_pool(chunk_id, shard, now, rt, requests),
+        }
+    }
+
+    /// Serve `shard`'s slice of `chunk_id` as zeros: for sum/mean pooling
+    /// a missing shard contributes an all-zero segment to the
+    /// concatenated embedding, so the chunk stays answerable — flagged
+    /// degraded — without any device work.
+    fn zero_pool(
+        &mut self,
+        chunk_id: u64,
+        shard: usize,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) {
+        let (siblings, resolved) = {
+            let Some(chunk) = self.chunks.get_mut(&chunk_id) else {
+                return;
+            };
+            if chunk.shard_done[shard] {
+                return;
+            }
+            chunk.shard_done[shard] = true;
+            chunk.degraded = true;
+            chunk.pending_shards -= 1;
+            (
+                std::mem::take(&mut chunk.active_jobs[shard]),
+                chunk.pending_shards == 0,
+            )
+        };
+        for j in siblings {
+            if let Some(info) = self.job_info.remove(&j) {
+                self.executors[info.lane].cancel(now, j);
+                if info.counts_start && !info.started {
+                    self.uncount_start(chunk_id);
+                }
+            }
+        }
+        if resolved {
+            self.resolve_chunk(chunk_id, now, rt, requests);
+        }
+    }
+
+    /// A crash dropped every kernel on lane `s`; re-home each lost
+    /// chunk-shard work item (unless a surviving sibling — a hedge on a
+    /// replica, or a job on a lane that isn't crashing too — already
+    /// covers it).
+    fn crash_begin(
+        &mut self,
+        s: usize,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) {
+        let num_shards = self.num_shards();
+        let failed = self.executors[s].fail_all(now);
+        for job in failed {
+            let Some(info) = self.job_info.remove(&job) else {
+                continue;
+            };
+            let still_needed = {
+                let Some(chunk) = self.chunks.get_mut(&info.chunk) else {
+                    continue;
+                };
+                chunk.active_jobs[info.shard].retain(|&j| j != job);
+                !chunk.shard_done[info.shard]
+            };
+            let covered = self.chunks[&info.chunk].active_jobs[info.shard]
+                .iter()
+                .any(|j| {
+                    self.job_info.get(j).is_some_and(|i| {
+                        i.lane >= num_shards || !rt.resilience.plan.crashed(i.lane, now)
+                    })
+                });
+            let replace_counts = info.counts_start && !info.started;
+            if replace_counts {
+                self.uncount_start(info.chunk);
+            }
+            if still_needed && !covered {
+                self.dispatch_replacement(
+                    info.chunk,
+                    info.shard,
+                    now,
+                    rt,
+                    requests,
+                    replace_counts,
+                );
+            }
+        }
+    }
+
+    /// Fire every hedge deadline due at `now`: shards that have not
+    /// delivered their slice get a duplicate on their replica lane —
+    /// unless the ladder has already dropped the hedge.
+    fn fire_deadlines(&mut self, now: f64, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
+        let mut due: Vec<(f64, u64)> = Vec::new();
+        self.pending_deadlines.retain(|&(t, id)| {
+            if t <= now {
+                due.push((t, id));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, chunk_id) in due {
+            if !self.chunks.contains_key(&chunk_id) {
+                continue;
+            }
+            if self.ladder_level(rt, now) >= 1 {
+                continue; // rung 1: duplicate work is the wrong spend
+            }
+            for s in 0..self.num_shards() {
+                let Some(replica_lane) = self.replica_lane_of[s] else {
+                    continue;
+                };
+                let wants_hedge = {
+                    let chunk = &self.chunks[&chunk_id];
+                    !chunk.shard_done[s]
+                        && !chunk.active_jobs[s]
+                            .iter()
+                            .any(|j| self.job_info.get(j).is_some_and(|i| i.lane == replica_lane))
+                };
+                if wants_hedge {
+                    self.hedge_fires += 1;
+                    self.submit_job(chunk_id, s, replica_lane, now, JobRole::Hedge, false);
+                }
+            }
+        }
+        self.collect_completions(rt, requests);
+    }
+
+    /// Apply every fault state change at `now`: lane rates (slowdown,
+    /// stall, crash freeze) and crash onset/recovery.
+    fn apply_fault_transitions(
+        &mut self,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) {
+        let mitigated = rt.resilience.ladder.is_some();
+        for s in 0..self.num_shards() {
+            let crashed = rt.resilience.plan.crashed(s, now);
+            // Without mitigation a crash freezes the lane with its queue
+            // intact — the restart-from-checkpoint model: the work is
+            // replayed after recovery, and the tier pays for it in
+            // backlog (and SLO sheds) instead of re-homing it.
+            let rate = if crashed {
+                0.0
+            } else {
+                rt.resilience.plan.rate_of(s, now)
+            };
+            self.executors[s].set_rate(now, rate);
+            if crashed && !self.was_crashed[s] {
+                self.was_crashed[s] = true;
+                if mitigated {
+                    self.crash_begin(s, now, rt, requests);
+                }
+            } else if !crashed && self.was_crashed[s] {
+                self.was_crashed[s] = false;
+            }
+        }
+        self.collect_completions(rt, requests);
+    }
+
+    /// Drain per-shard completions, resolve finished chunks, and either
+    /// finalize them (1 shard / free gather) or start their all-gather.
+    /// Loops until quiescent: cancelling a raced sibling can promote
+    /// zero-cost queued work whose completion must also land this event.
+    fn collect_completions(&mut self, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
+        loop {
+            self.note_starts();
+            let mut any = false;
+            let mut resolved: Vec<(u64, f64)> = Vec::new();
+            for lane in 0..self.executors.len() {
+                for (t_done, job_id) in self.executors[lane].drain_completed() {
+                    any = true;
+                    let Some(info) = self.job_info.remove(&job_id) else {
+                        continue; // lost a race that was resolved earlier
+                    };
+                    let (siblings, resolve) = {
+                        let Some(chunk) = self.chunks.get_mut(&info.chunk) else {
+                            continue;
+                        };
+                        chunk.active_jobs[info.shard].retain(|&j| j != job_id);
+                        if chunk.shard_done[info.shard] {
+                            continue; // a sibling already delivered
+                        }
+                        chunk.shard_done[info.shard] = true;
+                        chunk.pending_shards -= 1;
+                        chunk.done_min_us = chunk.done_min_us.min(t_done);
+                        chunk.done_max_us = chunk.done_max_us.max(t_done);
+                        chunk.real_done = true;
+                        (
+                            std::mem::take(&mut chunk.active_jobs[info.shard]),
+                            chunk.pending_shards == 0,
+                        )
+                    };
+                    if info.role == JobRole::Hedge {
+                        self.hedge_wins += 1;
+                    }
+                    for j in siblings {
+                        if let Some(sib) = self.job_info.remove(&j) {
+                            self.executors[sib.lane].cancel(t_done, j);
+                            if sib.counts_start && !sib.started {
+                                self.uncount_start(info.chunk);
+                            }
+                        }
+                    }
+                    if resolve {
+                        resolved.push((info.chunk, t_done));
+                    }
+                }
+            }
+            for (chunk_id, t) in resolved {
+                self.resolve_chunk(chunk_id, t, rt, requests);
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Every shard has delivered (or been zero-pooled): account the
+    /// chunk's device phase and start its gather (or retire it).
+    fn resolve_chunk(
+        &mut self,
+        chunk_id: u64,
+        fallback_t: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) {
+        let chunk = self.chunks.remove(&chunk_id).expect("resolving live chunk");
+        let num_shards = rt.placement.num_devices;
+        let base_t = if chunk.real_done {
+            chunk.done_max_us
+        } else {
+            // Every shard zero-pooled: the chunk resolves at the ladder
+            // decision instant with no device completion to anchor on.
+            fallback_t
+        };
+        let out_bytes = rt.model.concat_dim() as u64 * chunk.rows as u64 * 4;
+        let factor = rt.resilience.plan.link_factor(base_t);
+        let gather_us = if factor > 1.0 {
+            rt.interconnect
+                .degrade(factor)
+                .all_gather_us(out_bytes, num_shards)
+        } else {
+            rt.interconnect.all_gather_us(out_bytes, num_shards)
+        };
+        let straggler = if chunk.real_done {
+            chunk.done_max_us - chunk.done_min_us
+        } else {
+            0.0
+        };
+        for &ri in &chunk.owners {
+            self.device_done_us[ri] = self.device_done_us[ri].max(base_t);
+            self.straggler_us[ri] = self.straggler_us[ri].max(straggler);
+            if chunk.degraded {
+                self.degraded[ri] = true;
+            }
+        }
+        if gather_us > 0.0 {
+            self.pending_gathers.push((base_t + gather_us, chunk_id));
+            self.chunks.insert(chunk_id, chunk);
+        } else {
+            // One shard (or an ideal link): the chunk is done the
+            // moment the device finishes — exactly the
+            // single-device runtime's event sequence.
+            self.retire_chunk(&chunk, base_t, requests);
         }
     }
 
@@ -507,30 +1085,77 @@ impl ShardedRunState {
     }
 
     /// Fold freshly drained kernel-start events into per-request first
-    /// *gating* start times: a chunk starts when its last lane picks it
-    /// up, and a request starts at its earliest chunk start.
+    /// *gating* start times: a chunk starts when its last gating lane
+    /// picks it up, and a request starts at its earliest chunk start.
     fn note_starts(&mut self) {
-        for dev in 0..self.executors.len() {
-            for (t_start, chunk_id) in self.executors[dev].drain_started() {
-                if let Some(chunk) = self.chunks.get_mut(&chunk_id) {
-                    chunk.pending_starts -= 1;
+        for lane in 0..self.executors.len() {
+            for (t_start, job_id) in self.executors[lane].drain_started() {
+                let (chunk_id, counts) = {
+                    let Some(info) = self.job_info.get_mut(&job_id) else {
+                        continue; // cancelled after queueing its start
+                    };
+                    info.started = true;
+                    (info.chunk, info.counts_start)
+                };
+                if !counts {
+                    continue; // hedge starts don't gate the request
+                }
+                let register = {
+                    let Some(chunk) = self.chunks.get_mut(&chunk_id) else {
+                        continue;
+                    };
+                    chunk.any_start = true;
                     chunk.start_max_us = chunk.start_max_us.max(t_start);
-                    if chunk.pending_starts == 0 {
-                        let gating = chunk.start_max_us;
-                        let owners = chunk.owners.clone();
-                        for ri in owners {
-                            self.first_start_us[ri] = self.first_start_us[ri].min(gating);
-                        }
+                    chunk.pending_starts -= 1;
+                    if chunk.pending_starts == 0 && !chunk.gating_registered {
+                        chunk.gating_registered = true;
+                        Some((chunk.owners.clone(), chunk.start_max_us))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((owners, gating)) = register {
+                    for ri in owners {
+                        self.first_start_us[ri] = self.first_start_us[ri].min(gating);
                     }
                 }
             }
         }
     }
 
+    /// A gating-start slot closed without a start event (its job was
+    /// killed or zero-pooled before launching): if it was the last open
+    /// slot, register the gating start from what did launch.
+    fn uncount_start(&mut self, chunk_id: u64) {
+        let register = {
+            let Some(chunk) = self.chunks.get_mut(&chunk_id) else {
+                return;
+            };
+            chunk.pending_starts -= 1;
+            if chunk.pending_starts == 0 && !chunk.gating_registered && chunk.any_start {
+                chunk.gating_registered = true;
+                Some((chunk.owners.clone(), chunk.start_max_us))
+            } else {
+                None
+            }
+        };
+        if let Some((owners, gating)) = register {
+            for ri in owners {
+                self.first_start_us[ri] = self.first_start_us[ri].min(gating);
+            }
+        }
+    }
+
     fn finalize(&mut self, ri: usize, requests: &[Request]) {
         let arrival = self.arrival_eff_us[ri];
-        let first = self.first_start_us[ri];
         let done = self.last_done_us[ri];
+        // A request whose every chunk was fully zero-pooled never saw a
+        // kernel start; treat it as starting at completion (zero service).
+        let first = if self.first_start_us[ri].is_finite() {
+            self.first_start_us[ri]
+        } else {
+            done
+        };
         let device_done = self.device_done_us[ri];
         self.records[ri] = Some(ShardedRequestRecord {
             base: RequestRecord {
@@ -540,11 +1165,12 @@ impl ShardedRunState {
                 queue_us: first - arrival,
                 service_us: done - first,
                 done_us: done,
-                shed: false,
+                shed: ShedReason::None,
             },
             device_us: device_done - first,
             gather_us: done - device_done,
             straggler_us: self.straggler_us[ri],
+            degraded: self.degraded[ri],
         });
     }
 
@@ -557,11 +1183,12 @@ impl ShardedRunState {
                 queue_us: 0.0,
                 service_us: 0.0,
                 done_us: now,
-                shed: false,
+                shed: ShedReason::None,
             },
             device_us: 0.0,
             gather_us: 0.0,
             straggler_us: 0.0,
+            degraded: false,
         });
     }
 }
@@ -569,8 +1196,10 @@ impl ShardedRunState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, ReplicationPolicy};
     use crate::request::WorkloadSpec;
     use crate::runtime::ServeRuntime;
+    use proptest::prelude::*;
     use recflex_baselines::TorchRecBackend;
     use recflex_data::ModelPreset;
 
@@ -595,12 +1224,39 @@ mod tests {
         )
     }
 
+    fn resilient_tier<'a>(
+        model: &'a ModelConfig,
+        arch: &'a GpuArch,
+        shards: usize,
+        config: ServeConfig,
+        resilience: ResilienceConfig,
+    ) -> ShardedServeRuntime<'a> {
+        ShardedServeRuntime::build_resilient(
+            model,
+            arch,
+            Placement::balance(model, shards),
+            config,
+            Interconnect::nvlink(),
+            resilience,
+            &vec![1.0; model.features.len()],
+            |m| Box::new(TorchRecBackend::compile(m)),
+        )
+    }
+
     fn load_config() -> ServeConfig {
         ServeConfig {
             streams: 4,
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: None,
             closed_loop: false,
+        }
+    }
+
+    fn crash(shard: usize, start: f64, end: f64) -> Fault {
+        Fault {
+            start_us: start,
+            end_us: end,
+            kind: FaultKind::Crash { shard },
         }
     }
 
@@ -640,6 +1296,78 @@ mod tests {
             assert!(sharded.records.iter().all(|r| r.gather_us == 0.0));
             assert!(sharded.records.iter().all(|r| r.straggler_us == 0.0));
         }
+    }
+
+    #[test]
+    fn one_shard_with_explicit_empty_resilience_matches_serve_runtime_bit_for_bit() {
+        // The satellite guard: ReplicationPolicy::None + an empty
+        // FaultPlan through the resilient constructor must still be the
+        // single-device runtime, record for record.
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 11);
+        let config = ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Split { cap: 128 },
+            slo_deadline_us: Some(20_000.0),
+            closed_loop: false,
+        };
+        let resilience = ResilienceConfig {
+            plan: FaultPlan::none(),
+            chunk_deadline_us: None,
+            replication: ReplicationPolicy::None,
+            ladder: None,
+        };
+        let sharded = resilient_tier(&m, &arch, 1, config, resilience)
+            .serve(&reqs)
+            .unwrap();
+        let backend = TorchRecBackend::compile(&m);
+        let tables = TableSet::for_model(&m);
+        let single = ServeRuntime {
+            backend: &backend,
+            model: &m,
+            tables: &tables,
+            arch: &arch,
+            config,
+        }
+        .serve(&reqs)
+        .unwrap();
+        assert_eq!(sharded.flat(), single);
+        assert!(sharded.records.iter().all(|r| !r.degraded));
+        assert_eq!(sharded.hedge_fires, 0);
+        assert_eq!(sharded.failovers, 0);
+        assert!(sharded.per_replica.is_empty());
+    }
+
+    #[test]
+    fn no_fault_resilient_path_is_bit_for_bit_the_plain_tier() {
+        // Replicas provisioned and mitigation armed, but no faults and no
+        // deadline: the event loop must take the exact fault-free
+        // branches and reproduce the plain tier's report fields.
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(250.0).stream(&m, 48, 7);
+        let plain = tier(&m, &arch, 4, load_config(), Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap();
+        let armed = resilient_tier(
+            &m,
+            &arch,
+            4,
+            load_config(),
+            ResilienceConfig {
+                plan: FaultPlan::none(),
+                chunk_deadline_us: None,
+                replication: ReplicationPolicy::Full,
+                ladder: Some(LadderConfig::failover_only()),
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        assert_eq!(plain.records, armed.records);
+        assert_eq!(plain.per_shard, armed.per_shard);
+        assert_eq!(plain.kernel_launches, armed.kernel_launches);
+        assert_eq!(plain.makespan_us, armed.makespan_us);
+        assert_eq!(armed.per_replica.len(), 4, "standby lanes exist");
+        assert!(armed.per_replica.iter().all(|s| s.jobs == 0), "and idle");
     }
 
     #[test]
@@ -745,7 +1473,8 @@ mod tests {
             .serve(&reqs)
             .unwrap();
         assert!(report.shed_rate() > 0.0, "overload must shed");
-        for r in report.records.iter().filter(|r| r.base.shed) {
+        for r in report.records.iter().filter(|r| r.base.is_shed()) {
+            assert_eq!(r.base.shed, ShedReason::Admission, "no faults injected");
             assert_eq!(r.base.done_us, r.base.arrival_us);
             assert_eq!(r.device_us, 0.0);
         }
@@ -763,5 +1492,263 @@ mod tests {
         let rt = tier(&m, &arch, 2, config, Interconnect::nvlink());
         let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 2, 1);
         assert!(matches!(rt.serve(&reqs), Err(ServeError::Policy(_))));
+    }
+
+    fn slo_config() -> ServeConfig {
+        ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Split { cap: 256 },
+            slo_deadline_us: Some(8_000.0),
+            closed_loop: false,
+        }
+    }
+
+    fn crash_window(m: &ModelConfig) -> FaultPlan {
+        // Crash shard 0 for a long mid-run window sized off the workload
+        // (requests arrive roughly every 200 µs for 64 requests).
+        let _ = m;
+        FaultPlan::scripted(vec![crash(0, 1_500.0, 9_000.0)])
+    }
+
+    #[test]
+    fn mitigated_crash_holds_availability_where_no_mitigation_sheds() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(200.0).stream(&m, 64, 21);
+        let baseline = resilient_tier(
+            &m,
+            &arch,
+            2,
+            slo_config(),
+            ResilienceConfig {
+                plan: crash_window(&m),
+                chunk_deadline_us: None,
+                replication: ReplicationPolicy::None,
+                ladder: None, // no mitigation: lane freezes, backlog sheds
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        let mitigated = resilient_tier(
+            &m,
+            &arch,
+            2,
+            slo_config(),
+            ResilienceConfig {
+                plan: crash_window(&m),
+                chunk_deadline_us: None,
+                replication: ReplicationPolicy::Full,
+                ladder: Some(LadderConfig {
+                    drop_hedge_backlog_us: 4_000.0,
+                    partial_backlog_us: 6_000.0,
+                }),
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        assert!(
+            baseline.availability() < 1.0,
+            "an unmitigated crash must shed: availability {}",
+            baseline.availability()
+        );
+        assert!(
+            baseline.shed_rate_for(ShedReason::Fault) > 0.0,
+            "sheds during the crash window carry the fault reason"
+        );
+        assert!(
+            mitigated.availability() >= 0.95,
+            "failover + degradation must hold availability: {}",
+            mitigated.availability()
+        );
+        assert!(
+            mitigated.availability() > baseline.availability(),
+            "mitigation must strictly beat the baseline: {} vs {}",
+            mitigated.availability(),
+            baseline.availability()
+        );
+        assert!(mitigated.failovers > 0, "crash work must be re-homed");
+        assert!(
+            mitigated.per_shard[0].downtime_us > 0.0,
+            "the crashed shard reports downtime"
+        );
+        assert_eq!(
+            mitigated.per_shard[1].downtime_us, 0.0,
+            "the healthy shard reports none"
+        );
+    }
+
+    #[test]
+    fn hedging_fires_on_deadline_and_wins_against_a_stalled_shard() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 32, 17);
+        let plan = FaultPlan::scripted(vec![Fault {
+            start_us: 1_000.0,
+            end_us: 10_000.0,
+            kind: FaultKind::Stall { shard: 0 },
+        }]);
+        let hedged = resilient_tier(
+            &m,
+            &arch,
+            2,
+            load_config(),
+            ResilienceConfig {
+                plan: plan.clone(),
+                chunk_deadline_us: Some(500.0),
+                replication: ReplicationPolicy::Full,
+                ladder: Some(LadderConfig::failover_only()),
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        let unhedged = resilient_tier(
+            &m,
+            &arch,
+            2,
+            load_config(),
+            ResilienceConfig {
+                plan,
+                chunk_deadline_us: None,
+                replication: ReplicationPolicy::Full,
+                ladder: Some(LadderConfig::failover_only()),
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        assert!(hedged.hedge_fires > 0, "deadlines must fire on the stall");
+        assert!(
+            hedged.hedge_wins > 0,
+            "the replica must beat a stalled primary"
+        );
+        assert!(hedged.hedge_wins <= hedged.hedge_fires);
+        assert!(
+            hedged.percentile_us(0.99) < unhedged.percentile_us(0.99),
+            "hedging must cut the stall-bound tail: {} vs {}",
+            hedged.percentile_us(0.99),
+            unhedged.percentile_us(0.99)
+        );
+    }
+
+    #[test]
+    fn ladder_rung_two_serves_partial_answers_instead_of_shedding() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(200.0).stream(&m, 48, 29);
+        // No replicas and only one survivor: with the partial threshold at
+        // zero every crashed-shard slice zero-pools immediately.
+        let report = resilient_tier(
+            &m,
+            &arch,
+            2,
+            slo_config(),
+            ResilienceConfig {
+                plan: crash_window(&m),
+                chunk_deadline_us: None,
+                replication: ReplicationPolicy::None,
+                ladder: Some(LadderConfig {
+                    drop_hedge_backlog_us: 0.0,
+                    partial_backlog_us: 0.0,
+                }),
+            },
+        )
+        .serve(&reqs)
+        .unwrap();
+        assert!(
+            report.degraded_rate() > 0.0,
+            "crashed-shard chunks must be served partial"
+        );
+        assert!(
+            report.availability() >= 0.95,
+            "partial service holds availability: {}",
+            report.availability()
+        );
+        for r in report.records.iter().filter(|r| r.degraded) {
+            assert!(!r.base.is_shed(), "degraded answers are answers");
+        }
+    }
+
+    #[test]
+    fn slowdown_and_link_faults_stretch_the_run_deterministically() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 33);
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                start_us: 500.0,
+                end_us: 6_000.0,
+                kind: FaultKind::Slowdown {
+                    shard: 1,
+                    rate: 0.25,
+                },
+            },
+            Fault {
+                start_us: 500.0,
+                end_us: 6_000.0,
+                kind: FaultKind::LinkDegrade { factor: 16.0 },
+            },
+        ]);
+        let faulty = ResilienceConfig {
+            plan,
+            chunk_deadline_us: None,
+            replication: ReplicationPolicy::None,
+            ladder: Some(LadderConfig::failover_only()),
+        };
+        let healthy = resilient_tier(&m, &arch, 4, load_config(), ResilienceConfig::default())
+            .serve(&reqs)
+            .unwrap();
+        let a = resilient_tier(&m, &arch, 4, load_config(), faulty.clone())
+            .serve(&reqs)
+            .unwrap();
+        let b = resilient_tier(&m, &arch, 4, load_config(), faulty)
+            .serve(&reqs)
+            .unwrap();
+        assert_eq!(a, b, "faulty runs replay bit-for-bit");
+        assert!(
+            a.percentile_us(0.99) > healthy.percentile_us(0.99),
+            "a throttled shard gates the tier"
+        );
+        assert!(
+            a.mean_gather_us() > healthy.mean_gather_us(),
+            "a degraded link stretches gathers"
+        );
+    }
+
+    proptest! {
+        /// Same seed + same FaultSpec ⇒ the same fault trace and the same
+        /// report, bit for bit — the determinism-replay invariant
+        /// extended to faulty runs.
+        #[test]
+        fn seeded_fault_runs_replay_bit_for_bit(seed in 0u64..500, shards in 1usize..4) {
+            let (m, arch) = setup();
+            // Small batches keep the 64-case sweep fast without losing
+            // event-loop coverage (faults, hedges, sheds all still fire).
+            let spec = WorkloadSpec {
+                size_unit: 8,
+                ..WorkloadSpec::long_tail(250.0)
+            };
+            let reqs = spec.stream(&m, 10, seed);
+            let spec = FaultSpec::mixed(1_500.0, 900.0);
+            let plan_a = spec.plan(shards, 6_000.0, seed);
+            let plan_b = spec.plan(shards, 6_000.0, seed);
+            prop_assert_eq!(&plan_a, &plan_b, "fault trace must replay");
+            let rt = resilient_tier(
+                &m,
+                &arch,
+                shards,
+                slo_config(),
+                ResilienceConfig {
+                    plan: plan_a,
+                    chunk_deadline_us: Some(1_000.0),
+                    replication: ReplicationPolicy::MirrorHottest,
+                    ladder: Some(LadderConfig {
+                        drop_hedge_backlog_us: 4_000.0,
+                        partial_backlog_us: 6_000.0,
+                    }),
+                },
+            );
+            let a = rt.serve(&reqs).unwrap();
+            let b = rt.serve(&reqs).unwrap();
+            prop_assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+            prop_assert_eq!(a, b);
+        }
     }
 }

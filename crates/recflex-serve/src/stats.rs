@@ -4,10 +4,53 @@
 //! end-to-end latency under concurrent long-tail requests), so the
 //! runtime records a full breakdown for every request — queue wait
 //! versus device time — and the report exposes nearest-rank percentiles
-//! over completed requests plus the shed rate for SLO accounting.
+//! over completed requests plus the shed rate for SLO accounting. The
+//! sharded tier adds the fault observables (downtime, hedge fires and
+//! wins, failovers, degraded-request rate, availability) that the chaos
+//! harness gates on.
+
+use serde::Serialize;
+
+/// Why (or whether) a request was dropped at admission. Serialized under
+/// the field name `shed` that used to hold a bool — the vendored
+/// serde_derive ignores `#[serde(rename)]` attributes, so the rename is a
+/// hand-written `Serialize` impl below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedReason {
+    /// The request was served (possibly degraded), not shed.
+    #[default]
+    None,
+    /// Pure load shedding: the backlog already exceeded the SLO deadline
+    /// with every lane healthy.
+    Admission,
+    /// Fault shedding: the backlog exceeded the deadline (or a lane could
+    /// not drain at all) while a fault was active — capacity, not
+    /// traffic, was the problem.
+    Fault,
+}
+
+impl ShedReason {
+    /// True when the request was dropped for any reason.
+    pub fn is_shed(&self) -> bool {
+        !matches!(self, ShedReason::None)
+    }
+}
+
+impl Serialize for ShedReason {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                ShedReason::None => "none",
+                ShedReason::Admission => "admission",
+                ShedReason::Fault => "fault",
+            }
+            .to_string(),
+        )
+    }
+}
 
 /// What happened to one request.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RequestRecord {
     /// Stream-unique request id, in arrival order.
     pub id: u64,
@@ -22,9 +65,9 @@ pub struct RequestRecord {
     pub service_us: f64,
     /// Completion timestamp, µs (equals `arrival_us` for shed requests).
     pub done_us: f64,
-    /// True when admission control dropped the request to protect the
-    /// SLO of everyone behind it.
-    pub shed: bool,
+    /// Whether admission control dropped the request, and why
+    /// ([`ShedReason::None`] means it ran).
+    pub shed: ShedReason,
 }
 
 impl RequestRecord {
@@ -32,11 +75,16 @@ impl RequestRecord {
     pub fn latency_us(&self) -> f64 {
         self.done_us - self.arrival_us
     }
+
+    /// True when admission control dropped this request.
+    pub fn is_shed(&self) -> bool {
+        self.shed.is_shed()
+    }
 }
 
 /// Aggregate outcome of one serving run. `PartialEq` so replay tests can
 /// assert two runs of the same seed are *identical*, not merely close.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct ServeReport {
     /// One record per request, in arrival order (shed included).
     pub records: Vec<RequestRecord>,
@@ -51,7 +99,7 @@ pub struct ServeReport {
 impl ServeReport {
     /// Records of requests that actually ran.
     pub fn completed(&self) -> impl Iterator<Item = &RequestRecord> {
-        self.records.iter().filter(|r| !r.shed)
+        self.records.iter().filter(|r| !r.is_shed())
     }
 
     /// Fraction of requests shed by admission control, in `[0, 1]`.
@@ -59,7 +107,7 @@ impl ServeReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.shed).count() as f64 / self.records.len() as f64
+        self.records.iter().filter(|r| r.is_shed()).count() as f64 / self.records.len() as f64
     }
 
     /// Mean end-to-end latency over completed requests, µs.
@@ -82,7 +130,7 @@ impl ServeReport {
 
 /// What happened to one request in the sharded tier: the single-device
 /// breakdown plus the cross-shard terms.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ShardedRequestRecord {
     /// The single-device-shaped record (`service_us` and `done_us`
     /// include the all-gather; latency = queue + device + gather).
@@ -99,10 +147,15 @@ pub struct ShardedRequestRecord {
     /// shard completion minus fastest for the same chunk. The slowest
     /// shard gates the gather, so this is the latency lost to imbalance.
     pub straggler_us: f64,
+    /// True when any of this request's chunks was served with partial
+    /// embeddings: a crashed shard's features were zero-pooled instead
+    /// of gathered (the degradation ladder's availability-over-fidelity
+    /// trade).
+    pub degraded: bool,
 }
 
 /// Aggregate view of one shard's lane over a run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct ShardLaneStats {
     /// Chunks executed on this shard.
     pub jobs: u64,
@@ -112,17 +165,32 @@ pub struct ShardLaneStats {
     pub max_backlog_us: f64,
     /// Peak queue depth (resident + FIFO-queued jobs) at any submission.
     pub max_queue_depth: usize,
+    /// Total time this shard was unable to make progress (crash or stall
+    /// fault windows clipped to the run), µs.
+    pub downtime_us: f64,
+    /// Chunks whose work was re-projected off this shard because it
+    /// crashed (onto a replica or a survivor lane).
+    pub failovers: u64,
 }
 
 /// Aggregate outcome of one sharded serving run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct ShardedReport {
     /// One record per request, in arrival order (shed included).
     pub records: Vec<ShardedRequestRecord>,
     /// Per-shard lane statistics, indexed by device.
     pub per_shard: Vec<ShardLaneStats>,
+    /// Standby replica lane statistics, in mirrored-shard order (empty
+    /// without replication).
+    pub per_replica: Vec<ShardLaneStats>,
     /// Kernel launches summed over every shard.
     pub kernel_launches: u64,
+    /// Hedged re-executions fired after a chunk-shard deadline expired.
+    pub hedge_fires: u64,
+    /// Hedges whose replica copy finished before the primary.
+    pub hedge_wins: u64,
+    /// Chunk-shard work items re-projected off a crashed lane.
+    pub failovers: u64,
     /// Timestamp of the last completion (or last arrival if all shed).
     pub makespan_us: f64,
 }
@@ -130,7 +198,7 @@ pub struct ShardedReport {
 impl ShardedReport {
     /// Records of requests that actually ran.
     pub fn completed(&self) -> impl Iterator<Item = &ShardedRequestRecord> {
-        self.records.iter().filter(|r| !r.base.shed)
+        self.records.iter().filter(|r| !r.base.is_shed())
     }
 
     /// Fraction of requests shed by admission control, in `[0, 1]`.
@@ -138,7 +206,43 @@ impl ShardedReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.base.shed).count() as f64 / self.records.len() as f64
+        self.records.iter().filter(|r| r.base.is_shed()).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of requests shed for the given reason, in `[0, 1]`.
+    pub fn shed_rate_for(&self, reason: ShedReason) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.base.shed == reason)
+            .count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Availability: the fraction of requests that were answered —
+    /// completed normally *or* served degraded — in `[0, 1]`. This is the
+    /// quantity the degradation ladder protects: a zero-pooled partial
+    /// embedding is an answer, a shed request is not.
+    pub fn availability(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.shed_rate()
+    }
+
+    /// Fraction of *answered* requests that were served degraded
+    /// (partial embeddings), in `[0, 1]`.
+    pub fn degraded_rate(&self) -> f64 {
+        let (degraded, n) = self
+            .completed()
+            .fold((0u64, 0u64), |(d, n), r| (d + u64::from(r.degraded), n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            degraded as f64 / n as f64
+        }
     }
 
     /// Nearest-rank percentile of end-to-end latency, µs.
@@ -215,7 +319,7 @@ mod tests {
             queue_us: queue,
             service_us: service,
             done_us: arrival + queue + service,
-            shed: false,
+            shed: ShedReason::None,
         }
     }
 
@@ -227,7 +331,7 @@ mod tests {
             queue_us: 0.0,
             service_us: 0.0,
             done_us: arrival,
-            shed: true,
+            shed: ShedReason::Admission,
         }
     }
 
@@ -286,5 +390,42 @@ mod tests {
         assert_eq!(report.shed_rate(), 0.0);
         assert_eq!(report.mean_latency_us(), 0.0);
         assert_eq!(report.percentile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn shed_reason_serializes_under_the_legacy_field_shape() {
+        // The `shed` field stays present by name; the bool became a
+        // reason string.
+        let json = serde_json::to_string(&shed(1, 2.0)).unwrap();
+        assert!(json.contains("\"shed\":\"admission\""), "{json}");
+        let json = serde_json::to_string(&rec(1, 0.0, 0.0, 1.0)).unwrap();
+        assert!(json.contains("\"shed\":\"none\""), "{json}");
+    }
+
+    #[test]
+    fn availability_counts_degraded_answers_but_not_sheds() {
+        let wrap = |base: RequestRecord, degraded: bool| ShardedRequestRecord {
+            base,
+            device_us: 0.0,
+            gather_us: 0.0,
+            straggler_us: 0.0,
+            degraded,
+        };
+        let mut fault_shed = shed(2, 2.0);
+        fault_shed.shed = ShedReason::Fault;
+        let report = ShardedReport {
+            records: vec![
+                wrap(rec(0, 0.0, 0.0, 10.0), false),
+                wrap(rec(1, 1.0, 0.0, 10.0), true),
+                wrap(fault_shed, false),
+                wrap(shed(3, 3.0), false),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.availability(), 0.5);
+        assert_eq!(report.degraded_rate(), 0.5);
+        assert_eq!(report.shed_rate_for(ShedReason::Fault), 0.25);
+        assert_eq!(report.shed_rate_for(ShedReason::Admission), 0.25);
+        assert_eq!(ShardedReport::default().availability(), 1.0);
     }
 }

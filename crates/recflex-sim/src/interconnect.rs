@@ -43,6 +43,29 @@ impl Interconnect {
         }
     }
 
+    /// Look up a preset by name (`nvlink`, `pcie`, `ideal`), case
+    /// insensitively. `None` for anything else — callers surface the
+    /// valid set in their own error message.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "nvlink" => Some(Interconnect::nvlink()),
+            "pcie" => Some(Interconnect::pcie()),
+            "ideal" => Some(Interconnect::ideal()),
+            _ => None,
+        }
+    }
+
+    /// The same link with its bandwidth cut by `factor` (≥ 1): a
+    /// congested or partially-failed fabric. A factor of exactly 1
+    /// returns the link unchanged, bit-for-bit (`x / 1.0 == x` in IEEE
+    /// arithmetic), so the healthy path never pays for the knob.
+    pub fn degrade(&self, factor: f64) -> Self {
+        Interconnect {
+            bandwidth_gbps: self.bandwidth_gbps / factor.max(1.0),
+            base_latency_us: self.base_latency_us,
+        }
+    }
+
     /// Time to move `bytes` over the link once, µs.
     pub fn transfer_us(&self, bytes: u64) -> f64 {
         if bytes == 0 {
@@ -104,6 +127,29 @@ mod tests {
     fn ideal_link_is_free() {
         assert_eq!(Interconnect::ideal().all_gather_us(1 << 30, 8), 0.0);
         assert_eq!(Interconnect::ideal().transfer_us(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn presets_resolve_by_name_case_insensitively() {
+        assert_eq!(
+            Interconnect::by_name("nvlink"),
+            Some(Interconnect::nvlink())
+        );
+        assert_eq!(Interconnect::by_name("PCIe"), Some(Interconnect::pcie()));
+        assert_eq!(Interconnect::by_name("IDEAL"), Some(Interconnect::ideal()));
+        assert_eq!(Interconnect::by_name("infiniband"), None);
+    }
+
+    #[test]
+    fn degrade_cuts_bandwidth_and_identity_is_exact() {
+        let link = Interconnect::nvlink();
+        let cut = link.degrade(4.0);
+        assert_eq!(cut.bandwidth_gbps, 30.0);
+        assert_eq!(cut.base_latency_us, link.base_latency_us);
+        assert!(cut.all_gather_us(4 << 20, 4) > link.all_gather_us(4 << 20, 4));
+        // Bit-for-bit identity at factor 1 (and sub-1 factors clamp up).
+        assert_eq!(link.degrade(1.0), link);
+        assert_eq!(link.degrade(0.5), link);
     }
 
     #[test]
