@@ -36,8 +36,9 @@ use recflex_bench::{CliOpts, Scale};
 use recflex_core::{feature_cost_estimates, RecFlexEngine};
 use recflex_data::{Dataset, ModelPreset, Placement};
 use recflex_serve::{
-    BatchPolicy, Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, ReplicationPolicy, Request,
-    ResilienceConfig, ServeConfig, ShardedServeRuntime, ShedReason, WorkloadSpec,
+    BatchPolicy, Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, PressureSignal,
+    ReplicationPolicy, Request, ResilienceConfig, ServeConfig, ShardedServeRuntime, ShedReason,
+    WorkloadSpec,
 };
 use recflex_sim::GpuArch;
 use serde::Serialize;
@@ -147,6 +148,7 @@ fn policy(name: &str, plan: FaultPlan, slo_deadline_us: f64) -> ResilienceConfig
             ladder: Some(LadderConfig {
                 drop_hedge_backlog_us: slo_deadline_us / 2.0,
                 partial_backlog_us: 0.75 * slo_deadline_us,
+                pressure: PressureSignal::Instantaneous,
             }),
         },
         other => unreachable!("unknown policy {other}"),

@@ -98,7 +98,7 @@ impl ServingSimulator<'_> {
         let report = runtime.serve(&stream).map_err(|e| match e {
             ServeError::Backend(b) => b,
             // Policy errors are unreachable: the cap is saturated above.
-            ServeError::Policy(m) => BackendError::Launch(m.into()),
+            ServeError::Policy(m) | ServeError::Internal(m) => BackendError::Launch(m.into()),
         })?;
         Ok(ServingStats {
             request_latencies: report.records.iter().map(|r| r.latency_us()).collect(),
@@ -122,7 +122,7 @@ mod tests {
     use crate::engine::RecFlexEngine;
     use recflex_data::{shift_distribution, Dataset, ModelPreset};
     use recflex_embedding::reference_pooled;
-    use recflex_serve::{DriftConfig, RetunePolicy, WorkloadSpec};
+    use recflex_serve::{DriftConfig, LifecycleConfig, RetunePolicy, WorkloadSpec};
     use recflex_tuner::TunerConfig;
 
     fn setup() -> (ModelConfig, TableSet, RecFlexEngine) {
@@ -308,6 +308,7 @@ mod tests {
                 feature_threshold: 0.5,
             },
             retune_latency_us: 5_000.0,
+            lifecycle: LifecycleConfig::default(),
             retuner: Box::new(|recent: &[Batch]| {
                 // A real background retune: tune a fresh engine on the
                 // drift window, exactly what the paper's offline tuner

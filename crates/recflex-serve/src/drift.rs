@@ -210,6 +210,20 @@ impl DriftMonitor {
     pub fn rebase_for_model(&mut self, model: &ModelConfig) {
         *self = Self::for_model(self.config, model);
     }
+
+    /// Discard the partially accumulated window, keeping the reference.
+    /// Called when a retune attempt launches so the next verdict only
+    /// reflects traffic observed after the launch. A no-op right after a
+    /// verdict (the window restarts on every verdict anyway), so the
+    /// drift-fire → retune path is unchanged by the reset.
+    pub fn reset_window(&mut self) {
+        self.window_sum_lookups = 0.0;
+        self.window_sum_samples = 0.0;
+        self.window_feature_lookups
+            .iter_mut()
+            .for_each(|s| *s = 0.0);
+        self.window_len = 0;
+    }
 }
 
 /// Expected lookups per sample of a model configuration:

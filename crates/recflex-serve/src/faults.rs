@@ -354,6 +354,9 @@ pub struct LadderConfig {
     /// Effective-backlog threshold above which crashed-shard chunks are
     /// served partial instead of failed over, µs.
     pub partial_backlog_us: f64,
+    /// How the backlog sample is turned into the pressure the thresholds
+    /// grade on.
+    pub pressure: PressureSignal,
 }
 
 impl LadderConfig {
@@ -362,6 +365,7 @@ impl LadderConfig {
         LadderConfig {
             drop_hedge_backlog_us: f64::MAX,
             partial_backlog_us: f64::MAX,
+            pressure: PressureSignal::Instantaneous,
         }
     }
 
@@ -374,6 +378,62 @@ impl LadderConfig {
         } else {
             0
         }
+    }
+}
+
+/// How the ladder converts raw backlog samples into rung pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PressureSignal {
+    /// Grade each decision on the instantaneous worst effective backlog
+    /// — the historical behavior (and the identity-gate default): a
+    /// single spiked sample can flip a rung.
+    #[default]
+    Instantaneous,
+    /// Grade on a leaky-bucket (exponentially time-decayed) average of
+    /// the backlog samples: pressure charges toward the raw backlog with
+    /// time constant `tau_us` and leaks back the same way, so a
+    /// sub-millisecond spike cannot flip a rung but sustained pressure
+    /// still does.
+    LeakyBucket {
+        /// Time constant of the charge/leak, µs (≥ 0; 0 degenerates to
+        /// instantaneous).
+        tau_us: f64,
+    },
+}
+
+/// Evolves the leaky-bucket pressure between ladder decisions.
+/// Deterministic: the value is a pure fold over the (timestamp, backlog)
+/// samples the event loop feeds it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PressureTracker {
+    value: f64,
+    last_us: f64,
+}
+
+impl PressureTracker {
+    /// Fold in a backlog sample at `now` and return the pressure to
+    /// grade on. Non-finite samples (a stalled lane is infinitely
+    /// backlogged) re-seed the bucket directly — `∞ × decay` would be
+    /// `NaN`-prone and a stall should max the ladder out immediately.
+    pub fn observe(&mut self, now: f64, raw_backlog_us: f64, signal: PressureSignal) -> f64 {
+        let tau_us = match signal {
+            PressureSignal::Instantaneous => return raw_backlog_us,
+            PressureSignal::LeakyBucket { tau_us } => tau_us,
+        };
+        if !raw_backlog_us.is_finite() || !self.value.is_finite() || tau_us <= 0.0 {
+            self.value = raw_backlog_us;
+        } else {
+            let dt = (now - self.last_us).max(0.0);
+            let alpha = 1.0 - (-dt / tau_us).exp();
+            self.value += (raw_backlog_us - self.value) * alpha;
+        }
+        self.last_us = now;
+        self.value
+    }
+
+    /// The current pressure without folding in a new sample.
+    pub fn value(&self) -> f64 {
+        self.value
     }
 }
 
@@ -561,12 +621,58 @@ mod tests {
         let ladder = LadderConfig {
             drop_hedge_backlog_us: 1_000.0,
             partial_backlog_us: 5_000.0,
+            pressure: PressureSignal::Instantaneous,
         };
         assert_eq!(ladder.level(0.0), 0);
         assert_eq!(ladder.level(1_000.0), 0, "thresholds are exclusive");
         assert_eq!(ladder.level(1_001.0), 1);
         assert_eq!(ladder.level(f64::INFINITY), 2, "a stalled lane maxes out");
         assert_eq!(LadderConfig::failover_only().level(f64::MAX / 2.0), 0);
+    }
+
+    #[test]
+    fn instantaneous_pressure_passes_samples_through_untouched() {
+        let mut tracker = PressureTracker::default();
+        let signal = PressureSignal::Instantaneous;
+        assert_eq!(tracker.observe(0.0, 7_500.0, signal), 7_500.0);
+        assert_eq!(tracker.observe(1.0, 0.0, signal), 0.0);
+        // The identity path never mutates the bucket.
+        assert_eq!(tracker, PressureTracker::default());
+    }
+
+    #[test]
+    fn leaky_bucket_rejects_spikes_but_tracks_sustained_pressure() {
+        let signal = PressureSignal::LeakyBucket { tau_us: 100_000.0 };
+        let mut tracker = PressureTracker::default();
+        // A 1 ms spike against a 100 ms time constant charges ~1%.
+        let after_spike = tracker.observe(1_000.0, 10_000.0, signal);
+        assert!(
+            after_spike < 0.02 * 10_000.0,
+            "spike must barely charge the bucket: {after_spike}"
+        );
+        // Sustained pressure converges onto the raw backlog.
+        let mut p = after_spike;
+        for k in 1..=20 {
+            p = tracker.observe(1_000.0 + k as f64 * 50_000.0, 10_000.0, signal);
+        }
+        assert!(p > 0.99 * 10_000.0, "sustained pressure must converge: {p}");
+        // And leaks back out once the backlog clears.
+        let drained = tracker.observe(2_000_000.0, 0.0, signal);
+        assert!(drained < 10.0, "bucket must leak: {drained}");
+    }
+
+    #[test]
+    fn leaky_bucket_reseeds_on_infinite_backlog() {
+        let signal = PressureSignal::LeakyBucket { tau_us: 100_000.0 };
+        let mut tracker = PressureTracker::default();
+        tracker.observe(0.0, 100.0, signal);
+        // A stalled lane is infinitely backlogged: the ladder must max
+        // out immediately, not after a NaN-polluted decay.
+        assert_eq!(tracker.observe(1.0, f64::INFINITY, signal), f64::INFINITY);
+        // Recovery re-seeds cleanly from the next finite sample.
+        let back = tracker.observe(2.0, 500.0, signal);
+        assert_eq!(back, 500.0);
+        assert!(tracker.value().is_finite());
     }
 
     #[test]

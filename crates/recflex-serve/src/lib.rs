@@ -20,6 +20,14 @@
 //! * [`DriftMonitor`] / [`RetunePolicy`] — distribution-drift detection
 //!   on live traffic triggering a *background* retune whose engine is
 //!   hot-swapped in at a later simulated timestamp,
+//! * [`LifecycleMachine`] ([`LifecycleConfig`]) — the schedule-lifecycle
+//!   state machine supervising that swap: seeded retune outcomes
+//!   (success / compile-fail / stall / regression via [`OutcomePlan`] /
+//!   [`OutcomeSpec`]), canaried promotion with shadow execution and
+//!   rollback ([`CanaryConfig`]), bounded retries with exponential
+//!   backoff and post-episode cooldown ([`RetryPolicy`]), staged
+//!   per-shard rollout in the sharded tier — all replayable, with
+//!   counters and a transition trace in the reports,
 //! * [`ServeReport`] — per-request latency breakdown (batching wait vs
 //!   device time) with nearest-rank percentiles and shed rate,
 //! * [`ShardedServeRuntime`] — the multi-GPU tier: a
@@ -46,6 +54,7 @@
 pub mod drift;
 pub mod executor;
 pub mod faults;
+pub mod lifecycle;
 pub mod request;
 pub mod runtime;
 pub mod sharded;
@@ -56,11 +65,16 @@ pub use drift::{
 };
 pub use executor::{DeviceExecutor, JobId};
 pub use faults::{
-    Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, ReplicationPolicy, ResilienceConfig,
+    Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, PressureSignal, ReplicationPolicy,
+    ResilienceConfig,
+};
+pub use lifecycle::{
+    CanaryConfig, FailReason, LifecycleConfig, LifecycleEvent, LifecycleMachine, LifecycleStats,
+    OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome,
 };
 pub use request::{Request, WorkloadSpec};
 pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
-pub use sharded::{ShardLane, ShardedServeRuntime};
+pub use sharded::{ShardLane, ShardedRetunePolicy, ShardedServeRuntime};
 pub use stats::{
     RequestRecord, ServeReport, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
 };
@@ -70,6 +84,7 @@ mod tests {
     use super::*;
     use std::cell::Cell;
 
+    use proptest::prelude::*;
     use recflex_baselines::{Backend, BackendError, BackendRun, TorchRecBackend};
     use recflex_data::{shift_distribution, Batch, ModelConfig, ModelPreset};
     use recflex_embedding::TableSet;
@@ -316,6 +331,7 @@ mod tests {
                 feature_threshold: 0.5,
             },
             retune_latency_us: 1_000.0,
+            lifecycle: LifecycleConfig::default(),
             retuner: Box::new(|recent: &[Batch]| {
                 retune_inputs.set(recent.len());
                 Box::new(TorchRecBackend::compile(&shifted_model)) as Box<dyn Backend>
@@ -356,6 +372,7 @@ mod tests {
                 feature_threshold: 0.5,
             },
             retune_latency_us: 1_000.0,
+            lifecycle: LifecycleConfig::default(),
             retuner: Box::new(|_: &[Batch]| {
                 panic!("retuner must not fire on in-distribution traffic")
             }),
@@ -457,5 +474,111 @@ mod tests {
         assert!(report.records.is_empty());
         assert_eq!(report.kernel_launches, 0);
         assert_eq!(report.makespan_us, 0.0);
+    }
+
+    proptest! {
+        /// Hysteresis under sustained drift: a stream that keeps the
+        /// drift monitor firing must never launch overlapping retunes —
+        /// every attempt resolves before the next starts, failures back
+        /// off, and episode ends respect the cooldown. And the whole
+        /// lifecycle trace replays bit for bit.
+        #[test]
+        fn sustained_drift_never_overlaps_retunes_and_replays_bit_for_bit(
+            seed in 0u64..50,
+            max_attempts in 1u32..4,
+            base_backoff_us in 500.0f64..3_000.0,
+            cooldown_us in 1_000.0f64..6_000.0,
+        ) {
+            let (m, t, arch) = setup();
+            let backend = TorchRecBackend::compile(&m);
+            // Every request comes from a heavily shifted distribution,
+            // so the monitor window trips on every verdict.
+            let shifted = shift_distribution(&m, 2.5, 0.0);
+            let spec = WorkloadSpec { size_unit: 8, ..WorkloadSpec::long_tail(300.0) };
+            let reqs = spec.stream(&shifted, 24, seed);
+            let lifecycle = LifecycleConfig {
+                // Every attempt fails to compile: the machine must walk
+                // backoff → retry → give-up → cooldown forever.
+                outcomes: OutcomePlan::scripted(vec![RetuneOutcome::CompileFail; 64]),
+                retry: RetryPolicy {
+                    max_attempts,
+                    base_backoff_us,
+                    backoff_multiplier: 2.0,
+                    cooldown_us,
+                },
+                ..LifecycleConfig::default()
+            };
+            let mk_policy = || RetunePolicy {
+                drift: DriftConfig { window: 4, threshold: 0.3, feature_threshold: 0.5 },
+                retune_latency_us: 800.0,
+                lifecycle: lifecycle.clone(),
+                retuner: Box::new(|_: &[Batch]| {
+                    unreachable!("a compile-fail attempt never reaches the retuner")
+                }),
+            };
+            let rt = runtime(&backend, &m, &t, &arch, ServeConfig {
+                streams: 2,
+                policy: BatchPolicy::Split { cap: 256 },
+                slo_deadline_us: None,
+                closed_loop: false,
+            });
+            let a = rt.serve_with_retune(&reqs, &mut mk_policy()).unwrap();
+            let b = rt.serve_with_retune(&reqs, &mut mk_policy()).unwrap();
+
+            prop_assert!(a.lifecycle.retunes_attempted >= 1, "the stream must drift");
+            prop_assert_eq!(a.lifecycle.retunes_promoted, 0);
+            prop_assert_eq!(a.lifecycle.retunes_failed, a.lifecycle.retunes_attempted);
+
+            // No overlap: each RetuneStarted resolves (fails) before the
+            // next; failed attempts respect exponential backoff and an
+            // exhausted episode respects the cooldown.
+            let mut open: Option<f64> = None;
+            let mut last_fail: Option<(f64, u32)> = None;
+            let mut episode_end: Option<f64> = None;
+            let mut episode_len = 0u32;
+            for ev in &a.lifecycle_trace {
+                match *ev {
+                    LifecycleEvent::RetuneStarted { t_us, .. } => {
+                        prop_assert!(open.is_none(), "overlapping retune at {t_us}");
+                        if let Some((t_fail, k)) = last_fail {
+                            let backoff = base_backoff_us * 2.0f64.powi(k as i32 - 1);
+                            prop_assert!(
+                                t_us - t_fail >= backoff - 1e-9,
+                                "retry at {t_us} ignored a {backoff} µs backoff from {t_fail}"
+                            );
+                        }
+                        if let Some(t_end) = episode_end {
+                            prop_assert!(
+                                t_us - t_end >= cooldown_us - 1e-9,
+                                "episode at {t_us} ignored the {cooldown_us} µs cooldown"
+                            );
+                        }
+                        open = Some(t_us);
+                        episode_len += 1;
+                        last_fail = None;
+                    }
+                    LifecycleEvent::RetuneFailed { t_us, .. } => {
+                        prop_assert!(open.is_some(), "failure without an attempt");
+                        open = None;
+                        last_fail = Some((t_us, episode_len));
+                    }
+                    LifecycleEvent::GaveUp { t_us, attempts } => {
+                        prop_assert_eq!(attempts, max_attempts);
+                        episode_end = Some(t_us);
+                        episode_len = 0;
+                        last_fail = None;
+                    }
+                    _ => prop_assert!(false, "unexpected event {ev:?}"),
+                }
+            }
+
+            // Same seed, same policy ⇒ the same lifecycle trace and the
+            // same report, bit for bit.
+            prop_assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+            prop_assert_eq!(a, b);
+        }
     }
 }

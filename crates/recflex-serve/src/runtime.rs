@@ -5,14 +5,17 @@
 //! (forward unsplit, split at a cap, or coalesce dynamically), executes
 //! on the multi-stream processor-sharing device, and leaves a full
 //! latency record behind. A drift monitor watches admitted traffic and
-//! can trigger a *background* retune whose result is hot-swapped in at a
-//! later simulated timestamp — serving never pauses.
+//! can trigger a *background* retune — supervised by the
+//! [`LifecycleMachine`](crate::lifecycle): the attempt
+//! may fail or stall, a successful candidate may be canaried against the
+//! incumbent before promotion, and failures retry with exponential
+//! backoff — all at later simulated timestamps, so serving never pauses.
 //!
 //! Everything is event-driven over simulated time. Simultaneous events
-//! resolve in a fixed priority (completion, then engine swap, then
-//! arrival, then batcher flush), so a run is a pure function of
-//! `(config, request stream, backend)` — replaying the same seed yields
-//! a bit-identical [`ServeReport`].
+//! resolve in a fixed priority (completion, then lifecycle transition,
+//! then arrival, then batcher flush), so a run is a pure function of
+//! `(config, request stream, backend, lifecycle plan)` — replaying the
+//! same seed yields a bit-identical [`ServeReport`].
 
 use std::collections::HashMap;
 
@@ -23,6 +26,9 @@ use recflex_sim::GpuArch;
 
 use crate::drift::{DriftConfig, DriftMonitor};
 use crate::executor::DeviceExecutor;
+use crate::lifecycle::{
+    CanaryVerdict, LifecycleConfig, LifecycleMachine, RegressedBackend, RetuneOutcome, TimerAction,
+};
 use crate::request::Request;
 use crate::stats::{RequestRecord, ServeReport, ShedReason};
 
@@ -86,13 +92,19 @@ impl Default for ServeConfig {
 /// When the [`DriftMonitor`] fires, `retuner` is handed the most recent
 /// window of admitted batches and must produce a freshly tuned backend.
 /// The retune costs `retune_latency_us` of simulated wall time — the old
-/// engine keeps serving meanwhile — and the new engine is atomically
-/// swapped in at the completion timestamp.
+/// engine keeps serving meanwhile. What happens when it completes is
+/// governed by `lifecycle`: with the default [`LifecycleConfig`] the new
+/// engine is swapped in unconditionally at the completion timestamp (the
+/// historical blind swap, bit-for-bit); otherwise the attempt may fail,
+/// stall, canary against the incumbent, roll back and retry with
+/// backoff.
 pub struct RetunePolicy<'a> {
     /// Drift-detection window and threshold.
     pub drift: DriftConfig,
     /// Simulated cost of one background retune, µs.
     pub retune_latency_us: f64,
+    /// Outcome injection, canarying, and retry/backoff for each attempt.
+    pub lifecycle: LifecycleConfig,
     /// Builds a new backend from recent traffic.
     #[allow(clippy::type_complexity)]
     pub retuner: Box<dyn FnMut(&[Batch]) -> Box<dyn Backend> + 'a>,
@@ -105,6 +117,10 @@ pub enum ServeError {
     Backend(BackendError),
     /// The configuration is unusable (e.g. a zero batch cap).
     Policy(&'static str),
+    /// The event schedule reached a state that should be unreachable
+    /// (e.g. a completion for a chunk nobody owns). Surfaced as an error
+    /// so a malformed schedule degrades instead of aborting the process.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -112,6 +128,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Backend(e) => write!(f, "backend error: {e}"),
             ServeError::Policy(m) => write!(f, "invalid serving policy: {m}"),
+            ServeError::Internal(m) => write!(f, "inconsistent event schedule: {m}"),
         }
     }
 }
@@ -155,10 +172,13 @@ impl Active<'_> {
 }
 
 /// Which event fires next; declaration order is tie-break priority.
+/// `Lifecycle` sits in the slot the engine swap used to occupy, so the
+/// all-success no-canary path fires its promotion at the exact priority
+/// of the historical blind swap.
 #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
 enum EventKind {
     Completion,
-    Swap,
+    Lifecycle,
     Arrival,
     Flush,
 }
@@ -222,7 +242,10 @@ impl ServeRuntime<'_> {
                 .as_ref()
                 .map(|r| DriftMonitor::for_model(r.drift, self.model)),
             recent: Vec::new(),
-            pending_swap: None,
+            machine: retune
+                .as_ref()
+                .map(|r| LifecycleMachine::new(r.lifecycle.clone(), r.retune_latency_us, 1, 0.0)),
+            candidate: None,
             retunes: 0,
         };
 
@@ -240,7 +263,12 @@ impl ServeRuntime<'_> {
                 }
             };
             consider(st.executor.next_completion_us(), EventKind::Completion);
-            consider(st.pending_swap.as_ref().map(|(t, _)| *t), EventKind::Swap);
+            consider(
+                st.machine
+                    .as_ref()
+                    .and_then(LifecycleMachine::next_timer_us),
+                EventKind::Lifecycle,
+            );
             let arrival_t = if cursor < n {
                 if self.config.closed_loop {
                     // Admit only when the previous request fully drained.
@@ -272,7 +300,7 @@ impl ServeRuntime<'_> {
                         let owners = st
                             .chunk_owners
                             .remove(&job)
-                            .expect("completion for unknown chunk");
+                            .ok_or(ServeError::Internal("completion for unknown chunk"))?;
                         for ri in owners {
                             st.remaining_chunks[ri] -= 1;
                             st.last_done_us[ri] = st.last_done_us[ri].max(t_done);
@@ -286,20 +314,24 @@ impl ServeRuntime<'_> {
                         st.flush_buffer(now, self, requests)?;
                     }
                 }
-                EventKind::Swap => {
-                    let (_, backend) = st.pending_swap.take().expect("swap without retune");
-                    st.active = Active::Owned(backend);
-                    st.retunes += 1;
-                    if let Some(mon) = st.monitor.as_mut() {
-                        // The new engine is tuned on recent traffic; its
-                        // reference is what that traffic actually looked
-                        // like.
-                        let (lk, sm) = st.recent.iter().fold((0.0, 0.0), |(l, s), b| {
-                            (l + b.total_lookups() as f64, s + b.batch_size as f64)
-                        });
-                        if sm > 0.0 {
-                            mon.rebase(lk / sm);
+                EventKind::Lifecycle => {
+                    let action = match st.machine.as_mut() {
+                        Some(m) => m.on_timer(now),
+                        None => TimerAction::Noop,
+                    };
+                    match action {
+                        TimerAction::PromoteAll | TimerAction::PromoteShard(_) => {
+                            st.install_candidate()?;
                         }
+                        TimerAction::DropCandidate | TimerAction::RollBackAll => {
+                            st.candidate = None;
+                        }
+                        TimerAction::Retry => {
+                            if let Some(policy) = retune.as_deref_mut() {
+                                st.launch_attempt(now, policy);
+                            }
+                        }
+                        TimerAction::BeginCanary | TimerAction::Noop => {}
                     }
                 }
                 EventKind::Arrival => {
@@ -313,11 +345,17 @@ impl ServeRuntime<'_> {
         }
 
         debug_assert!(st.records.iter().all(Option::is_some));
+        let (lifecycle, lifecycle_trace) = st
+            .machine
+            .map(LifecycleMachine::into_parts)
+            .unwrap_or_default();
         Ok(ServeReport {
             records: st.records.into_iter().flatten().collect(),
             kernel_launches: st.launches,
             retunes: st.retunes,
             makespan_us: now,
+            lifecycle,
+            lifecycle_trace,
         })
     }
 }
@@ -342,8 +380,12 @@ struct RunState<'a> {
     monitor: Option<DriftMonitor>,
     /// Most recent admitted batches (drift window), oldest first.
     recent: Vec<Batch>,
-    /// A retune in flight: (completion timestamp, new engine).
-    pending_swap: Option<(f64, Box<dyn Backend>)>,
+    /// The lifecycle state machine (present iff retuning is on). Owns
+    /// the timers: an in-flight retune, a backoff, a staged promotion.
+    machine: Option<LifecycleMachine>,
+    /// The engine the current attempt produced, awaiting canary verdict
+    /// or promotion.
+    candidate: Option<Box<dyn Backend>>,
     retunes: u32,
 }
 
@@ -393,9 +435,16 @@ impl RunState<'_> {
                 .as_mut()
                 .map(|m| m.observe(&req.batch))
                 .unwrap_or(false);
-            if drifted && self.pending_swap.is_none() {
-                let new_backend = (policy.retuner)(&self.recent);
-                self.pending_swap = Some((now + policy.retune_latency_us, new_backend));
+            // The machine absorbs fires while an attempt, canary,
+            // backoff or cooldown is active — drift re-firing every
+            // window cannot launch overlapping retunes.
+            let wants = drifted
+                && self
+                    .machine
+                    .as_mut()
+                    .is_some_and(|m| m.wants_drift_retune(now));
+            if wants {
+                self.launch_attempt(now, policy);
             }
         }
 
@@ -479,6 +528,38 @@ impl RunState<'_> {
             .get()
             .run(rt.model, rt.tables, &batch, rt.arch)?;
         self.launches += u64::from(run.kernel_launches);
+        // Canary: the candidate shadow-executes a deterministic fraction
+        // of chunks. Its cost is accounted in the lifecycle stats, never
+        // submitted to the device — shadowing cannot perturb latencies.
+        let wants_shadow = self
+            .machine
+            .as_mut()
+            .is_some_and(LifecycleMachine::should_shadow);
+        if wants_shadow {
+            let shadow_run = self
+                .candidate
+                .as_ref()
+                .map(|c| c.run(rt.model, rt.tables, &batch, rt.arch));
+            if let (Some(machine), Some(result)) = (self.machine.as_mut(), shadow_run) {
+                match result {
+                    Ok(cand_run) => {
+                        let verdict =
+                            machine.observe_canary(now, &[run.latency_us], &[cand_run.latency_us]);
+                        if verdict == CanaryVerdict::RollBack {
+                            self.candidate = None;
+                        }
+                        // Promote arrives as a lifecycle timer event at
+                        // this same timestamp.
+                    }
+                    Err(_) => {
+                        // A candidate that refuses traffic loses its
+                        // canary on the spot.
+                        machine.force_rollback(now);
+                        self.candidate = None;
+                    }
+                }
+            }
+        }
         for &ri in &owners {
             self.remaining_chunks[ri] += 1;
         }
@@ -495,13 +576,58 @@ impl RunState<'_> {
             let owners = self
                 .chunk_owners
                 .remove(&job)
-                .expect("completion for unknown chunk");
+                .ok_or(ServeError::Internal("completion for unknown chunk"))?;
             for ri in owners {
                 self.remaining_chunks[ri] -= 1;
                 self.last_done_us[ri] = self.last_done_us[ri].max(t_done);
                 if self.remaining_chunks[ri] == 0 {
                     self.finalize(ri, requests);
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Launch a retune attempt: draw its injected outcome, build the
+    /// candidate when the tuner "returns" one (wrapping regressions so
+    /// they really serve slower), and start the lifecycle timers.
+    fn launch_attempt(&mut self, now: f64, policy: &mut RetunePolicy<'_>) {
+        let outcome = match self.machine.as_mut() {
+            Some(m) => m.begin_attempt(now),
+            None => return,
+        };
+        // A fresh observation window: the verdict that follows should
+        // reflect traffic seen after this attempt launched.
+        if let Some(mon) = self.monitor.as_mut() {
+            mon.reset_window();
+        }
+        self.candidate = match outcome {
+            RetuneOutcome::Success => Some((policy.retuner)(&self.recent)),
+            RetuneOutcome::Regression { slowdown } => Some(Box::new(RegressedBackend::new(
+                (policy.retuner)(&self.recent),
+                slowdown,
+            ))),
+            RetuneOutcome::CompileFail | RetuneOutcome::Stall => None,
+        };
+    }
+
+    /// Promote the candidate: it becomes the active engine and the drift
+    /// monitor rebases onto the traffic it was tuned for.
+    fn install_candidate(&mut self) -> Result<(), ServeError> {
+        let backend = self
+            .candidate
+            .take()
+            .ok_or(ServeError::Internal("promotion without a candidate engine"))?;
+        self.active = Active::Owned(backend);
+        self.retunes += 1;
+        if let Some(mon) = self.monitor.as_mut() {
+            // The new engine is tuned on recent traffic; its reference
+            // is what that traffic actually looked like.
+            let (lk, sm) = self.recent.iter().fold((0.0, 0.0), |(l, s), b| {
+                (l + b.total_lookups() as f64, s + b.batch_size as f64)
+            });
+            if sm > 0.0 {
+                mon.rebase(lk / sm);
             }
         }
         Ok(())

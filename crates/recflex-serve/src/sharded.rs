@@ -62,13 +62,43 @@ use recflex_data::{Batch, ModelConfig, Placement};
 use recflex_embedding::TableSet;
 use recflex_sim::{GpuArch, Interconnect};
 
+use crate::drift::{DriftConfig, DriftMonitor};
 use crate::executor::DeviceExecutor;
-use crate::faults::ResilienceConfig;
+use crate::faults::{PressureTracker, ResilienceConfig};
+use crate::lifecycle::{
+    CanaryVerdict, LifecycleConfig, LifecycleMachine, RegressedBackend, RetuneOutcome, TimerAction,
+};
 use crate::request::Request;
 use crate::runtime::{BatchPolicy, ServeConfig, ServeError};
 use crate::stats::{
     RequestRecord, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
 };
+
+/// Drift-triggered background retuning for the sharded tier — the
+/// multi-shard analogue of [`crate::RetunePolicy`]. One drift monitor
+/// watches the *full* admitted batches; when it fires (and the
+/// [`LifecycleConfig`] machine is in steady state) the retuner is invoked
+/// once per shard with that shard's sub-model and the recent window
+/// projected onto its features. A successful candidate set is promoted
+/// per the lifecycle config: blindly at the retune timestamp, or —
+/// canaried — shadow-executed, compared per shard, and rolled out
+/// **staged** shard-by-shard (`stagger_us` apart), aborting and rolling
+/// every shard back if any canary regresses.
+pub struct ShardedRetunePolicy<'a> {
+    /// Drift-detection window and threshold (full-batch traffic).
+    pub drift: DriftConfig,
+    /// Simulated cost of one background retune, µs (all shards tune
+    /// concurrently — one latency, not one per shard).
+    pub retune_latency_us: f64,
+    /// Gap between consecutive shard promotions in a staged rollout, µs.
+    pub stagger_us: f64,
+    /// Outcome injection, canarying, and retry/backoff for each attempt.
+    pub lifecycle: LifecycleConfig,
+    /// Builds a new per-shard backend from the shard's sub-model and
+    /// recent traffic projected onto it.
+    #[allow(clippy::type_complexity)]
+    pub retuner: Box<dyn FnMut(&ModelConfig, &[Batch]) -> Box<dyn Backend> + 'a>,
+}
 
 /// One shard's serving lane: the sub-model it owns, its tables and the
 /// engine compiled for it.
@@ -173,6 +203,24 @@ impl<'a> ShardedServeRuntime<'a> {
 
     /// Serve a request stream across all shards.
     pub fn serve(&self, requests: &[Request]) -> Result<ShardedReport, ServeError> {
+        self.run(requests, None)
+    }
+
+    /// Serve a request stream with drift-triggered background retuning
+    /// supervised by the schedule lifecycle (see [`ShardedRetunePolicy`]).
+    pub fn serve_with_retune(
+        &self,
+        requests: &[Request],
+        retune: &mut ShardedRetunePolicy<'_>,
+    ) -> Result<ShardedReport, ServeError> {
+        self.run(requests, Some(retune))
+    }
+
+    fn run(
+        &self,
+        requests: &[Request],
+        mut retune: Option<&mut ShardedRetunePolicy<'_>>,
+    ) -> Result<ShardedReport, ServeError> {
         match self.config.policy {
             BatchPolicy::Split { cap: 0 } => {
                 return Err(ServeError::Policy("split cap must be at least 1"))
@@ -228,6 +276,21 @@ impl<'a> ShardedServeRuntime<'a> {
             buffer: Vec::new(),
             buffer_size: 0,
             buffer_oldest_us: f64::INFINITY,
+            monitor: retune
+                .as_ref()
+                .map(|r| DriftMonitor::for_model(r.drift, self.model)),
+            recent: Vec::new(),
+            machine: retune.as_ref().map(|r| {
+                LifecycleMachine::new(
+                    r.lifecycle.clone(),
+                    r.retune_latency_us,
+                    num_shards,
+                    r.stagger_us,
+                )
+            }),
+            candidates: (0..num_shards).map(|_| None).collect(),
+            promoted: (0..num_shards).map(|_| None).collect(),
+            pressure: PressureTracker::default(),
         };
 
         let transitions = self.resilience.plan.transitions();
@@ -237,8 +300,8 @@ impl<'a> ShardedServeRuntime<'a> {
 
         loop {
             // Candidate events, probed in tie-break priority order:
-            // completion, gather, fault transition, hedge deadline,
-            // arrival, flush.
+            // completion, gather, lifecycle transition, fault transition,
+            // hedge deadline, arrival, flush.
             st.pending_deadlines
                 .retain(|&(_, c)| st.chunks.contains_key(&c));
             let mut next: Option<(f64, EventKind)> = None;
@@ -261,6 +324,12 @@ impl<'a> ShardedServeRuntime<'a> {
                 .map(|&(t, _)| t)
                 .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.min(t))));
             consider(gather_t, EventKind::Gather);
+            consider(
+                st.machine
+                    .as_ref()
+                    .and_then(LifecycleMachine::next_timer_us),
+                EventKind::Lifecycle,
+            );
             // Fault transitions matter only while the run is live; once
             // every request is resolved there is nothing left to break,
             // and skipping the tail keeps the makespan a completion
@@ -307,26 +376,45 @@ impl<'a> ShardedServeRuntime<'a> {
                     for ex in &mut st.executors {
                         ex.advance_to(now);
                     }
-                    st.collect_completions(self, requests);
+                    st.collect_completions(self, requests)?;
                     // Work-conserving: idle devices drain the batcher.
                     if st.all_idle() && !st.buffer.is_empty() {
                         st.flush_buffer(now, self, requests)?;
                     }
                 }
                 EventKind::Gather => {
-                    st.retire_gathers(now, requests);
+                    st.retire_gathers(now, requests)?;
+                }
+                EventKind::Lifecycle => {
+                    let action = match st.machine.as_mut() {
+                        Some(m) => m.on_timer(now),
+                        None => TimerAction::Noop,
+                    };
+                    match action {
+                        TimerAction::PromoteAll => st.promote_all_shards()?,
+                        TimerAction::PromoteShard(s) => st.promote_shard(s)?,
+                        TimerAction::DropCandidate | TimerAction::RollBackAll => {
+                            st.roll_back_engines();
+                        }
+                        TimerAction::Retry => {
+                            if let Some(policy) = retune.as_deref_mut() {
+                                st.launch_attempt(now, self, policy);
+                            }
+                        }
+                        TimerAction::BeginCanary | TimerAction::Noop => {}
+                    }
                 }
                 EventKind::Fault => {
                     while fault_cursor < transitions.len() && transitions[fault_cursor] <= now {
                         fault_cursor += 1;
                     }
-                    st.apply_fault_transitions(now, self, requests);
+                    st.apply_fault_transitions(now, self, requests)?;
                 }
                 EventKind::Hedge => {
-                    st.fire_deadlines(now, self, requests);
+                    st.fire_deadlines(now, self, requests)?;
                 }
                 EventKind::Arrival => {
-                    st.admit(cursor, now, self, requests)?;
+                    st.admit(cursor, now, self, requests, &mut retune)?;
                     cursor += 1;
                 }
                 EventKind::Flush => {
@@ -339,6 +427,10 @@ impl<'a> ShardedServeRuntime<'a> {
         for (s, stats) in st.lane_stats.iter_mut().enumerate() {
             stats.downtime_us = self.resilience.plan.downtime_us(s, now);
         }
+        let (lifecycle, lifecycle_trace) = st
+            .machine
+            .map(LifecycleMachine::into_parts)
+            .unwrap_or_default();
         Ok(ShardedReport {
             records: st.records.into_iter().flatten().collect(),
             per_shard: st.lane_stats,
@@ -348,15 +440,21 @@ impl<'a> ShardedServeRuntime<'a> {
             hedge_wins: st.hedge_wins,
             failovers: st.failovers,
             makespan_us: now,
+            lifecycle,
+            lifecycle_trace,
         })
     }
 }
 
 /// Which event fires next; declaration order is tie-break priority.
+/// With one shard there are never gather, fault or hedge events, so the
+/// order degenerates to the single-device runtime's (completion,
+/// lifecycle, arrival, flush) — the 1-shard equivalence the tests gate.
 #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
 enum EventKind {
     Completion,
     Gather,
+    Lifecycle,
     Fault,
     Hedge,
     Arrival,
@@ -464,6 +562,20 @@ struct ShardedRunState {
     buffer: Vec<usize>,
     buffer_size: u32,
     buffer_oldest_us: f64,
+    /// Drift monitor over full admitted batches (retuning only).
+    monitor: Option<DriftMonitor>,
+    /// Most recent admitted batches (drift window), oldest first.
+    recent: Vec<Batch>,
+    /// The lifecycle state machine (present iff retuning is on).
+    machine: Option<LifecycleMachine>,
+    /// Per-shard candidate engines from the current attempt, awaiting
+    /// canary verdict or staged promotion.
+    candidates: Vec<Option<Box<dyn Backend>>>,
+    /// Per-shard promoted engines. `None` means the lane's built-in
+    /// backend serves; run-local so `serve` stays `&self` and replayable.
+    promoted: Vec<Option<Box<dyn Backend>>>,
+    /// Leaky-bucket state for the degradation ladder's pressure signal.
+    pressure: PressureTracker,
 }
 
 impl ShardedRunState {
@@ -508,11 +620,119 @@ impl ShardedRunState {
         worst
     }
 
-    fn ladder_level(&self, rt: &ShardedServeRuntime<'_>, now: f64) -> u8 {
-        rt.resilience
-            .ladder
-            .map(|l| l.level(self.max_effective_backlog_us(rt, now)))
-            .unwrap_or(0)
+    fn ladder_level(&mut self, rt: &ShardedServeRuntime<'_>, now: f64) -> u8 {
+        let Some(ladder) = rt.resilience.ladder else {
+            return 0;
+        };
+        // The rung grades on the configured pressure signal: the raw
+        // sample (historical behavior, bit-identical — the tracker is
+        // never touched) or a leaky-bucket fold of it, so sub-millisecond
+        // backlog spikes can't flip rungs.
+        let raw = self.max_effective_backlog_us(rt, now);
+        let graded = self.pressure.observe(now, raw, ladder.pressure);
+        ladder.level(graded)
+    }
+
+    /// The engine serving shard `s`: the promoted candidate if a
+    /// lifecycle promotion installed one, else the lane's own backend.
+    fn engine_of<'rt>(&'rt self, rt: &'rt ShardedServeRuntime<'_>, s: usize) -> &'rt dyn Backend {
+        self.promoted[s]
+            .as_deref()
+            .unwrap_or(rt.lanes[s].backend.as_ref())
+    }
+
+    /// Start a retune attempt: draw the scripted outcome, and — when the
+    /// retuner actually produces engines — compile one candidate per
+    /// shard against that shard's slice of the recent traffic.
+    fn launch_attempt(
+        &mut self,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        policy: &mut ShardedRetunePolicy<'_>,
+    ) {
+        let outcome = match self.machine.as_mut() {
+            Some(m) => m.begin_attempt(now),
+            None => return,
+        };
+        if let Some(mon) = self.monitor.as_mut() {
+            mon.reset_window();
+        }
+        match outcome {
+            RetuneOutcome::CompileFail | RetuneOutcome::Stall => {
+                for c in &mut self.candidates {
+                    *c = None;
+                }
+            }
+            RetuneOutcome::Success | RetuneOutcome::Regression { .. } => {
+                for s in 0..self.num_shards() {
+                    let projected: Vec<Batch> = self
+                        .recent
+                        .iter()
+                        .map(|b| rt.placement.project_batch(b, s))
+                        .collect();
+                    let engine = (policy.retuner)(&rt.lanes[s].model, &projected);
+                    let engine: Box<dyn Backend> =
+                        if let RetuneOutcome::Regression { slowdown } = outcome {
+                            Box::new(RegressedBackend::new(engine, slowdown))
+                        } else {
+                            engine
+                        };
+                    self.candidates[s] = Some(engine);
+                }
+            }
+        }
+    }
+
+    /// Install every shard's candidate at once (blind swap, or a canary
+    /// window that cleared with no stagger).
+    fn promote_all_shards(&mut self) -> Result<(), ServeError> {
+        for s in 0..self.candidates.len() {
+            self.promoted[s] = Some(
+                self.candidates[s]
+                    .take()
+                    .ok_or(ServeError::Internal("promotion without a candidate engine"))?,
+            );
+        }
+        self.rebase_monitor();
+        Ok(())
+    }
+
+    /// Install one shard's candidate during a staged rollout; the drift
+    /// monitor rebases only when the last shard lands.
+    fn promote_shard(&mut self, s: usize) -> Result<(), ServeError> {
+        self.promoted[s] = Some(
+            self.candidates[s]
+                .take()
+                .ok_or(ServeError::Internal("promotion without a candidate engine"))?,
+        );
+        if self.machine.as_ref().is_some_and(|m| !m.in_canary()) {
+            self.rebase_monitor();
+        }
+        Ok(())
+    }
+
+    /// Drop every candidate *and* every promoted engine: a mid-rollout
+    /// abort must restore the incumbent on shards already swapped.
+    fn roll_back_engines(&mut self) {
+        for c in &mut self.candidates {
+            *c = None;
+        }
+        for p in &mut self.promoted {
+            *p = None;
+        }
+    }
+
+    /// Re-anchor the drift monitor on the traffic the new engines were
+    /// tuned for, so the mix that forced the retune reads as baseline.
+    fn rebase_monitor(&mut self) {
+        if let Some(mon) = self.monitor.as_mut() {
+            let (lk, sm) = self.recent.iter().fold((0.0, 0.0), |(l, s), b| {
+                (l + b.total_lookups() as f64, s + b.batch_size as f64)
+            });
+            if sm > 0.0 {
+                mon.rebase(lk / sm);
+            }
+        }
     }
 
     fn admit(
@@ -521,6 +741,7 @@ impl ShardedRunState {
         now: f64,
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
+        retune: &mut Option<&mut ShardedRetunePolicy<'_>>,
     ) -> Result<(), ServeError> {
         let req = &requests[ri];
         self.arrival_eff_us[ri] = if rt.config.closed_loop {
@@ -556,6 +777,30 @@ impl ShardedRunState {
                     degraded: false,
                 });
                 return Ok(());
+            }
+        }
+
+        // Drift monitoring sees every admitted batch (full, pre-fan-out).
+        if let Some(policy) = retune.as_deref_mut() {
+            self.recent.push(req.batch.clone());
+            let window = policy.drift.window.max(1);
+            if self.recent.len() > window {
+                self.recent.drain(..self.recent.len() - window);
+            }
+            let drifted = self
+                .monitor
+                .as_mut()
+                .map(|m| m.observe(&req.batch))
+                .unwrap_or(false);
+            // The machine absorbs fires while an attempt, canary,
+            // backoff or cooldown is active.
+            let wants = drifted
+                && self
+                    .machine
+                    .as_mut()
+                    .is_some_and(|m| m.wants_drift_retune(now));
+            if wants {
+                self.launch_attempt(now, rt, policy);
             }
         }
 
@@ -645,13 +890,60 @@ impl ShardedRunState {
         }
         let mut work_us = Vec::with_capacity(num_shards);
         let mut launches_of = Vec::with_capacity(num_shards);
-        for (dev, lane) in rt.lanes.iter().enumerate() {
+        for dev in 0..num_shards {
             let sub_batch = rt.placement.project_batch(&batch, dev);
-            let run = lane
-                .backend
-                .run(&lane.model, &lane.tables, &sub_batch, rt.arch)?;
+            let lane = &rt.lanes[dev];
+            let run =
+                self.engine_of(rt, dev)
+                    .run(&lane.model, &lane.tables, &sub_batch, rt.arch)?;
             work_us.push(run.latency_us);
             launches_of.push(run.kernel_launches);
+        }
+
+        // Canary shadowing: candidate engines replay the same shard
+        // slices so their cost is observable, but the results are never
+        // submitted to a device — accounted, not served. Shards already
+        // promoted mid-rollout are skipped (their cost is now `work_us`).
+        let wants_shadow = self
+            .machine
+            .as_mut()
+            .is_some_and(LifecycleMachine::should_shadow);
+        if wants_shadow {
+            let start = self
+                .machine
+                .as_ref()
+                .map_or(0, LifecycleMachine::promoted_shards);
+            let mut inc = vec![0.0; num_shards];
+            let mut cand = vec![0.0; num_shards];
+            let mut shadow_err = false;
+            for s in start..num_shards {
+                let Some(engine) = self.candidates[s].as_ref() else {
+                    continue;
+                };
+                let sub_batch = rt.placement.project_batch(&batch, s);
+                let lane = &rt.lanes[s];
+                match engine.run(&lane.model, &lane.tables, &sub_batch, rt.arch) {
+                    Ok(r) => {
+                        inc[s] = work_us[s];
+                        cand[s] = r.latency_us;
+                    }
+                    Err(_) => {
+                        shadow_err = true;
+                        break;
+                    }
+                }
+            }
+            let verdict = match self.machine.as_mut() {
+                Some(machine) if shadow_err => {
+                    machine.force_rollback(now);
+                    CanaryVerdict::RollBack
+                }
+                Some(machine) => machine.observe_canary(now, &inc, &cand),
+                None => CanaryVerdict::Pending,
+            };
+            if verdict == CanaryVerdict::RollBack {
+                self.roll_back_engines();
+            }
         }
         self.chunks.insert(
             chunk_id,
@@ -676,9 +968,9 @@ impl ShardedRunState {
         let mitigated = rt.resilience.ladder.is_some();
         for s in 0..num_shards {
             if mitigated && rt.resilience.plan.crashed(s, now) {
-                self.dispatch_replacement(chunk_id, s, now, rt, requests, true);
+                self.dispatch_replacement(chunk_id, s, now, rt, requests, true)?;
             } else {
-                self.submit_job(chunk_id, s, s, now, JobRole::Primary, true);
+                self.submit_job(chunk_id, s, s, now, JobRole::Primary, true)?;
             }
         }
         if let Some(ddl) = rt.resilience.chunk_deadline_us {
@@ -689,8 +981,7 @@ impl ShardedRunState {
         // Zero-cost shard kernels retire inside `submit`; collect them so
         // their owners don't wait for a completion event that may never
         // have a distinct timestamp.
-        self.collect_completions(rt, requests);
-        Ok(())
+        self.collect_completions(rt, requests)
     }
 
     /// Put `shard`'s slice of `chunk_id` on executor `lane`.
@@ -702,11 +993,14 @@ impl ShardedRunState {
         now: f64,
         role: JobRole,
         counts_start: bool,
-    ) {
+    ) -> Result<(), ServeError> {
         let id = self.next_job;
         self.next_job += 1;
         let (work, kernels) = {
-            let chunk = self.chunks.get_mut(&chunk_id).expect("job for live chunk");
+            let chunk = self
+                .chunks
+                .get_mut(&chunk_id)
+                .ok_or(ServeError::Internal("job for live chunk"))?;
             chunk.active_jobs[shard].push(id);
             if counts_start {
                 chunk.pending_starts += 1;
@@ -738,6 +1032,7 @@ impl ShardedRunState {
         stats.device_us += work;
         stats.max_backlog_us = stats.max_backlog_us.max(backlog);
         stats.max_queue_depth = stats.max_queue_depth.max(depth);
+        Ok(())
     }
 
     /// Re-home `shard`'s slice of a chunk after a crash took (or blocks)
@@ -752,16 +1047,15 @@ impl ShardedRunState {
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
         counts_start: bool,
-    ) {
+    ) -> Result<(), ServeError> {
         let Some(chunk) = self.chunks.get(&chunk_id) else {
-            return;
+            return Ok(());
         };
         if chunk.shard_done[shard] {
-            return;
+            return Ok(());
         }
         if self.ladder_level(rt, now) >= 2 {
-            self.zero_pool(chunk_id, shard, now, rt, requests);
-            return;
+            return self.zero_pool(chunk_id, shard, now, rt, requests);
         }
         let target = self.replica_lane_of[shard].or_else(|| {
             let mut best: Option<(f64, usize)> = None;
@@ -780,7 +1074,7 @@ impl ShardedRunState {
             Some(lane) => {
                 self.failovers += 1;
                 self.lane_stats[shard].failovers += 1;
-                self.submit_job(chunk_id, shard, lane, now, JobRole::Failover, counts_start);
+                self.submit_job(chunk_id, shard, lane, now, JobRole::Failover, counts_start)
             }
             None => self.zero_pool(chunk_id, shard, now, rt, requests),
         }
@@ -797,13 +1091,13 @@ impl ShardedRunState {
         now: f64,
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
-    ) {
+    ) -> Result<(), ServeError> {
         let (siblings, resolved) = {
             let Some(chunk) = self.chunks.get_mut(&chunk_id) else {
-                return;
+                return Ok(());
             };
             if chunk.shard_done[shard] {
-                return;
+                return Ok(());
             }
             chunk.shard_done[shard] = true;
             chunk.degraded = true;
@@ -822,8 +1116,9 @@ impl ShardedRunState {
             }
         }
         if resolved {
-            self.resolve_chunk(chunk_id, now, rt, requests);
+            self.resolve_chunk(chunk_id, now, rt, requests)?;
         }
+        Ok(())
     }
 
     /// A crash dropped every kernel on lane `s`; re-home each lost
@@ -836,7 +1131,7 @@ impl ShardedRunState {
         now: f64,
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
-    ) {
+    ) -> Result<(), ServeError> {
         let num_shards = self.num_shards();
         let failed = self.executors[s].fail_all(now);
         for job in failed {
@@ -869,15 +1164,21 @@ impl ShardedRunState {
                     rt,
                     requests,
                     replace_counts,
-                );
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Fire every hedge deadline due at `now`: shards that have not
     /// delivered their slice get a duplicate on their replica lane —
     /// unless the ladder has already dropped the hedge.
-    fn fire_deadlines(&mut self, now: f64, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
+    fn fire_deadlines(
+        &mut self,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
         let mut due: Vec<(f64, u64)> = Vec::new();
         self.pending_deadlines.retain(|&(t, id)| {
             if t <= now {
@@ -908,11 +1209,11 @@ impl ShardedRunState {
                 };
                 if wants_hedge {
                     self.hedge_fires += 1;
-                    self.submit_job(chunk_id, s, replica_lane, now, JobRole::Hedge, false);
+                    self.submit_job(chunk_id, s, replica_lane, now, JobRole::Hedge, false)?;
                 }
             }
         }
-        self.collect_completions(rt, requests);
+        self.collect_completions(rt, requests)
     }
 
     /// Apply every fault state change at `now`: lane rates (slowdown,
@@ -922,7 +1223,7 @@ impl ShardedRunState {
         now: f64,
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
-    ) {
+    ) -> Result<(), ServeError> {
         let mitigated = rt.resilience.ladder.is_some();
         for s in 0..self.num_shards() {
             let crashed = rt.resilience.plan.crashed(s, now);
@@ -939,20 +1240,24 @@ impl ShardedRunState {
             if crashed && !self.was_crashed[s] {
                 self.was_crashed[s] = true;
                 if mitigated {
-                    self.crash_begin(s, now, rt, requests);
+                    self.crash_begin(s, now, rt, requests)?;
                 }
             } else if !crashed && self.was_crashed[s] {
                 self.was_crashed[s] = false;
             }
         }
-        self.collect_completions(rt, requests);
+        self.collect_completions(rt, requests)
     }
 
     /// Drain per-shard completions, resolve finished chunks, and either
     /// finalize them (1 shard / free gather) or start their all-gather.
     /// Loops until quiescent: cancelling a raced sibling can promote
     /// zero-cost queued work whose completion must also land this event.
-    fn collect_completions(&mut self, rt: &ShardedServeRuntime<'_>, requests: &[Request]) {
+    fn collect_completions(
+        &mut self,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
         loop {
             self.note_starts();
             let mut any = false;
@@ -998,12 +1303,13 @@ impl ShardedRunState {
                 }
             }
             for (chunk_id, t) in resolved {
-                self.resolve_chunk(chunk_id, t, rt, requests);
+                self.resolve_chunk(chunk_id, t, rt, requests)?;
             }
             if !any {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Every shard has delivered (or been zero-pooled): account the
@@ -1014,8 +1320,11 @@ impl ShardedRunState {
         fallback_t: f64,
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
-    ) {
-        let chunk = self.chunks.remove(&chunk_id).expect("resolving live chunk");
+    ) -> Result<(), ServeError> {
+        let chunk = self
+            .chunks
+            .remove(&chunk_id)
+            .ok_or(ServeError::Internal("resolving live chunk"))?;
         let num_shards = rt.placement.num_devices;
         let base_t = if chunk.real_done {
             chunk.done_max_us
@@ -1054,10 +1363,11 @@ impl ShardedRunState {
             // single-device runtime's event sequence.
             self.retire_chunk(&chunk, base_t, requests);
         }
+        Ok(())
     }
 
     /// Retire every gather due at `now` (submission order on ties).
-    fn retire_gathers(&mut self, now: f64, requests: &[Request]) {
+    fn retire_gathers(&mut self, now: f64, requests: &[Request]) -> Result<(), ServeError> {
         let mut due: Vec<(f64, u64)> = Vec::new();
         self.pending_gathers.retain(|&(t, id)| {
             if t <= now {
@@ -1069,9 +1379,13 @@ impl ShardedRunState {
         });
         due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         for (t, chunk_id) in due {
-            let chunk = self.chunks.remove(&chunk_id).expect("gather chunk state");
+            let chunk = self
+                .chunks
+                .remove(&chunk_id)
+                .ok_or(ServeError::Internal("gather chunk state"))?;
             self.retire_chunk(&chunk, t, requests);
         }
+        Ok(())
     }
 
     fn retire_chunk(&mut self, chunk: &ChunkState, done_us: f64, requests: &[Request]) {
@@ -1196,11 +1510,15 @@ impl ShardedRunState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::{Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, ReplicationPolicy};
+    use crate::faults::{
+        Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, PressureSignal, ReplicationPolicy,
+    };
+    use crate::lifecycle::{CanaryConfig, LifecycleEvent, OutcomePlan};
     use crate::request::WorkloadSpec;
-    use crate::runtime::ServeRuntime;
+    use crate::runtime::{RetunePolicy, ServeRuntime};
     use proptest::prelude::*;
     use recflex_baselines::TorchRecBackend;
+    use recflex_data::shift_distribution;
     use recflex_data::ModelPreset;
 
     fn setup() -> (ModelConfig, GpuArch) {
@@ -1540,6 +1858,7 @@ mod tests {
                 ladder: Some(LadderConfig {
                     drop_hedge_backlog_us: 4_000.0,
                     partial_backlog_us: 6_000.0,
+                    pressure: PressureSignal::Instantaneous,
                 }),
             },
         )
@@ -1645,6 +1964,7 @@ mod tests {
                 ladder: Some(LadderConfig {
                     drop_hedge_backlog_us: 0.0,
                     partial_backlog_us: 0.0,
+                    pressure: PressureSignal::Instantaneous,
                 }),
             },
         )
@@ -1739,6 +2059,7 @@ mod tests {
                     ladder: Some(LadderConfig {
                         drop_hedge_backlog_us: 4_000.0,
                         partial_backlog_us: 6_000.0,
+                        pressure: PressureSignal::Instantaneous,
                     }),
                 },
             );
@@ -1750,5 +2071,244 @@ mod tests {
             );
             prop_assert_eq!(a, b);
         }
+    }
+
+    /// In-distribution head, heavily shifted tail: the drift monitor
+    /// fires partway through, exactly like the single-device retune test.
+    fn drifting_stream(m: &ModelConfig) -> (ModelConfig, Vec<Request>) {
+        let shifted = shift_distribution(m, 2.5, 0.0);
+        let mut reqs = WorkloadSpec::long_tail(400.0).stream(m, 16, 5);
+        let mut tail = WorkloadSpec::long_tail(400.0).stream(&shifted, 24, 6);
+        let t0 = reqs.last().unwrap().arrival_us;
+        for (k, r) in tail.iter_mut().enumerate() {
+            r.arrival_us += t0;
+            r.id = 16 + k as u64;
+        }
+        reqs.append(&mut tail);
+        (shifted, reqs)
+    }
+
+    fn drift_config() -> DriftConfig {
+        DriftConfig {
+            window: 8,
+            threshold: 0.3,
+            feature_threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn one_shard_retune_tier_matches_single_device_retune_bit_for_bit() {
+        let (m, arch) = setup();
+        let (shifted, reqs) = drifting_stream(&m);
+        let config = ServeConfig {
+            streams: 2,
+            policy: BatchPolicy::Split { cap: 256 },
+            slo_deadline_us: None,
+            closed_loop: false,
+        };
+        // Blind swap and full-canary must both degenerate to the
+        // single-device lifecycle with one shard.
+        for lifecycle in [
+            LifecycleConfig::default(),
+            LifecycleConfig {
+                canary: Some(CanaryConfig {
+                    shadow_fraction: 1.0,
+                    window: 4,
+                    min_win_margin: 0.0,
+                }),
+                ..LifecycleConfig::default()
+            },
+        ] {
+            let mut sharded_policy = ShardedRetunePolicy {
+                drift: drift_config(),
+                retune_latency_us: 1_000.0,
+                stagger_us: 0.0,
+                lifecycle: lifecycle.clone(),
+                retuner: Box::new(|_: &ModelConfig, _: &[Batch]| {
+                    Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                }),
+            };
+            let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
+                .serve_with_retune(&reqs, &mut sharded_policy)
+                .unwrap();
+            let backend = TorchRecBackend::compile(&m);
+            let tables = TableSet::for_model(&m);
+            let mut single_policy = RetunePolicy {
+                drift: drift_config(),
+                retune_latency_us: 1_000.0,
+                lifecycle: lifecycle.clone(),
+                retuner: Box::new(|_: &[Batch]| {
+                    Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                }),
+            };
+            let single = ServeRuntime {
+                backend: &backend,
+                model: &m,
+                tables: &tables,
+                arch: &arch,
+                config,
+            }
+            .serve_with_retune(&reqs, &mut single_policy)
+            .unwrap();
+            assert!(
+                single.lifecycle.retunes_attempted >= 1,
+                "the stream must drift"
+            );
+            assert_eq!(sharded.flat(), single);
+        }
+    }
+
+    #[test]
+    fn canary_rolls_back_a_regressed_retune_and_protects_latency() {
+        let (m, arch) = setup();
+        let (_shifted, reqs) = drifting_stream(&m);
+        let regressed = OutcomePlan::scripted(vec![RetuneOutcome::Regression { slowdown: 4.0 }; 8]);
+        let mk_policy = |lifecycle: LifecycleConfig| ShardedRetunePolicy {
+            drift: drift_config(),
+            retune_latency_us: 1_000.0,
+            stagger_us: 0.0,
+            lifecycle,
+            retuner: Box::new(|sm: &ModelConfig, _: &[Batch]| {
+                Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>
+            }),
+        };
+        let plain = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap();
+        let mut blind_policy = mk_policy(LifecycleConfig {
+            outcomes: regressed.clone(),
+            ..LifecycleConfig::default()
+        });
+        let blind = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
+            .serve_with_retune(&reqs, &mut blind_policy)
+            .unwrap();
+        let mut canaried_policy = mk_policy(LifecycleConfig {
+            outcomes: regressed,
+            canary: Some(CanaryConfig {
+                shadow_fraction: 1.0,
+                window: 4,
+                min_win_margin: 0.0,
+            }),
+            ..LifecycleConfig::default()
+        });
+        let canaried = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
+            .serve_with_retune(&reqs, &mut canaried_policy)
+            .unwrap();
+
+        assert!(
+            blind.lifecycle.retunes_promoted >= 1,
+            "a blind swap installs the regressed engine"
+        );
+        assert_eq!(
+            canaried.lifecycle.retunes_promoted, 0,
+            "the canary must never promote a 4x-slower candidate"
+        );
+        assert!(canaried.lifecycle.retunes_rolled_back >= 1);
+        assert!(canaried.lifecycle.canary_shadow_chunks > 0);
+        assert!(canaried.lifecycle.canary_overhead_us > 0.0);
+        // Shadow runs are accounted but never submitted: request records
+        // are bit-identical to a tier that never retuned at all.
+        assert_eq!(canaried.records, plain.records);
+        assert!(
+            canaried.percentile_us(0.99) < blind.percentile_us(0.99),
+            "rolling back must beat serving on the regressed engine: {} vs {}",
+            canaried.percentile_us(0.99),
+            blind.percentile_us(0.99)
+        );
+    }
+
+    #[test]
+    fn staged_rollout_promotes_every_shard_in_order() {
+        let (m, arch) = setup();
+        let (_shifted, reqs) = drifting_stream(&m);
+        let stagger = 300.0;
+        let mut policy = ShardedRetunePolicy {
+            drift: drift_config(),
+            retune_latency_us: 1_000.0,
+            stagger_us: stagger,
+            lifecycle: LifecycleConfig {
+                canary: Some(CanaryConfig {
+                    shadow_fraction: 1.0,
+                    window: 3,
+                    min_win_margin: 0.0,
+                }),
+                ..LifecycleConfig::default()
+            },
+            retuner: Box::new(|sm: &ModelConfig, _: &[Batch]| {
+                Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>
+            }),
+        };
+        let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink())
+            .serve_with_retune(&reqs, &mut policy)
+            .unwrap();
+        assert_eq!(report.lifecycle.retunes_promoted, 1);
+        assert_eq!(report.lifecycle.engine_version, 1);
+        assert_eq!(report.lifecycle.retunes_rolled_back, 0);
+        let promotions: Vec<(f64, usize)> = report
+            .lifecycle_trace
+            .iter()
+            .filter_map(|e| match e {
+                LifecycleEvent::ShardPromoted { t_us, shard } => Some((*t_us, *shard)),
+                _ => None,
+            })
+            .collect();
+        let order: Vec<usize> = promotions.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, vec![0, 1, 2], "shards promote in placement order");
+        for pair in promotions.windows(2) {
+            let gap = pair[1].0 - pair[0].0;
+            assert!(
+                (gap - stagger).abs() < 1e-9,
+                "promotions are staggered by {stagger} µs, got {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_bucket_pressure_keeps_hedging_through_a_backlog_spike() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 32, 17);
+        let plan = FaultPlan::scripted(vec![Fault {
+            start_us: 1_000.0,
+            end_us: 10_000.0,
+            kind: FaultKind::Stall { shard: 0 },
+        }]);
+        // 600 µs sits above the healthy lane's steady backlog (~290 µs)
+        // but below the replica's hedge-driven spike (~1000 µs): only the
+        // spike can trip the hedge-drop rung.
+        let run = |pressure: PressureSignal| {
+            resilient_tier(
+                &m,
+                &arch,
+                2,
+                load_config(),
+                ResilienceConfig {
+                    plan: plan.clone(),
+                    chunk_deadline_us: Some(500.0),
+                    replication: ReplicationPolicy::Full,
+                    ladder: Some(LadderConfig {
+                        drop_hedge_backlog_us: 600.0,
+                        partial_backlog_us: f64::INFINITY,
+                        pressure,
+                    }),
+                },
+            )
+            .serve(&reqs)
+            .unwrap()
+        };
+        let twitchy = run(PressureSignal::Instantaneous);
+        let damped = run(PressureSignal::LeakyBucket { tau_us: 50_000.0 });
+        assert!(
+            twitchy.hedge_fires > 0,
+            "the spike must not suppress hedging entirely"
+        );
+        assert!(
+            damped.hedge_fires > twitchy.hedge_fires,
+            "a leaky bucket rides through the transient spike and keeps \
+             hedging: {} vs {}",
+            damped.hedge_fires,
+            twitchy.hedge_fires
+        );
+        // Hedging sustained through the stall buys tail latency.
+        assert!(damped.percentile_us(0.99) <= twitchy.percentile_us(0.99));
     }
 }

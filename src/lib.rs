@@ -41,7 +41,8 @@ pub mod prelude {
     pub use recflex_data::{Batch, Dataset, FeatureSpec, ModelConfig, ModelPreset, PoolingDist};
     pub use recflex_embedding::TableSet;
     pub use recflex_serve::{
-        BatchPolicy, DriftConfig, Request, RetunePolicy, ServeConfig, ServeReport, ServeRuntime,
+        BatchPolicy, CanaryConfig, DriftConfig, LifecycleConfig, OutcomePlan, OutcomeSpec, Request,
+        RetryPolicy, RetuneOutcome, RetunePolicy, ServeConfig, ServeReport, ServeRuntime,
         WorkloadSpec,
     };
     pub use recflex_sim::GpuArch;

@@ -75,6 +75,7 @@ fn facade_drift_retune_hot_swaps_a_fresh_engine() {
             feature_threshold: 0.5,
         },
         retune_latency_us: 2_000.0,
+        lifecycle: LifecycleConfig::default(),
         retuner: Box::new(|recent: &[Batch]| {
             let ds = Dataset::from_batches(recent.to_vec());
             Box::new(RecFlexEngine::tune(
