@@ -140,6 +140,7 @@ fn policy(name: &str, plan: FaultPlan, slo_deadline_us: f64) -> ResilienceConfig
             chunk_deadline_us: None,
             replication: ReplicationPolicy::None,
             ladder: None,
+            replica_reads: false,
         },
         "mitigated" => ResilienceConfig {
             plan,
@@ -150,6 +151,7 @@ fn policy(name: &str, plan: FaultPlan, slo_deadline_us: f64) -> ResilienceConfig
                 partial_backlog_us: 0.75 * slo_deadline_us,
                 pressure: PressureSignal::Instantaneous,
             }),
+            replica_reads: false,
         },
         other => unreachable!("unknown policy {other}"),
     }

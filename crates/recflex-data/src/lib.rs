@@ -36,5 +36,5 @@ pub use distribution::PoolingDist;
 pub use feature::{FeatureSpec, ModelConfig};
 pub use io::{load_dataset, load_model, save_dataset, save_model};
 pub use models::ModelPreset;
-pub use placement::Placement;
+pub use placement::{FleetAssignment, Placement};
 pub use shift::shift_distribution;

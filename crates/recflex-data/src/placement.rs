@@ -138,6 +138,132 @@ impl Placement {
     }
 }
 
+/// Assignment of whole *models* to device classes — the fleet-level
+/// analogue of [`Placement`]. Where `Placement` splits one model's
+/// features across homogeneous shards, `FleetAssignment` decides which
+/// device *class* (V100-pool, A100-pool, edge-pool, …) each model's
+/// sharded runtime runs on, subject to per-class device capacity.
+///
+/// Three strategies mirror the single-model policies:
+///
+/// * [`FleetAssignment::round_robin`] — capacity-aware striping, blind to
+///   cost (the strawman the experiment binary gates against),
+/// * [`FleetAssignment::homogeneous`] — everything on one class (the
+///   "just buy more of the same GPU" baseline),
+/// * [`FleetAssignment::cheapest_fit`] — heterogeneity-aware: each model
+///   goes to the class where its *measured tuned-schedule cost* is lowest
+///   (Hercules-style), processed in descending regret order so the models
+///   with the most to lose from a wrong class pick first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAssignment {
+    /// `model_idx → device class` in fleet order.
+    pub class_of: Vec<usize>,
+    /// Number of device classes in the pool.
+    pub num_classes: usize,
+}
+
+impl FleetAssignment {
+    /// Capacity-aware striping: model `m` tries class `m mod C`, then
+    /// cycles forward to the next class with room. If no class has room
+    /// for the model's demand, it lands on its home stripe anyway (the
+    /// pool is oversubscribed; someone has to absorb it).
+    pub fn round_robin(demand: &[usize], capacity: &[usize]) -> Self {
+        let num_classes = capacity.len();
+        assert!(num_classes >= 1);
+        let mut free: Vec<isize> = capacity.iter().map(|&c| c as isize).collect();
+        let mut class_of = Vec::with_capacity(demand.len());
+        for (m, &d) in demand.iter().enumerate() {
+            let home = m % num_classes;
+            let chosen = (0..num_classes)
+                .map(|k| (home + k) % num_classes)
+                .find(|&c| free[c] >= d as isize)
+                .unwrap_or(home);
+            free[chosen] -= d as isize;
+            class_of.push(chosen);
+        }
+        FleetAssignment {
+            class_of,
+            num_classes,
+        }
+    }
+
+    /// Everything on one class — the homogeneous-pool baseline.
+    pub fn homogeneous(num_models: usize, class: usize, num_classes: usize) -> Self {
+        assert!(class < num_classes);
+        FleetAssignment {
+            class_of: vec![class; num_models],
+            num_classes,
+        }
+    }
+
+    /// Heterogeneity-aware placement over a measured cost matrix:
+    /// `costs[m][c]` is model `m`'s per-sample cost on class `c` (tuned
+    /// schedule, measured — not a proxy). Models are processed in
+    /// descending *regret* (second-cheapest minus cheapest class, ties by
+    /// model index), so the model that loses the most from missing its
+    /// best class claims capacity first. Each model takes the cheapest
+    /// class with `demand[m]` devices still free; if none has room it
+    /// takes its cheapest class regardless (documented oversubscription —
+    /// capacity then gates throughput, not placement).
+    pub fn cheapest_fit(costs: &[Vec<f64>], demand: &[usize], capacity: &[usize]) -> Self {
+        let num_classes = capacity.len();
+        assert!(num_classes >= 1);
+        assert_eq!(costs.len(), demand.len());
+        assert!(costs.iter().all(|row| row.len() == num_classes));
+        // Per-model class preference, ascending cost, ties by class index.
+        let prefs: Vec<Vec<usize>> = costs
+            .iter()
+            .map(|row| {
+                let mut order: Vec<usize> = (0..num_classes).collect();
+                order.sort_by(|&a, &b| row[a].total_cmp(&row[b]).then(a.cmp(&b)));
+                order
+            })
+            .collect();
+        let regret = |m: usize| -> f64 {
+            if num_classes < 2 {
+                return 0.0;
+            }
+            costs[m][prefs[m][1]] - costs[m][prefs[m][0]]
+        };
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| regret(b).total_cmp(&regret(a)).then(a.cmp(&b)));
+        let mut free: Vec<isize> = capacity.iter().map(|&c| c as isize).collect();
+        let mut class_of = vec![0usize; costs.len()];
+        for m in order {
+            let chosen = prefs[m]
+                .iter()
+                .copied()
+                .find(|&c| free[c] >= demand[m] as isize)
+                .unwrap_or(prefs[m][0]);
+            free[chosen] -= demand[m] as isize;
+            class_of[m] = chosen;
+        }
+        FleetAssignment {
+            class_of,
+            num_classes,
+        }
+    }
+
+    /// Model indices assigned to one class, in fleet order.
+    pub fn models_on(&self, class: usize) -> Vec<usize> {
+        self.class_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == class)
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// Devices consumed per class under the given per-model demand.
+    pub fn devices_used(&self, demand: &[usize]) -> Vec<usize> {
+        let mut used = vec![0usize; self.num_classes];
+        for (m, &c) in self.class_of.iter().enumerate() {
+            used[c] += demand[m];
+        }
+        used
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +376,96 @@ mod tests {
             let imb = p.imbalance(&costs);
             prop_assert!(imb >= 1.0 - 1e-9);
             prop_assert!(imb <= num_devices as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cheapest_fit_sends_each_model_to_its_best_class() {
+        // Two models, two classes, ample capacity: each gets its argmin.
+        let costs = vec![vec![1.0, 5.0], vec![8.0, 2.0]];
+        let a = FleetAssignment::cheapest_fit(&costs, &[1, 1], &[4, 4]);
+        assert_eq!(a.class_of, vec![0, 1]);
+        assert_eq!(a.devices_used(&[1, 1]), vec![1, 1]);
+    }
+
+    #[test]
+    fn cheapest_fit_high_regret_model_claims_capacity_first() {
+        // Class 0 has room for one device. Model 1 barely cares
+        // (regret 0.1) while model 0 loses 10.0 off its best class — so
+        // model 0 must get the contended slot even though model 1 has the
+        // lower index.
+        let costs = vec![vec![1.0, 11.0], vec![1.0, 1.1]];
+        let a = FleetAssignment::cheapest_fit(&costs, &[1, 1], &[1, 4]);
+        assert_eq!(a.class_of[0], 0);
+        assert_eq!(a.class_of[1], 1);
+    }
+
+    #[test]
+    fn cheapest_fit_overflows_to_cheapest_when_nothing_fits() {
+        // Demand 3 exceeds every class's capacity: the model still lands
+        // on its cheapest class rather than panicking.
+        let costs = vec![vec![4.0, 2.0]];
+        let a = FleetAssignment::cheapest_fit(&costs, &[3], &[1, 1]);
+        assert_eq!(a.class_of, vec![1]);
+    }
+
+    #[test]
+    fn fleet_round_robin_stripes_and_respects_capacity() {
+        // Four 1-device models over three classes with capacity [1,1,4]:
+        // model 0 → 0, model 1 → 1, model 2 → 2, model 3 wants 0 (full)
+        // and cycles forward to 1 (full) then 2.
+        let a = FleetAssignment::round_robin(&[1, 1, 1, 1], &[1, 1, 4]);
+        assert_eq!(a.class_of, vec![0, 1, 2, 2]);
+        assert_eq!(a.models_on(2), vec![2, 3]);
+    }
+
+    #[test]
+    fn homogeneous_puts_everything_on_one_class() {
+        let a = FleetAssignment::homogeneous(5, 1, 3);
+        assert!(a.class_of.iter().all(|&c| c == 1));
+        assert_eq!(a.devices_used(&[1, 2, 1, 1, 2]), vec![0, 7, 0]);
+    }
+
+    proptest! {
+        /// All three fleet strategies produce in-range classes, cover
+        /// every model exactly once, and are deterministic.
+        #[test]
+        fn fleet_assignments_are_valid_and_deterministic(
+            num_models in 1usize..10,
+            num_classes in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let costs: Vec<Vec<f64>> = (0..num_models)
+                .map(|m| (0..num_classes)
+                    .map(|c| ((seed
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add((m * 7 + c * 13) as u64)) % 997 + 1) as f64)
+                    .collect())
+                .collect();
+            let demand = vec![1usize; num_models];
+            let capacity = vec![num_models; num_classes];
+            for a in [
+                FleetAssignment::cheapest_fit(&costs, &demand, &capacity),
+                FleetAssignment::round_robin(&demand, &capacity),
+                FleetAssignment::homogeneous(num_models, 0, num_classes),
+            ] {
+                prop_assert_eq!(a.class_of.len(), num_models);
+                prop_assert!(a.class_of.iter().all(|&c| c < num_classes));
+                let mut seen = vec![0u32; num_models];
+                for c in 0..num_classes {
+                    for m in a.models_on(c) {
+                        seen[m] += 1;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&n| n == 1));
+                prop_assert_eq!(
+                    a.devices_used(&demand).iter().sum::<usize>(),
+                    num_models
+                );
+            }
+            let a1 = FleetAssignment::cheapest_fit(&costs, &demand, &capacity);
+            let a2 = FleetAssignment::cheapest_fit(&costs, &demand, &capacity);
+            prop_assert_eq!(a1, a2);
         }
     }
 }

@@ -456,6 +456,14 @@ pub struct ResilienceConfig {
     /// holds its queue frozen until recovery (the restart-from-checkpoint
     /// model) and the tier sheds under the resulting backlog.
     pub ladder: Option<LadderConfig>,
+    /// Serve read traffic from healthy replica lanes instead of keeping
+    /// them as cold standbys: when the mirrored shard's replica lane has
+    /// less backlog than the primary and *no fault window is active
+    /// anywhere in the tier*, the chunk's shard work runs on the replica.
+    /// Any active fault drains reads back to the primaries so the replica
+    /// is free to absorb failover and hedge traffic. Off by default —
+    /// the cold-standby configuration stays bit-identical.
+    pub replica_reads: bool,
 }
 
 impl ResilienceConfig {
@@ -465,6 +473,7 @@ impl ResilienceConfig {
             && self.chunk_deadline_us.is_none()
             && self.replication == ReplicationPolicy::None
             && self.ladder.is_none()
+            && !self.replica_reads
     }
 }
 
@@ -683,5 +692,14 @@ mod tests {
             ..Default::default()
         };
         assert!(!cfg.is_default());
+        let cfg = ResilienceConfig {
+            replica_reads: true,
+            ..Default::default()
+        };
+        assert!(
+            !cfg.is_default(),
+            "replica reads change the event sequence and must opt out of \
+             the bit-identity fast path"
+        );
     }
 }

@@ -1,0 +1,479 @@
+//! Fleet tier: several models, several device classes, one report.
+//!
+//! A production recommendation fleet does not serve one model on one
+//! device type. It serves a portfolio — a handful of models with wildly
+//! different feature mixes — over a pool of heterogeneous accelerators,
+//! and the placement of models onto device classes decides fleet-wide
+//! SLO attainment (Hercules makes this point for training clusters;
+//! DeepRecSys for per-query scheduling). The fleet tier composes:
+//!
+//! - a [`FleetWorkload`](crate::workload::FleetWorkload) — the merged,
+//!   deterministic multi-scenario arrival trace,
+//! - one [`ShardedServeRuntime`] per model, pinned to a device class,
+//! - an optional per-model [`QueryGate`] — the DeepRecSys-style
+//!   batch-size-aware accept/queue decision applied *before* a request
+//!   enters the model's runtime,
+//! - per-model SLO deadlines and a fleet-wide attainment roll-up.
+//!
+//! Determinism: the fleet runs each member runtime on its demuxed slice
+//! of the merged trace, in member order. Every member run is itself a
+//! pure function of its inputs, so the fleet report is bit-reproducible
+//! and a degenerate one-model fleet (no gate, no deadline) serializes
+//! byte-identically to the underlying [`ShardedServeRuntime`] report —
+//! both invariants are gated by tests and by the `serving_fleet`
+//! experiment in CI.
+
+use serde::Serialize;
+
+use crate::sharded::ShardedServeRuntime;
+use crate::stats::ShardedReport;
+use crate::workload::FleetArrival;
+use crate::Request;
+use crate::ServeError;
+use recflex_sim::GpuArch;
+
+/// A pool of identical simulated devices — one heterogeneity bucket.
+pub struct DeviceClass<'a> {
+    /// Class name, for reports (e.g. `"V100"`).
+    pub name: String,
+    /// The simulated device architecture every pool member shares.
+    pub arch: &'a GpuArch,
+    /// How many devices the class contributes to the fleet budget.
+    pub devices: usize,
+}
+
+/// A per-query admission gate: the DeepRecSys-style accept/queue
+/// decision. A request whose batch would blow the model's latency budget
+/// on its assigned class is shed *at the fleet edge* instead of
+/// poisoning the lane's queue for everyone behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QueryGate {
+    /// Measured per-sample device cost on the member's class, µs.
+    pub cost_per_sample_us: f64,
+    /// Largest acceptable predicted device time for one query, µs.
+    pub deadline_us: f64,
+}
+
+impl QueryGate {
+    /// Accept a query of `batch_size` pooled samples?
+    pub fn admits(&self, batch_size: u32) -> bool {
+        batch_size as f64 * self.cost_per_sample_us <= self.deadline_us
+    }
+}
+
+/// One model in the fleet: its serving runtime, the device class it is
+/// placed on, and its SLO policy.
+pub struct FleetMember<'a> {
+    /// Model/scenario name, for reports.
+    pub name: String,
+    /// Index into the fleet's device classes.
+    pub class: usize,
+    /// The model's own sharded serving tier, built against the class
+    /// arch.
+    pub runtime: ShardedServeRuntime<'a>,
+    /// End-to-end latency SLO for this model class, µs. `None` means
+    /// every completed request attains.
+    pub slo_deadline_us: Option<f64>,
+    /// Per-query admission gate. `None` admits everything.
+    pub gate: Option<QueryGate>,
+}
+
+/// The fleet runtime: a pool of device classes and the members placed on
+/// them.
+pub struct FleetRuntime<'a> {
+    /// The heterogeneity buckets.
+    pub classes: Vec<DeviceClass<'a>>,
+    /// The models, in scenario order — member `i` serves scenario `i` of
+    /// the fleet workload.
+    pub members: Vec<FleetMember<'a>>,
+}
+
+/// Per-model outcome in the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetModelOutcome {
+    /// Model name.
+    pub name: String,
+    /// Name of the device class the model was placed on.
+    pub class: String,
+    /// Devices (shards) the model's runtime spans.
+    pub shards: usize,
+    /// The model's SLO deadline, if any.
+    pub slo_deadline_us: Option<f64>,
+    /// Requests offered to this model, including gate-shed ones.
+    pub requests_offered: u64,
+    /// Requests shed by the admission gate before entering the runtime.
+    pub gate_shed: u64,
+    /// Fraction of offered requests that completed within the SLO.
+    pub slo_attainment: f64,
+    /// Median end-to-end latency over completed requests, µs.
+    pub p50_us: f64,
+    /// Tail end-to-end latency over completed requests, µs.
+    pub p99_us: f64,
+    /// The member runtime's full report.
+    pub report: ShardedReport,
+}
+
+/// Per-device-class utilization in the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceClassStats {
+    /// Class name.
+    pub name: String,
+    /// Devices in the class.
+    pub devices: usize,
+    /// Total device-busy time accumulated by members on this class, µs.
+    pub busy_us: f64,
+    /// `busy_us / (devices × fleet makespan)`.
+    pub utilization: f64,
+}
+
+/// The fleet-wide report: per-model outcomes, per-class utilization, and
+/// the headline SLO attainment number placement strategies compete on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Per-model outcomes, in member order.
+    pub models: Vec<FleetModelOutcome>,
+    /// Per-class utilization, in class order.
+    pub classes: Vec<DeviceClassStats>,
+    /// Fleet makespan: the latest member makespan, µs.
+    pub makespan_us: f64,
+    /// Fleet-wide SLO attainment: attained requests over offered
+    /// requests, across all members.
+    pub slo_attainment: f64,
+}
+
+impl<'a> FleetRuntime<'a> {
+    /// Serve a merged fleet trace: demux by scenario (preserving the
+    /// merged order, which is already per-scenario arrival order) and
+    /// run every member on its slice.
+    pub fn serve(&self, arrivals: &[FleetArrival]) -> Result<FleetReport, ServeError> {
+        let mut streams: Vec<Vec<Request>> = vec![Vec::new(); self.members.len()];
+        for a in arrivals {
+            streams[a.scenario].push(a.request.clone());
+        }
+        self.serve_streams(&streams)
+    }
+
+    /// Serve pre-demuxed per-member request streams. `streams[i]` goes
+    /// to member `i` after its admission gate.
+    pub fn serve_streams(&self, streams: &[Vec<Request>]) -> Result<FleetReport, ServeError> {
+        assert_eq!(streams.len(), self.members.len());
+        let mut models = Vec::with_capacity(self.members.len());
+        let mut attained_total = 0u64;
+        let mut offered_total = 0u64;
+        for (member, stream) in self.members.iter().zip(streams) {
+            let offered = stream.len() as u64;
+            let admitted: Vec<Request> = match member.gate {
+                None => stream.clone(),
+                Some(gate) => stream
+                    .iter()
+                    .filter(|r| gate.admits(r.batch.batch_size))
+                    .cloned()
+                    .collect(),
+            };
+            let gate_shed = offered - admitted.len() as u64;
+            let report = member.runtime.serve(&admitted)?;
+            let attained = report
+                .records
+                .iter()
+                .filter(|r| {
+                    !r.base.is_shed()
+                        && member
+                            .slo_deadline_us
+                            .is_none_or(|d| r.base.latency_us() <= d)
+                })
+                .count() as u64;
+            attained_total += attained;
+            offered_total += offered;
+            models.push(FleetModelOutcome {
+                name: member.name.clone(),
+                class: self.classes[member.class].name.clone(),
+                shards: member.runtime.placement.num_devices,
+                slo_deadline_us: member.slo_deadline_us,
+                requests_offered: offered,
+                gate_shed,
+                slo_attainment: if offered == 0 {
+                    1.0
+                } else {
+                    attained as f64 / offered as f64
+                },
+                p50_us: report.percentile_us(0.50),
+                p99_us: report.percentile_us(0.99),
+                report,
+            });
+        }
+        let makespan_us = models
+            .iter()
+            .map(|m| m.report.makespan_us)
+            .fold(0.0, f64::max);
+        let classes = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(ci, class)| {
+                let busy_us: f64 = self
+                    .members
+                    .iter()
+                    .zip(&models)
+                    .filter(|(m, _)| m.class == ci)
+                    .map(|(_, out)| {
+                        out.report
+                            .per_shard
+                            .iter()
+                            .chain(&out.report.per_replica)
+                            .map(|s| s.device_us)
+                            .sum::<f64>()
+                    })
+                    .sum();
+                let capacity = class.devices as f64 * makespan_us;
+                DeviceClassStats {
+                    name: class.name.clone(),
+                    devices: class.devices,
+                    busy_us,
+                    utilization: if capacity > 0.0 {
+                        busy_us / capacity
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        Ok(FleetReport {
+            models,
+            classes,
+            makespan_us,
+            slo_attainment: if offered_total == 0 {
+                1.0
+            } else {
+                attained_total as f64 / offered_total as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{BatchPolicy, ServeConfig};
+    use crate::workload::{FleetWorkload, ScenarioSpec, TrafficShape};
+    use crate::WorkloadSpec;
+    use recflex_baselines::TorchRecBackend;
+    use recflex_data::{ModelPreset, Placement};
+    use recflex_sim::Interconnect;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            streams: 2,
+            policy: BatchPolicy::Split { cap: 256 },
+            slo_deadline_us: None,
+            closed_loop: false,
+        }
+    }
+
+    /// A 1-model, 1-class fleet with no gate and no deadline is the
+    /// underlying sharded runtime, bit for bit: the serialized member
+    /// report equals the report from calling the runtime directly.
+    #[test]
+    fn degenerate_fleet_reproduces_sharded_runtime_byte_for_byte() {
+        let model = ModelPreset::A.scaled(0.05);
+        let arch = GpuArch::v100();
+        let placement = Placement::balance(&model, 2);
+        let build = || {
+            ShardedServeRuntime::build(
+                &model,
+                &arch,
+                placement.clone(),
+                config(),
+                Interconnect::nvlink(),
+                |m| Box::new(TorchRecBackend::compile(m)),
+            )
+        };
+        let workload = FleetWorkload {
+            scenarios: vec![ScenarioSpec {
+                name: "a".into(),
+                workload: WorkloadSpec::long_tail(400.0),
+                shape: TrafficShape::flat(),
+                requests: 32,
+            }],
+            seed: 42,
+        };
+        let merged = workload.merged(&[&model]);
+
+        let fleet = FleetRuntime {
+            classes: vec![DeviceClass {
+                name: "V100".into(),
+                arch: &arch,
+                devices: 2,
+            }],
+            members: vec![FleetMember {
+                name: "a".into(),
+                class: 0,
+                runtime: build(),
+                slo_deadline_us: None,
+                gate: None,
+            }],
+        };
+        let fleet_report = fleet.serve(&merged).expect("fleet serve");
+
+        let direct = build()
+            .serve(&WorkloadSpec::long_tail(400.0).stream(&model, 32, 42))
+            .expect("direct serve");
+
+        assert_eq!(
+            serde_json::to_string(&fleet_report.models[0].report).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "degenerate fleet must reproduce the sharded runtime bit-for-bit"
+        );
+        assert_eq!(fleet_report.models[0].gate_shed, 0);
+        assert!((fleet_report.makespan_us - direct.makespan_us).abs() == 0.0);
+        // No deadline: attainment is completion rate.
+        assert_eq!(
+            fleet_report.slo_attainment,
+            1.0 - direct.shed_rate(),
+            "attainment without a deadline is the completion rate"
+        );
+
+        // Replay the whole fleet report too.
+        let again = fleet.serve(&merged).expect("fleet replay");
+        assert_eq!(fleet_report, again, "fleet replay must be bit-identical");
+    }
+
+    #[test]
+    fn query_gate_sheds_oversized_batches_at_the_edge() {
+        let model = ModelPreset::A.scaled(0.05);
+        let arch = GpuArch::v100();
+        let build = || {
+            ShardedServeRuntime::build(
+                &model,
+                &arch,
+                Placement::balance(&model, 1),
+                config(),
+                Interconnect::nvlink(),
+                |m| Box::new(TorchRecBackend::compile(m)),
+            )
+        };
+        let workload = FleetWorkload {
+            scenarios: vec![ScenarioSpec {
+                name: "a".into(),
+                workload: WorkloadSpec::long_tail(400.0),
+                shape: TrafficShape::flat(),
+                requests: 48,
+            }],
+            seed: 11,
+        };
+        let merged = workload.merged(&[&model]);
+        let sizes: Vec<u32> = merged.iter().map(|a| a.request.batch.batch_size).collect();
+        let cut = *sizes.iter().max().unwrap() as f64; // gate out only the max
+        let gate = QueryGate {
+            cost_per_sample_us: 1.0,
+            deadline_us: cut - 0.5,
+        };
+        let expect_shed = sizes.iter().filter(|&&s| !gate.admits(s)).count() as u64;
+        assert!(expect_shed > 0, "test needs at least one oversized batch");
+
+        let fleet = FleetRuntime {
+            classes: vec![DeviceClass {
+                name: "V100".into(),
+                arch: &arch,
+                devices: 1,
+            }],
+            members: vec![FleetMember {
+                name: "a".into(),
+                class: 0,
+                runtime: build(),
+                slo_deadline_us: None,
+                gate: Some(gate),
+            }],
+        };
+        let report = fleet.serve(&merged).expect("fleet serve");
+        assert_eq!(report.models[0].gate_shed, expect_shed);
+        assert_eq!(
+            report.models[0].report.records.len() as u64,
+            48 - expect_shed,
+            "gated requests never reach the runtime"
+        );
+        // Gate-shed requests count against attainment.
+        assert!(report.models[0].slo_attainment <= 1.0 - expect_shed as f64 / 48.0);
+    }
+
+    #[test]
+    fn class_utilization_accounts_member_busy_time() {
+        let (ma, mb) = (ModelPreset::A.scaled(0.05), ModelPreset::C.scaled(0.05));
+        let v100 = GpuArch::v100();
+        let edge = GpuArch::edge();
+        fn build<'a>(
+            model: &'a recflex_data::ModelConfig,
+            arch: &'a GpuArch,
+        ) -> ShardedServeRuntime<'a> {
+            ShardedServeRuntime::build(
+                model,
+                arch,
+                Placement::balance(model, 1),
+                config(),
+                Interconnect::nvlink(),
+                |m| Box::new(TorchRecBackend::compile(m)),
+            )
+        }
+        let workload = FleetWorkload {
+            scenarios: vec![
+                ScenarioSpec {
+                    name: "a".into(),
+                    workload: WorkloadSpec::long_tail(300.0),
+                    shape: TrafficShape::flat(),
+                    requests: 24,
+                },
+                ScenarioSpec {
+                    name: "c".into(),
+                    workload: WorkloadSpec::long_tail(500.0),
+                    shape: TrafficShape::flat(),
+                    requests: 16,
+                },
+            ],
+            seed: 5,
+        };
+        let merged = workload.merged(&[&ma, &mb]);
+        let fleet = FleetRuntime {
+            classes: vec![
+                DeviceClass {
+                    name: "V100".into(),
+                    arch: &v100,
+                    devices: 1,
+                },
+                DeviceClass {
+                    name: "Edge".into(),
+                    arch: &edge,
+                    devices: 1,
+                },
+            ],
+            members: vec![
+                FleetMember {
+                    name: "a".into(),
+                    class: 0,
+                    runtime: build(&ma, &v100),
+                    slo_deadline_us: None,
+                    gate: None,
+                },
+                FleetMember {
+                    name: "c".into(),
+                    class: 1,
+                    runtime: build(&mb, &edge),
+                    slo_deadline_us: None,
+                    gate: None,
+                },
+            ],
+        };
+        let report = fleet.serve(&merged).expect("fleet serve");
+        assert_eq!(report.classes.len(), 2);
+        for (ci, class) in report.classes.iter().enumerate() {
+            let expect: f64 = report.models[ci]
+                .report
+                .per_shard
+                .iter()
+                .map(|s| s.device_us)
+                .sum();
+            assert!((class.busy_us - expect).abs() < 1e-9);
+            assert!(class.utilization > 0.0 && class.utilization <= 1.0);
+        }
+        assert!(report.makespan_us >= report.models[0].report.makespan_us);
+        assert!(report.makespan_us >= report.models[1].report.makespan_us);
+    }
+}

@@ -56,6 +56,20 @@ pub enum BatchPolicy {
         /// Longest a request may wait in the batcher, µs.
         max_wait_us: f64,
     },
+    /// [`BatchPolicy::Dynamic`] with padding-free partial merges: when a
+    /// request straddles the `max_batch` boundary, the head samples top
+    /// the open batch off to *exactly* `max_batch` and the tail rolls
+    /// into the next coalesced batch ([`Batch::split`] wired into the
+    /// merge path). `Dynamic` instead flushes the open batch short and
+    /// starts the request fresh — tight packing costs a request a second
+    /// chunk boundary, so it is opt-in and `Dynamic` keeps the old
+    /// behavior bit-for-bit.
+    DynamicPacked {
+        /// Exact coalesced batch size to fill, samples (≥ 1).
+        max_batch: u32,
+        /// Longest a request may wait in the batcher, µs.
+        max_wait_us: f64,
+    },
 }
 
 /// Static configuration of one serving run.
@@ -210,6 +224,10 @@ impl ServeRuntime<'_> {
             BatchPolicy::Dynamic {
                 max_batch,
                 max_wait_us,
+            }
+            | BatchPolicy::DynamicPacked {
+                max_batch,
+                max_wait_us,
             } => {
                 if max_batch == 0 {
                     return Err(ServeError::Policy("dynamic max_batch must be at least 1"));
@@ -281,7 +299,10 @@ impl ServeRuntime<'_> {
             };
             consider(arrival_t, EventKind::Arrival);
             let flush_t = match self.config.policy {
-                BatchPolicy::Dynamic { max_wait_us, .. } if !st.buffer.is_empty() => {
+                BatchPolicy::Dynamic { max_wait_us, .. }
+                | BatchPolicy::DynamicPacked { max_wait_us, .. }
+                    if !st.buffer.is_empty() =>
+                {
                     Some((st.buffer_oldest_us + max_wait_us).max(now))
                 }
                 _ => None,
@@ -372,8 +393,10 @@ struct RunState<'a> {
     chunk_owners: HashMap<u64, Vec<usize>>,
     next_job: u64,
     launches: u64,
-    /// Request indices waiting in the dynamic batcher.
-    buffer: Vec<usize>,
+    /// Requests waiting in the dynamic batcher: owner index plus the
+    /// samples it has parked there (the whole batch under `Dynamic`, a
+    /// boundary-split head or tail under `DynamicPacked`).
+    buffer: Vec<(usize, Batch)>,
     buffer_size: u32,
     buffer_oldest_us: f64,
     active: Active<'a>,
@@ -483,10 +506,53 @@ impl RunState<'_> {
                     if self.buffer_size + req.batch.batch_size > max_batch {
                         self.flush_buffer(now, rt, requests)?;
                     }
-                    self.buffer.push(ri);
+                    self.buffer.push((ri, req.batch.clone()));
                     self.buffer_size += req.batch.batch_size;
                     self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
                     if self.buffer_size == max_batch || self.executor.is_idle() {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                }
+            }
+            BatchPolicy::DynamicPacked { max_batch, .. } => {
+                if req.batch.batch_size == 0 {
+                    self.finalize_empty(ri, now, requests);
+                } else {
+                    // Padding-free coalescing: top the open batch off to
+                    // exactly `max_batch`, rolling the remainder of a
+                    // boundary-straddling request into the next batch.
+                    // The invariant `buffer_size < max_batch` holds on
+                    // entry and exit, so `room >= 1` always.
+                    let mut part = req.batch.clone();
+                    loop {
+                        let room = max_batch - self.buffer_size;
+                        if part.batch_size < room {
+                            self.buffer_size += part.batch_size;
+                            self.buffer.push((ri, part));
+                            self.buffer_oldest_us =
+                                self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                            break;
+                        }
+                        let mut pieces = part
+                            .split(room)
+                            .map_err(|_| {
+                                ServeError::Policy("dynamic max_batch must be at least 1")
+                            })?
+                            .into_iter();
+                        let head = pieces.next().ok_or(ServeError::Internal(
+                            "split of a non-empty batch yielded nothing",
+                        ))?;
+                        self.buffer.push((ri, head));
+                        self.buffer_size = max_batch;
+                        self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                        self.flush_buffer(now, rt, requests)?;
+                        let rest: Vec<Batch> = pieces.collect();
+                        if rest.is_empty() {
+                            break;
+                        }
+                        part = Batch::merge(&rest);
+                    }
+                    if !self.buffer.is_empty() && self.executor.is_idle() {
                         self.flush_buffer(now, rt, requests)?;
                     }
                 }
@@ -504,13 +570,11 @@ impl RunState<'_> {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let owners = std::mem::take(&mut self.buffer);
+        let entries = std::mem::take(&mut self.buffer);
         self.buffer_size = 0;
         self.buffer_oldest_us = f64::INFINITY;
-        let parts: Vec<Batch> = owners
-            .iter()
-            .map(|&ri| requests[ri].batch.clone())
-            .collect();
+        let owners: Vec<usize> = entries.iter().map(|&(ri, _)| ri).collect();
+        let parts: Vec<Batch> = entries.into_iter().map(|(_, b)| b).collect();
         let merged = Batch::merge(&parts);
         self.submit_chunk(merged, owners, now, rt, requests)
     }

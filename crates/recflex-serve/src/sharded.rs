@@ -228,6 +228,10 @@ impl<'a> ShardedServeRuntime<'a> {
             BatchPolicy::Dynamic {
                 max_batch,
                 max_wait_us,
+            }
+            | BatchPolicy::DynamicPacked {
+                max_batch,
+                max_wait_us,
             } => {
                 if max_batch == 0 {
                     return Err(ServeError::Policy("dynamic max_batch must be at least 1"));
@@ -361,7 +365,10 @@ impl<'a> ShardedServeRuntime<'a> {
             };
             consider(arrival_t, EventKind::Arrival);
             let flush_t = match self.config.policy {
-                BatchPolicy::Dynamic { max_wait_us, .. } if !st.buffer.is_empty() => {
+                BatchPolicy::Dynamic { max_wait_us, .. }
+                | BatchPolicy::DynamicPacked { max_wait_us, .. }
+                    if !st.buffer.is_empty() =>
+                {
                     Some((st.buffer_oldest_us + max_wait_us).max(now))
                 }
                 _ => None,
@@ -558,8 +565,10 @@ struct ShardedRunState {
     hedge_fires: u64,
     hedge_wins: u64,
     failovers: u64,
-    /// Request indices waiting in the dynamic batcher.
-    buffer: Vec<usize>,
+    /// Requests waiting in the dynamic batcher: owner index plus the
+    /// samples it has parked there (the whole batch under `Dynamic`, a
+    /// boundary-split head or tail under `DynamicPacked`).
+    buffer: Vec<(usize, Batch)>,
     buffer_size: u32,
     buffer_oldest_us: f64,
     /// Drift monitor over full admitted batches (retuning only).
@@ -839,10 +848,53 @@ impl ShardedRunState {
                     if self.buffer_size + req.batch.batch_size > max_batch {
                         self.flush_buffer(now, rt, requests)?;
                     }
-                    self.buffer.push(ri);
+                    self.buffer.push((ri, req.batch.clone()));
                     self.buffer_size += req.batch.batch_size;
                     self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
                     if self.buffer_size == max_batch || self.all_idle() {
+                        self.flush_buffer(now, rt, requests)?;
+                    }
+                }
+            }
+            BatchPolicy::DynamicPacked { max_batch, .. } => {
+                if req.batch.batch_size == 0 {
+                    self.finalize_empty(ri, now, requests);
+                } else {
+                    // Padding-free coalescing: top the open batch off to
+                    // exactly `max_batch`, rolling the remainder of a
+                    // boundary-straddling request into the next batch.
+                    // The invariant `buffer_size < max_batch` holds on
+                    // entry and exit, so `room >= 1` always.
+                    let mut part = req.batch.clone();
+                    loop {
+                        let room = max_batch - self.buffer_size;
+                        if part.batch_size < room {
+                            self.buffer_size += part.batch_size;
+                            self.buffer.push((ri, part));
+                            self.buffer_oldest_us =
+                                self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                            break;
+                        }
+                        let mut pieces = part
+                            .split(room)
+                            .map_err(|_| {
+                                ServeError::Policy("dynamic max_batch must be at least 1")
+                            })?
+                            .into_iter();
+                        let head = pieces.next().ok_or(ServeError::Internal(
+                            "split of a non-empty batch yielded nothing",
+                        ))?;
+                        self.buffer.push((ri, head));
+                        self.buffer_size = max_batch;
+                        self.buffer_oldest_us = self.buffer_oldest_us.min(self.arrival_eff_us[ri]);
+                        self.flush_buffer(now, rt, requests)?;
+                        let rest: Vec<Batch> = pieces.collect();
+                        if rest.is_empty() {
+                            break;
+                        }
+                        part = Batch::merge(&rest);
+                    }
+                    if !self.buffer.is_empty() && self.all_idle() {
                         self.flush_buffer(now, rt, requests)?;
                     }
                 }
@@ -860,13 +912,11 @@ impl ShardedRunState {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let owners = std::mem::take(&mut self.buffer);
+        let entries = std::mem::take(&mut self.buffer);
         self.buffer_size = 0;
         self.buffer_oldest_us = f64::INFINITY;
-        let parts: Vec<Batch> = owners
-            .iter()
-            .map(|&ri| requests[ri].batch.clone())
-            .collect();
+        let owners: Vec<usize> = entries.iter().map(|&(ri, _)| ri).collect();
+        let parts: Vec<Batch> = entries.into_iter().map(|(_, b)| b).collect();
         let merged = Batch::merge(&parts);
         self.submit_chunk(merged, owners, now, rt, requests)
     }
@@ -970,7 +1020,8 @@ impl ShardedRunState {
             if mitigated && rt.resilience.plan.crashed(s, now) {
                 self.dispatch_replacement(chunk_id, s, now, rt, requests, true)?;
             } else {
-                self.submit_job(chunk_id, s, s, now, JobRole::Primary, true)?;
+                let lane = self.read_lane(s, now, rt);
+                self.submit_job(chunk_id, s, lane, now, JobRole::Primary, true)?;
             }
         }
         if let Some(ddl) = rt.resilience.chunk_deadline_us {
@@ -982,6 +1033,32 @@ impl ShardedRunState {
         // their owners don't wait for a completion event that may never
         // have a distinct timestamp.
         self.collect_completions(rt, requests)
+    }
+
+    /// The lane that serves shard `s`'s slice of a fresh chunk. Replicas
+    /// are cold standbys by default; with
+    /// [`ResilienceConfig::replica_reads`] on, a *healthy* tier spills
+    /// read traffic to the mirrored replica lane whenever the primary is
+    /// more backlogged. Drain-on-fault: any active fault window anywhere
+    /// in the tier pins reads back to the primaries, so replicas are
+    /// free to absorb failover and hedge traffic exactly when it
+    /// matters. Ties go to the primary, keeping the choice a pure
+    /// function of simulated state.
+    fn read_lane(&self, s: usize, now: f64, rt: &ShardedServeRuntime<'_>) -> usize {
+        if !rt.resilience.replica_reads {
+            return s;
+        }
+        let Some(replica) = self.replica_lane_of[s] else {
+            return s;
+        };
+        if rt.resilience.plan.any_active(now) {
+            return s;
+        }
+        if self.executors[replica].backlog_us() < self.executors[s].backlog_us() {
+            replica
+        } else {
+            s
+        }
     }
 
     /// Put `shard`'s slice of `chunk_id` on executor `lane`.
@@ -1589,6 +1666,10 @@ mod tests {
                 max_batch: 256,
                 max_wait_us: 200.0,
             },
+            BatchPolicy::DynamicPacked {
+                max_batch: 256,
+                max_wait_us: 200.0,
+            },
         ] {
             let config = ServeConfig {
                 streams: 4,
@@ -1634,6 +1715,7 @@ mod tests {
             chunk_deadline_us: None,
             replication: ReplicationPolicy::None,
             ladder: None,
+            replica_reads: false,
         };
         let sharded = resilient_tier(&m, &arch, 1, config, resilience)
             .serve(&reqs)
@@ -1676,6 +1758,7 @@ mod tests {
                 chunk_deadline_us: None,
                 replication: ReplicationPolicy::Full,
                 ladder: Some(LadderConfig::failover_only()),
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -1686,6 +1769,75 @@ mod tests {
         assert_eq!(plain.makespan_us, armed.makespan_us);
         assert_eq!(armed.per_replica.len(), 4, "standby lanes exist");
         assert!(armed.per_replica.iter().all(|s| s.jobs == 0), "and idle");
+    }
+
+    #[test]
+    fn replica_reads_spread_load_onto_replica_lanes() {
+        // With replica_reads on and no faults, a loaded healthy tier
+        // spills primary read traffic onto the mirrored replica lanes —
+        // they stop being cold standbys — and the extra capacity must
+        // not hurt latency. The run stays a pure function of its inputs.
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(120.0).stream(&m, 48, 21);
+        let with_reads = |replica_reads: bool| ResilienceConfig {
+            plan: FaultPlan::none(),
+            chunk_deadline_us: None,
+            replication: ReplicationPolicy::Full,
+            ladder: Some(LadderConfig::failover_only()),
+            replica_reads,
+        };
+        let cold = resilient_tier(&m, &arch, 2, load_config(), with_reads(false))
+            .serve(&reqs)
+            .unwrap();
+        let warm_rt = resilient_tier(&m, &arch, 2, load_config(), with_reads(true));
+        let warm = warm_rt.serve(&reqs).unwrap();
+        assert!(
+            warm.per_replica.iter().any(|s| s.jobs > 0),
+            "replica lanes must serve read traffic"
+        );
+        assert_eq!(warm.shed_rate(), 0.0);
+        assert_eq!(warm.records.len(), 48);
+        assert!(
+            warm.flat().mean_latency_us() <= cold.flat().mean_latency_us() + 1e-9,
+            "doubling serving lanes must not slow the tier: warm {} vs cold {}",
+            warm.flat().mean_latency_us(),
+            cold.flat().mean_latency_us()
+        );
+        let replay = warm_rt.serve(&reqs).unwrap();
+        assert_eq!(warm, replay, "replica reads replay bit-for-bit");
+    }
+
+    #[test]
+    fn replica_reads_drain_to_primaries_while_any_fault_is_active() {
+        // Drain-on-fault: a fault window covering the whole run pins
+        // every read on the primaries, so the replicas see zero read
+        // jobs even with replica_reads enabled. (A slowdown on shard 0
+        // never re-homes work by itself — only reads could have landed
+        // on the replicas, and the drain rule forbids exactly that.)
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(200.0).stream(&m, 32, 5);
+        let resilience = ResilienceConfig {
+            plan: FaultPlan::scripted(vec![Fault {
+                start_us: 0.0,
+                end_us: 1e12,
+                kind: FaultKind::Slowdown {
+                    shard: 0,
+                    rate: 0.9,
+                },
+            }]),
+            chunk_deadline_us: None,
+            replication: ReplicationPolicy::Full,
+            ladder: Some(LadderConfig::failover_only()),
+            replica_reads: true,
+        };
+        let report = resilient_tier(&m, &arch, 2, load_config(), resilience)
+            .serve(&reqs)
+            .unwrap();
+        assert!(
+            report.per_replica.iter().all(|s| s.jobs == 0),
+            "an active fault must drain reads off the replicas"
+        );
+        assert_eq!(report.records.len(), 32);
     }
 
     #[test]
@@ -1842,6 +1994,7 @@ mod tests {
                 chunk_deadline_us: None,
                 replication: ReplicationPolicy::None,
                 ladder: None, // no mitigation: lane freezes, backlog sheds
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -1860,6 +2013,7 @@ mod tests {
                     partial_backlog_us: 6_000.0,
                     pressure: PressureSignal::Instantaneous,
                 }),
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -1914,6 +2068,7 @@ mod tests {
                 chunk_deadline_us: Some(500.0),
                 replication: ReplicationPolicy::Full,
                 ladder: Some(LadderConfig::failover_only()),
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -1928,6 +2083,7 @@ mod tests {
                 chunk_deadline_us: None,
                 replication: ReplicationPolicy::Full,
                 ladder: Some(LadderConfig::failover_only()),
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -1966,6 +2122,7 @@ mod tests {
                     partial_backlog_us: 0.0,
                     pressure: PressureSignal::Instantaneous,
                 }),
+                replica_reads: false,
             },
         )
         .serve(&reqs)
@@ -2008,6 +2165,7 @@ mod tests {
             chunk_deadline_us: None,
             replication: ReplicationPolicy::None,
             ladder: Some(LadderConfig::failover_only()),
+            replica_reads: false,
         };
         let healthy = resilient_tier(&m, &arch, 4, load_config(), ResilienceConfig::default())
             .serve(&reqs)
@@ -2061,6 +2219,7 @@ mod tests {
                         partial_backlog_us: 6_000.0,
                         pressure: PressureSignal::Instantaneous,
                     }),
+                    replica_reads: false,
                 },
             );
             let a = rt.serve(&reqs).unwrap();
@@ -2290,6 +2449,7 @@ mod tests {
                         partial_backlog_us: f64::INFINITY,
                         pressure,
                     }),
+                    replica_reads: false,
                 },
             )
             .serve(&reqs)

@@ -1,9 +1,11 @@
 //! GPU architecture descriptors.
 //!
-//! The two presets ([`GpuArch::v100`], [`GpuArch::a100`]) mirror the testbed
-//! of the paper's evaluation (Section VI-A). All parameters come from public
-//! NVIDIA documentation; they feed the occupancy calculator and the timing
-//! model and are the only place hardware numbers appear.
+//! The datacenter presets ([`GpuArch::v100`], [`GpuArch::a100`]) mirror the
+//! testbed of the paper's evaluation (Section VI-A); [`GpuArch::edge`] adds
+//! a small T4-class inference part for the heterogeneous fleet pool. All
+//! parameters come from public NVIDIA documentation; they feed the occupancy
+//! calculator and the timing model and are the only place hardware numbers
+//! appear.
 
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +125,41 @@ impl GpuArch {
         }
     }
 
+    /// A small edge-class inference accelerator (T4-like: 40 SMs,
+    /// 320 GB/s GDDR6, 4 MiB L2, PCIe 3.0 x8). The third device class of
+    /// the fleet pool: far less bandwidth and cache than the datacenter
+    /// parts, so memory-bound profiles (many multi-hot lookups, large
+    /// concat widths) lose badly here while small compute-light models
+    /// fit fine — exactly the contrast the heterogeneity-aware placer
+    /// exploits.
+    pub fn edge() -> Self {
+        GpuArch {
+            name: "Edge".to_string(),
+            num_sms: 40,
+            warp_size: 32,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 64 * 1024,
+            smem_alloc_granularity: 256,
+            clock_ghz: 1.0,
+            dram_bw_gbps: 320.0,
+            l2_bw_gbps: 1200.0,
+            dram_latency: 400.0,
+            l2_latency: 190.0,
+            l2_size: 4 * 1024 * 1024,
+            sector_bytes: 32,
+            warp_schedulers: 4,
+            lsu_per_sm: 4.0,
+            kernel_launch_us: 6.0,
+            barrier_cycles: 30.0,
+            host_link_gbps: 8.0, // PCIe 3.0 x8
+            uvm_latency: 2600.0,
+        }
+    }
+
     /// Peak DRAM bytes transferred per SM per core cycle.
     pub fn dram_bytes_per_sm_cycle(&self) -> f64 {
         self.dram_bw_gbps / (self.clock_ghz * self.num_sms as f64)
@@ -170,6 +207,23 @@ mod tests {
         assert!(a.dram_bw_gbps > v.dram_bw_gbps);
         assert!(a.l2_size > v.l2_size);
         assert!(a.num_sms > v.num_sms);
+    }
+
+    #[test]
+    fn edge_is_the_small_class() {
+        let (e, v) = (GpuArch::edge(), GpuArch::v100());
+        assert!(e.dram_bw_gbps < v.dram_bw_gbps);
+        assert!(e.num_sms < v.num_sms);
+        assert!(e.l2_size < v.l2_size);
+        assert!(e.host_link_gbps < v.host_link_gbps);
+        // Launch overhead and UVM latency are *worse* on the edge part —
+        // it punishes chatty schedules, not just wide ones.
+        assert!(e.kernel_launch_us > v.kernel_launch_us);
+        assert!(e.uvm_latency > v.uvm_latency);
+        // Occupancy enumeration still yields a sane, bounded ladder.
+        let levels = e.occupancy_levels();
+        assert!(!levels.is_empty());
+        assert!(levels.iter().all(|&l| l <= e.max_blocks_per_sm));
     }
 
     #[test]
