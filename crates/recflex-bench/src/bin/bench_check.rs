@@ -1,0 +1,86 @@
+//! Bench-trajectory regression gate: compare a freshly generated bench
+//! report against the committed baseline and fail on metric regressions.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--tolerance 0.10]
+//! ```
+//!
+//! Both files are parsed as generic JSON and walked with
+//! [`recflex_bench::trajectory::compare`]: tracked metrics (SLO
+//! attainment, availability, latency percentiles, `speedup_4t`, …) are
+//! recognized by key name anywhere in the tree, so the same gate covers
+//! `BENCH_fleet.json` and `BENCH_parallel.json` without per-file schema
+//! code. Higher-is-better metrics may not drop more than `tolerance`
+//! below the baseline; lower-is-better metrics may not rise more than
+//! `tolerance` above it; a tracked baseline metric missing from the
+//! current report is always a failure. Untracked fields — wall-clock
+//! times, digests, host facts — are ignored, so the gate is portable
+//! across runner hardware.
+
+use std::process::ExitCode;
+
+use recflex_bench::trajectory;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_check <baseline.json> <current.json> [--tolerance FRAC]");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            flag if flag.starts_with("--") => usage(),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = &paths[..] else {
+        usage()
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let regressions = trajectory::compare(&baseline, &current, tolerance);
+    if regressions.is_empty() {
+        println!(
+            "bench_check: {current_path} holds the {baseline_path} trajectory \
+             (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_check: {} regression(s) vs {baseline_path} (tolerance {:.0}%):",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

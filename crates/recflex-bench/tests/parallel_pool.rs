@@ -1,0 +1,192 @@
+//! Property tests for the vendored work-stealing `rayon` pool.
+//!
+//! The pool's contract is stronger than upstream rayon's: every parallel
+//! combinator must produce output **bit-identical** to the sequential
+//! path at any thread count, because the CI threads-replay matrix diffs
+//! experiment JSON across `RECFLEX_THREADS=1` and `4`. These properties
+//! drive the pool through randomized shapes and sizes under explicitly
+//! sized [`rayon::ThreadPool`]s (1, 2 and 8 workers — `install` overrides
+//! the process-wide `RECFLEX_THREADS` choice, so one test process covers
+//! all three) and assert:
+//!
+//! * `collect` over map/enumerate/zip chains is byte-identical across
+//!   thread counts, including non-associative float accumulations where
+//!   an unordered reduction would drift;
+//! * a panicking task propagates its payload to the caller without
+//!   deadlocking the pool, and the pool stays usable afterwards;
+//! * nested `join` recursion at least four frames deep computes the same
+//!   result on workers as inline;
+//! * `par_chunks_mut` writes land disjointly — every element is written
+//!   exactly once by the chunk that owns it.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::ThreadPool;
+
+/// Worker counts every property sweeps. 1 exercises the inline
+/// (sequential) path, 2 the minimal stealing pool, 8 an oversubscribed
+/// pool where chunks outnumber any plausible core count.
+const POOLS: &[usize] = &[1, 2, 8];
+
+/// Run `work` under an `n`-worker pool for each `n` in [`POOLS`] and
+/// assert every outcome equals the plain sequential result.
+fn assert_pool_invariant<T: PartialEq + std::fmt::Debug>(work: &(dyn Fn() -> T + Sync)) {
+    let sequential = work();
+    for &n in POOLS {
+        let pooled = ThreadPool::new(n).install(work);
+        assert_eq!(sequential, pooled, "diverged at {n} workers");
+    }
+}
+
+proptest! {
+    #[test]
+    fn collect_is_bit_identical_across_thread_counts(
+        len in 0usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Non-associative float chain: reassociated reduction would
+        // change low-order bits, so bit-equality proves index order.
+        let input: Vec<f64> = (0..len)
+            .map(|i| (seed ^ i as u64) as f64 * 1e-3 + 0.1)
+            .collect();
+        assert_pool_invariant(&|| {
+            let mapped: Vec<f64> = input
+                .par_iter()
+                .enumerate()
+                .map(|(i, &x)| (x * 1.000_001f64).sin() + i as f64 * 1e-9)
+                .collect();
+            let bits: Vec<u64> = mapped.iter().map(|v| v.to_bits()).collect();
+            let total: f64 = input.par_iter().map(|&x| x * 0.999_999).sum();
+            (bits, total.to_bits())
+        });
+    }
+
+    #[test]
+    fn zip_truncates_and_stays_ordered(
+        a_len in 0usize..300,
+        b_len in 0usize..300,
+    ) {
+        let a: Vec<u64> = (0..a_len as u64).map(|i| i * 3 + 1).collect();
+        let b: Vec<u64> = (0..b_len as u64).map(|i| i * 7 + 2).collect();
+        assert_pool_invariant(&|| {
+            let pooled: Vec<u64> = a
+                .par_iter()
+                .zip(b.par_iter())
+                .map(|(&x, &y)| x.wrapping_mul(y) ^ (x + y))
+                .collect();
+            pooled
+        });
+    }
+
+    #[test]
+    fn panic_propagates_without_deadlock(
+        len in 10usize..400,
+        victim_frac in 0.0f64..1.0,
+    ) {
+        let victim = (len as f64 * victim_frac) as usize;
+        for &n in POOLS {
+            let pool = ThreadPool::new(n);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    (0..len)
+                        .into_par_iter()
+                        .map(|i| {
+                            if i == victim {
+                                panic!("victim {i}");
+                            }
+                            i * 2
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            }));
+            let payload = caught.expect_err("panic must reach the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("string payload");
+            prop_assert_eq!(msg, format!("victim {}", victim));
+            // The pool must survive a panicking scope: the next install
+            // on the same pool completes and is still deterministic.
+            let after: Vec<usize> =
+                pool.install(|| (0..len).into_par_iter().map(|i| i + 1).collect());
+            prop_assert_eq!(after.len(), len);
+            prop_assert_eq!(after[len - 1], len);
+        }
+    }
+
+    #[test]
+    fn nested_join_four_deep_matches_inline(n in 12u64..18) {
+        // Binary recursion on `join`: depth from n=12 is >= 4 frames of
+        // nested parallelism, so workers must help-wait instead of
+        // blocking or the pool deadlocks at 1-2 workers.
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = rayon::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let expected = {
+            fn seq(n: u64) -> u64 {
+                if n < 2 { n } else { seq(n - 1) + seq(n - 2) }
+            }
+            seq(n)
+        };
+        assert_pool_invariant(&|| fib(n));
+        prop_assert_eq!(fib(n), expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_are_disjoint(
+        len in 1usize..800,
+        chunk in 1usize..64,
+    ) {
+        assert_pool_invariant(&|| {
+            // Each element starts at 0 and is incremented once by the
+            // chunk owning it, tagged with the chunk index. Any overlap
+            // (double write) or gap (missed write) breaks the expected
+            // pattern; any cross-chunk race would corrupt the tag.
+            let mut data = vec![0u64; len];
+            data.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, slice)| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        *slot += 1 + ((ci * chunk + off) as u64) * 2;
+                    }
+                });
+            data
+        });
+        // Re-check the pattern itself sequentially.
+        let mut data = vec![0u64; len];
+        data.par_chunks_mut(chunk).enumerate().for_each(|(ci, slice)| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                *slot += 1 + ((ci * chunk + off) as u64) * 2;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(v, 1 + i as u64 * 2, "element {} written wrongly", i);
+        }
+    }
+}
+
+/// `Result` collect must surface the lowest-index error at any thread
+/// count — not whichever failing chunk finished first.
+#[test]
+fn result_collect_error_is_lowest_index_everywhere() {
+    let failures = [7usize, 131, 132, 499];
+    for &n in POOLS {
+        let got: Result<Vec<usize>, String> = ThreadPool::new(n).install(|| {
+            (0..512usize)
+                .into_par_iter()
+                .map(|i| {
+                    if failures.contains(&i) {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .collect()
+        });
+        assert_eq!(got, Err("bad 7".to_string()), "at {n} workers");
+    }
+}

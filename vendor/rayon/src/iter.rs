@@ -1,0 +1,795 @@
+//! Indexed parallel iterators with a deterministic, index-ordered merge.
+//!
+//! ## Why "indexed"
+//!
+//! Every source this crate parallelizes over — ranges, `Vec`s, slices,
+//! chunked slices — has a stable index order, and every adapter preserves
+//! it. The executor splits the index space `[0, len)` into contiguous
+//! chunks, runs each chunk as one pool task, and every terminal writes a
+//! chunk's results *by index* into a pre-sized buffer (or, for
+//! `for_each`, relies on the items themselves being index-addressed, e.g.
+//! `par_chunks_mut`'s disjoint sub-slices). Thread count and steal order
+//! therefore cannot perturb the output: a 1-thread and an N-thread run
+//! produce byte-identical results.
+//!
+//! ## Keeping unordered sources out (the replay gate's compile-time bound)
+//!
+//! Unlike upstream rayon's blanket `IntoIterator` bridge (and this
+//! crate's previous sequential stand-in), [`IntoParallelIterator`] is
+//! implemented **only** for the indexed sources above. A `HashMap` — or
+//! anything else whose iteration order is not a stable function of its
+//! contents — does not compile here, so an unordered source cannot slip
+//! into a replay-gated path. The executor additionally hard-asserts that
+//! each chunk yields exactly its slice of the index space before the
+//! collected buffer is exposed.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool;
+
+/// How many chunk tasks to cut per pool thread: enough slack for the
+/// stealers to balance uneven chunks, few enough to keep per-task
+/// overhead negligible.
+const TASKS_PER_THREAD: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Producer: a splittable, exactly-sized source of items
+// ---------------------------------------------------------------------------
+
+/// A source that can be split at an index into two independent sources.
+///
+/// Contract: a producer covering `n` items yields *exactly* `n` items in
+/// index order from [`Producer::into_seq_iter`], and `split_at(mid)`
+/// partitions it into the first `mid` and the remaining `n - mid` items.
+pub trait Producer: Send + Sized {
+    /// The item type.
+    type Item: Send;
+    /// The sequential iterator a chunk is drained through.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Split into `[0, mid)` and `[mid, n)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Drain this producer's items in index order.
+    fn into_seq_iter(self) -> Self::IntoIter;
+}
+
+/// Split `producer` (covering `len` items) into chunk tasks and run
+/// `consume(offset, chunk_len, chunk)` for each, in parallel when a pool
+/// is available. `consume` must drain the chunk in index order.
+fn drive<P, F>(len: usize, producer: P, consume: F)
+where
+    P: Producer,
+    F: Fn(usize, usize, P) + Sync,
+{
+    let threads = pool::parallelism();
+    if threads <= 1 || len <= 1 {
+        consume(0, len, producer);
+        return;
+    }
+    let chunk = len.div_ceil(threads * TASKS_PER_THREAD).max(1);
+    let consume = &consume;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(len.div_ceil(chunk));
+    let mut rest = producer;
+    let mut offset = 0;
+    while len - offset > chunk {
+        let (head, tail) = rest.split_at(chunk);
+        rest = tail;
+        tasks.push(Box::new(move || consume(offset, chunk, head)));
+        offset += chunk;
+    }
+    tasks.push(Box::new(move || consume(offset, len - offset, rest)));
+    pool::run_tasks(tasks);
+}
+
+// ---------------------------------------------------------------------------
+// The iterator trait: adapters + terminals
+// ---------------------------------------------------------------------------
+
+/// An exactly-sized, order-preserving parallel iterator.
+///
+/// This plays the role of both `ParallelIterator` and
+/// `IndexedParallelIterator` in upstream rayon: every iterator this
+/// crate can build is indexed, which is what makes the deterministic
+/// ordered merge possible (see the module docs).
+pub trait IndexedParallelIterator: Send + Sized {
+    /// The item type.
+    type Item: Send;
+    /// The splittable source driving this iterator.
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+    /// Convert into the splittable source.
+    fn into_producer(self) -> Self::Producer;
+
+    /// Map each item through `f` (order-preserving).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair each item with its index (order-preserving).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pair items positionally with `other`, truncating to the shorter.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Run `f` on every item. Effects through the items (e.g. writes into
+    /// `par_chunks_mut` sub-slices) land disjointly by construction.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let len = self.par_len();
+        let producer = self.into_producer();
+        drive(len, producer, |_, chunk_len, chunk| {
+            let mut produced = 0usize;
+            for item in chunk.into_seq_iter() {
+                produced += 1;
+                assert!(produced <= chunk_len, "producer over-yielded its chunk");
+                f(item);
+            }
+            assert_eq!(produced, chunk_len, "producer under-yielded its chunk");
+        });
+    }
+
+    /// Collect into `C` with results merged in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items. Reduced sequentially in index order over the
+    /// collected items, so floating-point sums stay bit-identical across
+    /// thread counts.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        collect_vec(self).into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered-merge terminals
+// ---------------------------------------------------------------------------
+
+/// `*mut T` that may cross threads: each chunk task writes a disjoint
+/// index range, which is what makes the shared pointer sound.
+struct SendPtr<T>(*mut T);
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The slot at `index`. Takes `self` by value so closures capture the
+    /// whole wrapper (edition-2021 disjoint capture would otherwise grab
+    /// the bare `*mut T` field, which is not `Sync`).
+    fn slot(self, index: usize) -> *mut T {
+        // SAFETY: callers stay within the buffer they constructed us from.
+        unsafe { self.0.add(index) }
+    }
+}
+
+/// Collect into a `Vec` with every item written at its source index.
+fn collect_vec<I: IndexedParallelIterator>(iter: I) -> Vec<I::Item> {
+    let len = iter.par_len();
+    let producer = iter.into_producer();
+    let mut out: Vec<I::Item> = Vec::with_capacity(len);
+    let base = SendPtr(out.as_mut_ptr());
+    drive(len, producer, move |offset, chunk_len, chunk| {
+        let mut written = 0usize;
+        for item in chunk.into_seq_iter() {
+            // Hard (not debug) assert: an over-yielding producer would
+            // otherwise write out of bounds, an under-yielding one would
+            // expose uninitialized memory below.
+            assert!(written < chunk_len, "producer over-yielded its chunk");
+            // SAFETY: `offset + written < offset + chunk_len <= len`, the
+            // buffer holds capacity for `len` items, and chunk ranges are
+            // disjoint, so each slot is written exactly once.
+            unsafe { base.slot(offset + written).write(item) };
+            written += 1;
+        }
+        assert_eq!(written, chunk_len, "producer under-yielded its chunk");
+    });
+    // SAFETY: `drive` returned without panicking, so (per the asserts
+    // above) all `len` slots were initialized. On panic we never get
+    // here: the Vec drops with length 0, leaking any written items but
+    // never touching uninitialized memory.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// Types a parallel iterator can collect into with an index-ordered merge.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the iterator's items, in index order.
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(iter: I) -> Self {
+        collect_vec(iter)
+    }
+}
+
+/// `collect::<Result<_, _>>()`: every item is computed (no racy
+/// short-circuit), then reduced sequentially, so the reported error is
+/// always the *lowest-index* one regardless of thread count.
+impl<T, E, C> FromParallelIterator<Result<T, E>> for Result<C, E>
+where
+    T: Send,
+    E: Send,
+    C: FromIterator<T>,
+{
+    fn from_par_iter<I: IndexedParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        collect_vec(iter).into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `collection.into_par_iter()` over an owned indexed source.
+///
+/// Deliberately **not** a blanket `IntoIterator` bridge: only sources
+/// with a stable index order are accepted (see the module docs).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The parallel iterator this source becomes.
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { range: self }
+            }
+        }
+
+        impl IndexedParallelIterator for RangePar<$t> {
+            type Item = $t;
+            type Producer = Range<$t>;
+            fn par_len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn into_producer(self) -> Range<$t> {
+                self.range
+            }
+        }
+
+        impl Producer for Range<$t> {
+            type Item = $t;
+            type IntoIter = Range<$t>;
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.start + mid as $t;
+                (self.start..m, m..self.end)
+            }
+            fn into_seq_iter(self) -> Self::IntoIter {
+                self
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u16, u32, u64, usize, i32, i64);
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecPar<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { vec: self }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecPar<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn into_producer(self) -> VecProducer<T> {
+        VecProducer { vec: self.vec }
+    }
+}
+
+/// Splittable owned-`Vec` source.
+pub struct VecProducer<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, VecProducer { vec: tail })
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.vec.into_iter()
+    }
+}
+
+/// `collection.par_iter()` — parallel iteration by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type (`&'a T`).
+    type Item: Send;
+    /// The parallel iterator.
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    /// Iterate in parallel by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SlicePar<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    type Producer = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn into_producer(self) -> &'a [T] {
+        self.slice
+    }
+}
+
+impl<'a, T: Sync> Producer for &'a [T] {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        self.split_at(mid)
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — parallel iteration by unique reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The item type (`&'a mut T`).
+    type Item: Send;
+    /// The parallel iterator.
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    /// Iterate in parallel by `&mut`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceMutPar<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceMutPar<'a, T> {
+        SliceMutPar { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceMutPar<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceMutPar<'a, T> {
+        SliceMutPar { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceMutPar<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IndexedParallelIterator for SliceMutPar<'a, T> {
+    type Item = &'a mut T;
+    type Producer = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn into_producer(self) -> &'a mut [T] {
+        self.slice
+    }
+}
+
+impl<'a, T: Send> Producer for &'a mut [T] {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+/// `slice.par_chunks(n)` — parallel iteration over `n`-sized sub-slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Non-overlapping chunks of `chunk_size` (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ChunksPar {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over shared chunks.
+pub struct ChunksPar<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type Producer = ChunksProducer<'a, T>;
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn into_producer(self) -> ChunksProducer<'a, T> {
+        ChunksProducer {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Splittable source of shared chunks (`mid` counts chunks, not elements).
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (head, tail) = self.slice.split_at(at);
+        (
+            ChunksProducer {
+                slice: head,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: tail,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — disjoint mutable sub-slices in parallel.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size` (last may be
+    /// shorter). Chunks are carved with `split_at_mut`, so writes from
+    /// different tasks are disjoint by construction.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ChunksMutPar {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ChunksMutPar<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type Producer = ChunksMutProducer<'a, T>;
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn into_producer(self) -> ChunksMutProducer<'a, T> {
+        ChunksMutProducer {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Splittable source of mutable chunks (`mid` counts chunks).
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (head, tail) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer {
+                slice: head,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: tail,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Order-preserving `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, U> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> U + Send + Sync,
+    U: Send,
+{
+    type Item = U;
+    type Producer = MapProducer<I::Producer, F, U>;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn into_producer(self) -> Self::Producer {
+        MapProducer {
+            base: self.base.into_producer(),
+            f: self.f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Producer for [`Map`].
+pub struct MapProducer<P, F, U> {
+    base: P,
+    f: Arc<F>,
+    _out: PhantomData<fn() -> U>,
+}
+
+impl<P, F, U> Producer for MapProducer<P, F, U>
+where
+    P: Producer,
+    F: Fn(P::Item) -> U + Send + Sync,
+    U: Send,
+{
+    type Item = U;
+    type IntoIter = MapSeqIter<P::IntoIter, F>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (
+            MapProducer {
+                base: head,
+                f: Arc::clone(&self.f),
+                _out: PhantomData,
+            },
+            MapProducer {
+                base: tail,
+                f: self.f,
+                _out: PhantomData,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        MapSeqIter {
+            inner: self.base.into_seq_iter(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential drain of one [`MapProducer`] chunk.
+pub struct MapSeqIter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F, U> Iterator for MapSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> U,
+{
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+/// Order-preserving `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Producer = EnumerateProducer<I::Producer>;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn into_producer(self) -> Self::Producer {
+        EnumerateProducer {
+            base: self.base.into_producer(),
+            offset: 0,
+        }
+    }
+}
+
+/// Producer for [`Enumerate`]: splits carry the absolute base index.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeqIter<P::IntoIter>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (
+            EnumerateProducer {
+                base: head,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: tail,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        EnumerateSeqIter {
+            inner: self.base.into_seq_iter(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential drain of one [`EnumerateProducer`] chunk.
+pub struct EnumerateSeqIter<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+/// Positional `zip` adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Producer = ZipProducer<A::Producer, B::Producer>;
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn into_producer(self) -> Self::Producer {
+        let len = self.par_len();
+        let (a_len, b_len) = (self.a.par_len(), self.b.par_len());
+        let mut a = self.a.into_producer();
+        let mut b = self.b.into_producer();
+        // Truncate the longer side so both producers cover exactly `len`.
+        if a_len > len {
+            a = a.split_at(len).0;
+        }
+        if b_len > len {
+            b = b.split_at(len).0;
+        }
+        ZipProducer { a, b }
+    }
+}
+
+/// Producer for [`Zip`]: both sides split at the same index.
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a_head, a_tail) = self.a.split_at(mid);
+        let (b_head, b_tail) = self.b.split_at(mid);
+        (
+            ZipProducer {
+                a: a_head,
+                b: b_head,
+            },
+            ZipProducer {
+                a: a_tail,
+                b: b_tail,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.a.into_seq_iter().zip(self.b.into_seq_iter())
+    }
+}

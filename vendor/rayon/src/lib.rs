@@ -1,98 +1,58 @@
-//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses — now backed by a **real work-stealing thread pool** with a
+//! deterministic, index-ordered reduction.
 //!
 //! The build container has no crates.io access, so the root manifest
-//! patches `rayon` to this crate. Every `par_*` entry point returns the
-//! corresponding **sequential** std iterator, which makes the whole std
-//! `Iterator` adapter surface (`map`, `enumerate`, `collect`, `sum`, …)
-//! available unchanged. Results are bit-identical to a real rayon run for
-//! this codebase because all its parallel maps are pure and
-//! order-preserving; only wall-clock parallelism is lost.
+//! patches `rayon` to this crate. Every `par_*` entry point splits its
+//! index space into chunk tasks over per-worker deques (idle workers
+//! steal; waiters help — see [`mod@pool`]) and merges results back **in
+//! index order** (see [`mod@iter`]). Because every parallel map in this
+//! workspace is pure and order-preserving, outputs are bit-identical to
+//! a sequential run at any thread count — CI diffs `RECFLEX_THREADS=1`
+//! against `RECFLEX_THREADS=4` to prove it.
+//!
+//! ## Thread-count knob
+//!
+//! * `RECFLEX_THREADS` unset or `0` — one worker per available core.
+//! * `RECFLEX_THREADS=1` — the exact sequential path; no pool, no
+//!   threads, no synchronization.
+//! * `RECFLEX_THREADS=n` — `n` pool workers.
+//!
+//! In-process overrides (benchmarks, tests) use
+//! [`ThreadPool::new`]`(n)`[`.install(..)`](ThreadPool::install).
+//!
+//! ## Divergence from upstream
+//!
+//! Only the adapter surface this workspace uses is provided (`map`,
+//! `enumerate`, `zip`, `for_each`, `collect`, `sum`), and
+//! `IntoParallelIterator` is restricted to indexed sources (ranges,
+//! `Vec`, slices, chunks) instead of upstream's blanket `IntoIterator`
+//! bridge, so order-unstable sources like `HashMap` are a compile error
+//! rather than a latent replay-determinism bug.
 
-/// Run two closures ("in parallel") and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+pub mod iter;
+pub mod pool;
+
+pub use pool::{configured_threads, join, ThreadPool};
+
+/// The number of threads `par_*` calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    configured_threads()
 }
 
 /// The `use rayon::prelude::*` surface.
 pub mod prelude {
-    /// `collection.into_par_iter()` — sequential: the std `IntoIterator`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `collection.par_iter()` — sequential: iterate by reference.
-    pub trait IntoParallelRefIterator<'a> {
-        /// The underlying sequential iterator.
-        type Iter: Iterator;
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `collection.par_iter_mut()` — sequential: iterate by `&mut`.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// The underlying sequential iterator.
-        type Iter: Iterator;
-        /// Sequential stand-in for rayon's `par_iter_mut`.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator,
-    {
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `slice.par_chunks(n)` / `slice.par_chunks_mut(n)` — sequential.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for rayon's `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Mutable sibling of [`ParallelSlice`].
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for rayon's `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -112,5 +72,101 @@ mod tests {
         m.par_chunks_mut(2).for_each(|c| c.reverse());
         assert_eq!(m, [2, 1, 4, 3]);
         assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+
+    /// The parallel path must agree byte-for-byte with the sequential one,
+    /// even on float-heavy maps where reassociation would show instantly.
+    #[test]
+    fn pool_collect_is_index_ordered() {
+        let pool = ThreadPool::new(4);
+        let seq: Vec<f64> = (0..10_000u32)
+            .into_par_iter()
+            .map(|i| (i as f64).sqrt().sin() * 1e-3 + i as f64)
+            .collect();
+        let par: Vec<f64> = pool.install(|| {
+            (0..10_000u32)
+                .into_par_iter()
+                .map(|i| (i as f64).sqrt().sin() * 1e-3 + i as f64)
+                .collect()
+        });
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_runs_on_many_threads() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.current_num_threads(), 4);
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..1_000usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("boom at {i}");
+                    }
+                })
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("payload resumes intact");
+        assert_eq!(msg, "boom at 37");
+        // The pool must survive a panicking scope.
+        let v: Vec<usize> = pool.install(|| (0..8usize).into_par_iter().collect());
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_join_runs_deep() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn result_collect_reports_lowest_index_error() {
+        let pool = ThreadPool::new(8);
+        let r: Result<Vec<u32>, String> = pool.install(|| {
+            (0..1_000u32)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 251 == 250 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .collect()
+        });
+        assert_eq!(r.unwrap_err(), "bad 250");
+    }
+
+    #[test]
+    fn sequential_pool_is_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.current_num_threads(), 1);
+        let v: Vec<u32> = pool.install(|| (0..64u32).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(v[63], 63 * 63);
     }
 }

@@ -1,0 +1,424 @@
+//! The work-stealing thread pool behind every `par_*` entry point.
+//!
+//! ## Shape
+//!
+//! A pool owns one deque per worker thread. Work arrives as batches of
+//! *chunk tasks* (contiguous index sub-ranges produced by the executor in
+//! [`crate::iter`]): a worker pops its own deque from the front and, when
+//! that runs dry, steals from the back of a sibling's deque. The thread
+//! that submitted a batch does not sleep behind it — it *helps*, running
+//! queued tasks itself until its own batch has drained, which also makes
+//! nested parallelism (a task that itself calls `par_iter` or `join`)
+//! deadlock-free: every waiter is also an executor.
+//!
+//! ## Determinism
+//!
+//! The pool never reduces results itself. Scheduling decides only *where*
+//! and *when* a chunk runs; *what* it computes and *where its results
+//! land* are fixed by the chunk's index range (see the ordered-merge
+//! `collect` in [`crate::iter`]). Outputs are therefore byte-identical
+//! across thread counts, including the sequential `RECFLEX_THREADS=1`
+//! path, which never constructs a pool at all.
+//!
+//! ## Panics
+//!
+//! A panicking task never takes down a worker: the payload is caught,
+//! parked in its scope, and re-raised on the submitting caller with
+//! [`std::panic::resume_unwind`] after every task of the scope has
+//! settled (tasks borrow the caller's stack, so the caller must not
+//! unwind while any of them could still run).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A lifetime-erased unit of work (see the safety note in [`run_tasks`]).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a pool's workers and the threads that submit to it.
+struct Shared {
+    /// One deque per worker: the owner pops the front, thieves the back.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Queued-but-unclaimed tasks across all deques (fast idle check).
+    pending: AtomicUsize,
+    /// Sleep lock + wakeup signal for idle workers.
+    idle: Mutex<()>,
+    work_cv: Condvar,
+    /// Set once by `Drop`; workers exit when they next find no work.
+    shutdown: AtomicBool,
+    /// Round-robin cursor for submissions from non-worker threads.
+    next_deque: AtomicUsize,
+}
+
+impl Shared {
+    fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queue a batch: a worker keeps its batch local (thieves will come to
+    /// it), an external thread spreads the batch round-robin.
+    fn push_tasks(&self, home: Option<usize>, tasks: Vec<Task>) {
+        let n = self.deques.len();
+        let count = tasks.len();
+        match home {
+            Some(w) => self.deques[w].lock().unwrap().extend(tasks),
+            None => {
+                for t in tasks {
+                    let i = self.next_deque.fetch_add(1, Ordering::Relaxed) % n;
+                    self.deques[i].lock().unwrap().push_back(t);
+                }
+            }
+        }
+        self.pending.fetch_add(count, Ordering::Release);
+        // Lock-then-notify so a worker that just checked `pending` and is
+        // about to wait cannot miss the signal.
+        let _g = self.idle.lock().unwrap();
+        self.work_cv.notify_all();
+    }
+
+    /// Claim one task: own deque front first, then steal siblings' backs.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if let Some(w) = me {
+            if let Some(t) = self.deques[w].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |w| w + 1);
+        for off in 0..n {
+            let i = (start + off) % n;
+            if me == Some(i) {
+                continue;
+            }
+            if let Some(t) = self.deques[i].lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    // Nested `par_*` calls from inside a task must land on this pool.
+    CURRENT_POOL.with(|c| {
+        *c.borrow_mut() = Some(PoolRef {
+            shared: Arc::clone(&shared),
+            worker: Some(me),
+        })
+    });
+    loop {
+        if let Some(t) = shared.find_task(Some(me)) {
+            t();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.idle.lock().unwrap();
+        if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire)
+        {
+            // Timed wait: a bounded backstop against any missed wakeup.
+            let _ = shared
+                .work_cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+    }
+}
+
+/// A work-stealing pool with an explicit thread count.
+///
+/// Most code never touches this type — the `par_*` entry points lazily
+/// build one global pool sized by `RECFLEX_THREADS`. An explicit pool
+/// exists for code that must compare thread counts *within one process*
+/// (the `bench_parallel` trajectory, the pool's own property tests):
+/// [`ThreadPool::install`] routes every `par_*` call made by the closure
+/// (on this thread) to this pool. `ThreadPool::new(1)` spawns no workers;
+/// installing it forces the exact sequential path.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool with `num_threads` workers (`<= 1` → none: sequential).
+    pub fn new(num_threads: usize) -> Self {
+        let workers = if num_threads <= 1 { 0 } else { num_threads };
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_deque: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("recflex-rayon-{i}"))
+                    // Help-first waiting nests task frames on the worker
+                    // stack: a worker blocked on a scope executes further
+                    // tasks, which may themselves wait. Deeply recursive
+                    // `join` trees (the tuner's candidate sweeps, the
+                    // pool's own property tests) therefore need far more
+                    // headroom than the platform default.
+                    .stack_size(16 << 20)
+                    .spawn(move || worker_loop(s, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// The pool's degree of parallelism (1 for a sequential pool).
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.workers().max(1)
+    }
+
+    /// Run `op` with this pool as the calling thread's current pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_POOL.with(|c| {
+            c.borrow_mut().replace(PoolRef {
+                shared: Arc::clone(&self.shared),
+                worker: None,
+            })
+        });
+        // Restore on unwind too: a panicking `op` must not leave a dangling
+        // pool installed on this thread.
+        struct Restore(Option<PoolRef>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT_POOL.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.idle.lock().unwrap();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The pool a thread's `par_*` calls route to.
+#[derive(Clone)]
+struct PoolRef {
+    shared: Arc<Shared>,
+    /// This thread's worker index, when it *is* a worker of `shared`.
+    worker: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT_POOL: RefCell<Option<PoolRef>> = const { RefCell::new(None) };
+}
+
+/// Thread count resolved from `RECFLEX_THREADS` (read once per process):
+/// unset, `0`, or unparsable → available parallelism; `1` → sequential
+/// (no pool is ever spawned); `n` → `n` workers.
+pub fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        let available = || thread::available_parallelism().map_or(1, |n| n.get());
+        match std::env::var("RECFLEX_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Err(_) => available(),
+                Ok(n) => n,
+            },
+            Err(_) => available(),
+        }
+    })
+}
+
+fn global_pool() -> Option<&'static ThreadPool> {
+    static POOL: OnceLock<Option<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = configured_threads();
+        (n > 1).then(|| ThreadPool::new(n))
+    })
+    .as_ref()
+}
+
+/// The calling thread's pool: an installed/worker pool wins over the
+/// global one; an installed *sequential* pool (`new(1)`) disables
+/// parallelism outright rather than falling through to the global pool.
+fn current() -> Option<PoolRef> {
+    match CURRENT_POOL.with(|c| c.borrow().clone()) {
+        Some(r) if r.shared.workers() > 0 => Some(r),
+        Some(_) => None,
+        None => global_pool().map(|p| PoolRef {
+            shared: Arc::clone(&p.shared),
+            worker: None,
+        }),
+    }
+}
+
+/// Degree of parallelism the executor should chunk for (1 = stay inline).
+pub(crate) fn parallelism() -> usize {
+    current().map_or(1, |r| r.shared.workers())
+}
+
+/// Per-batch completion tracking: a countdown latch plus the first panic.
+struct ScopeState {
+    remaining: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn new(tasks: usize) -> Arc<Self> {
+        Arc::new(ScopeState {
+            remaining: AtomicUsize::new(tasks),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn task_done(&self) {
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        let _g = self.done.lock().unwrap();
+        self.done_cv.notify_all();
+    }
+
+    /// Re-raise the scope's first panic, if any. Only call after the
+    /// latch has drained.
+    fn propagate_panic(&self) {
+        let payload = self.panic.lock().unwrap().take();
+        if let Some(p) = payload {
+            panic::resume_unwind(p);
+        }
+    }
+}
+
+/// Wrap a borrowing task so it reports to `scope`, then erase its
+/// lifetime for the deques.
+///
+/// # Safety
+///
+/// The caller must not return (or unwind) before `scope`'s latch has
+/// drained — [`wait_scope`] — because the task may borrow its stack.
+unsafe fn erase<'a>(scope: &Arc<ScopeState>, t: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    let sc = Arc::clone(scope);
+    let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(t)) {
+            sc.record_panic(p);
+        }
+        sc.task_done();
+    });
+    mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Task>(wrapped)
+}
+
+/// Help-first wait: run queued tasks (this scope's or anyone's) until the
+/// scope's latch drains. Never blocks unboundedly while work exists, so
+/// nested scopes cannot deadlock.
+fn wait_scope(pool: &PoolRef, scope: &ScopeState) {
+    loop {
+        if scope.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Some(t) = pool.shared.find_task(pool.worker) {
+            t();
+            continue;
+        }
+        let guard = scope.done.lock().unwrap();
+        if scope.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let _ = scope
+            .done_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+/// Run a batch of independent tasks to completion, in parallel when a
+/// pool is available, inline (in submission order) otherwise. The first
+/// task panic is re-raised here after all tasks settle.
+pub(crate) fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let pool = match current() {
+        Some(p) if tasks.len() > 1 => p,
+        _ => {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+    };
+    let scope = ScopeState::new(tasks.len());
+    let erased: Vec<Task> = tasks
+        .into_iter()
+        // SAFETY: `wait_scope` below drains the latch before this frame
+        // ends, so the tasks' borrows of the caller's stack stay valid.
+        .map(|t| unsafe { erase(&scope, t) })
+        .collect();
+    pool.shared.push_tasks(pool.worker, erased);
+    wait_scope(&pool, &scope);
+    scope.propagate_panic();
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `b` is queued on the pool (stealable by any worker) while `a` runs on
+/// the calling thread, which then helps execute queued work until `b`
+/// settles. With no pool, both run inline — byte-identical results either
+/// way. If both sides panic, `a`'s payload (the caller's own frame) wins.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let Some(pool) = current() else {
+        return (a(), b());
+    };
+    let scope = ScopeState::new(1);
+    let mut rb: Option<RB> = None;
+    {
+        let slot = &mut rb;
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = Some(b()));
+        // SAFETY: `wait_scope` below runs before this frame ends.
+        let task = unsafe { erase(&scope, task) };
+        pool.shared.push_tasks(pool.worker, vec![task]);
+    }
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    // `b` borrows this frame: it must settle before any unwind.
+    wait_scope(&pool, &scope);
+    match ra {
+        Ok(ra) => {
+            scope.propagate_panic();
+            (ra, rb.expect("join: task settled without result or panic"))
+        }
+        Err(p) => panic::resume_unwind(p),
+    }
+}

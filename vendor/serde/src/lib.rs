@@ -102,6 +102,22 @@ pub trait Deserialize: Sized {
     fn deserialize_value(v: &Value) -> Result<Self, Error>;
 }
 
+/// Identity: a [`Value`] serializes to itself. Lets generic JSON tooling
+/// (the bench-trajectory checker) round-trip documents it does not model
+/// as Rust structs.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Identity: any well-formed value tree deserializes as itself.
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -5,7 +5,8 @@
 //! `u64` seeds) round-trip exactly because they are printed as integer
 //! literals, never through `f64`.
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
+pub use serde::Value;
 
 /// JSON (de)serialization failure.
 #[derive(Debug, Clone, PartialEq)]
