@@ -170,6 +170,7 @@ fn main() -> ExitCode {
         policy: BatchPolicy::Split { cap: 256 },
         slo_deadline_us: Some(slo_deadline_us),
         closed_loop: false,
+        hot_shard_cap: None,
     };
     let n_requests = (scale.eval_batches * 16).clamp(24, 96);
     let stream: Vec<Request> = WorkloadSpec::long_tail(GAP_US).stream(&model, n_requests, 42);

@@ -41,8 +41,10 @@ use recflex_bench::{CliOpts, Scale};
 use recflex_core::RecFlexEngine;
 use recflex_data::{Batch, Dataset, FleetAssignment, ModelConfig, ModelPreset, Placement};
 use recflex_serve::{
-    BatchPolicy, DeviceClass, DiurnalCurve, FlashCrowd, FleetMember, FleetReport, FleetRuntime,
-    QueryGate, ScenarioSpec, ServeConfig, ShardedServeRuntime, TrafficShape, WorkloadSpec,
+    BatchPolicy, ClassFaultKind, ClassFaultWindow, DeviceClass, DiurnalCurve, ElasticityConfig,
+    FlashCrowd, FleetBrownoutConfig, FleetChaosConfig, FleetFaultSpec, FleetMember, FleetReport,
+    FleetRuntime, HealthPolicy, PressureSignal, QueryGate, ScenarioSpec, ServeConfig,
+    ShardedServeRuntime, TrafficShape, WorkloadSpec,
 };
 use recflex_sim::GpuArch;
 use serde::Serialize;
@@ -91,6 +93,17 @@ struct StrategyRow {
     classes: Vec<ClassRow>,
 }
 
+/// Chaos-scenario trajectory metrics: a compact two-member fleet under a
+/// mid-run V100-class outage with drain-and-migrate and the brownout
+/// ladder enabled. `bench_check` tracks both leaves higher-better; the
+/// full acceptance gates live in the `serving_fleet_chaos` experiment.
+#[derive(Serialize)]
+struct ChaosSummary {
+    availability: f64,
+    slo_attainment: f64,
+    migrations_completed: u32,
+}
+
 #[derive(Serialize)]
 struct FleetBenchReport {
     scenarios: Vec<String>,
@@ -103,6 +116,7 @@ struct FleetBenchReport {
     /// Gate 2: the degenerate 1-model/1-class fleet reproduced the plain
     /// sharded tier byte-for-byte.
     degenerate_identity: bool,
+    chaos: ChaosSummary,
     rows: Vec<StrategyRow>,
 }
 
@@ -149,6 +163,7 @@ fn mean_batch_size(model: &ModelConfig, idx: usize, n: usize) -> f64 {
             workload: WorkloadSpec::long_tail(100.0),
             shape: TrafficShape::flat(),
             requests: n,
+            priority: 1,
         }],
         seed: SEED ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     };
@@ -219,6 +234,7 @@ fn build_fleet<'a>(
                     },
                     slo_deadline_us: Some(slos[m]),
                     closed_loop: false,
+                    hot_shard_cap: None,
                 },
                 scale.interconnect.clone(),
                 |sub| {
@@ -254,6 +270,7 @@ fn degenerate_identity(scale: &Scale) -> bool {
         policy: BatchPolicy::Split { cap: 256 },
         slo_deadline_us: None,
         closed_loop: false,
+        hot_shard_cap: None,
     };
     let build = || {
         ShardedServeRuntime::build(
@@ -271,6 +288,7 @@ fn degenerate_identity(scale: &Scale) -> bool {
             workload: WorkloadSpec::long_tail(400.0),
             shape: TrafficShape::flat(),
             requests: 24,
+            priority: 1,
         }],
         seed: SEED,
     };
@@ -296,6 +314,133 @@ fn degenerate_identity(scale: &Scale) -> bool {
         .expect("direct tier serves");
     serde_json::to_string(&via_fleet.models[0].report).expect("serialize")
         == serde_json::to_string(&direct).expect("serialize")
+}
+
+/// The chaos trajectory cell: model A pinned to a dying V100 class with
+/// one spare A100 to escape to, model C healthy on A100.
+fn chaos_summary(scale: &Scale) -> ChaosSummary {
+    let models = [
+        ModelPreset::A.scaled(scale.model_frac),
+        ModelPreset::C.scaled(scale.model_frac),
+    ];
+    let v100 = GpuArch::v100();
+    let a100 = GpuArch::a100();
+    let archs = [&v100, &a100];
+    let pinned = [0usize, 1];
+    let n = (scale.eval_batches * 8).clamp(16, 32);
+    // Anchor gaps and SLOs on a probed mean-request cost so the cell
+    // stays underloaded (and the health monitor fault-driven) at every
+    // harness scale.
+    let costs: Vec<f64> = models
+        .iter()
+        .zip(pinned)
+        .map(|(model, class)| {
+            let tables = recflex_embedding::TableSet::for_model(model);
+            let backend = TorchRecBackend::compile(model);
+            let probe = Batch::generate(model, 32, 0xF1EE7);
+            recflex_baselines::Backend::run(&backend, model, &tables, &probe, archs[class])
+                .expect("probe batch runs")
+                .latency_us
+        })
+        .collect();
+    let slos: Vec<f64> = costs.iter().map(|c| 8.0 * c).collect();
+    let workload = recflex_serve::FleetWorkload {
+        scenarios: models
+            .iter()
+            .zip(&costs)
+            .map(|(model, cost)| ScenarioSpec {
+                name: model.name.clone(),
+                workload: WorkloadSpec::long_tail(cost / 0.35),
+                shape: TrafficShape::flat(),
+                requests: n,
+                priority: 1,
+            })
+            .collect(),
+        seed: SEED,
+    };
+    let span = costs.iter().fold(0.0f64, |a, c| a.max(c / 0.35)) * n as f64;
+    let epoch_us = span / 16.0;
+    let tier = |m: usize, class: usize| {
+        ShardedServeRuntime::build(
+            &models[m],
+            archs[class],
+            Placement::balance(&models[m], 1),
+            ServeConfig {
+                streams: 4,
+                policy: BatchPolicy::Split { cap: 256 },
+                slo_deadline_us: Some(slos[m]),
+                closed_loop: false,
+                hot_shard_cap: None,
+            },
+            scale.interconnect.clone(),
+            |sub| Box::new(TorchRecBackend::compile(sub)),
+        )
+    };
+    let mut fleet = FleetRuntime {
+        classes: vec![
+            DeviceClass {
+                name: "V100".to_string(),
+                arch: &v100,
+                devices: 1,
+            },
+            DeviceClass {
+                name: "A100".to_string(),
+                arch: &a100,
+                devices: 2,
+            },
+        ],
+        members: (0..models.len())
+            .map(|m| FleetMember {
+                name: models[m].name.clone(),
+                class: pinned[m],
+                runtime: tier(m, pinned[m]),
+                slo_deadline_us: Some(slos[m]),
+                gate: None,
+            })
+            .collect(),
+    };
+    let chaos = FleetChaosConfig {
+        faults: FleetFaultSpec {
+            class_windows: vec![ClassFaultWindow {
+                class: 0,
+                kind: ClassFaultKind::Outage,
+                start_us: 0.35 * span,
+                end_us: 0.7 * span,
+            }],
+            background: None,
+        }
+        .plan(&[1, 1], span, SEED),
+        epoch_us,
+        elasticity: Some(ElasticityConfig {
+            health: HealthPolicy {
+                signal: PressureSignal::LeakyBucket {
+                    tau_us: epoch_us / 2.0,
+                },
+                max_shortfall: 0.5,
+                max_backlog_us: f64::INFINITY,
+            },
+            drain_stagger_us: epoch_us / 8.0,
+            handoff_us: epoch_us / 2.0,
+            cost_matrix_us: (0..models.len()).map(|m| vec![costs[m]; 2]).collect(),
+        }),
+        brownout: Some(FleetBrownoutConfig {
+            signal: PressureSignal::Instantaneous,
+            tighten_above: 0.05,
+            shed_above: 0.15,
+            degrade_above: 0.25,
+            gate_tighten: 0.6,
+            priorities: Vec::new(),
+        }),
+    };
+    let report = fleet
+        .serve_chaos(&workload.merged(&[&models[0], &models[1]]), &chaos, tier)
+        .expect("chaos cell serves");
+    let stats = report.chaos.expect("chaos cell carries stats");
+    ChaosSummary {
+        availability: stats.availability,
+        slo_attainment: report.slo_attainment,
+        migrations_completed: stats.migrations_completed,
+    }
 }
 
 fn strategy_row(strategy: &str, report: &FleetReport) -> StrategyRow {
@@ -422,6 +567,7 @@ fn main() -> ExitCode {
                     workload: WorkloadSpec::long_tail(gaps[m]),
                     shape,
                     requests: n_requests,
+                    priority: 1,
                 }
             })
             .collect(),
@@ -506,6 +652,12 @@ fn main() -> ExitCode {
     let degenerate = degenerate_identity(&scale);
     println!("degenerate 1-model/1-class fleet identical to plain tier: {degenerate}");
 
+    let chaos = chaos_summary(&scale);
+    println!(
+        "chaos cell: availability {:.3} attainment {:.3} migrations {}",
+        chaos.availability, chaos.slo_attainment, chaos.migrations_completed
+    );
+
     let report = FleetBenchReport {
         scenarios: portfolio.names.clone(),
         requests_per_scenario: n_requests,
@@ -513,6 +665,7 @@ fn main() -> ExitCode {
         cost_matrix_us: costs,
         class_names: class_names.iter().map(|s| s.to_string()).collect(),
         degenerate_identity: degenerate,
+        chaos,
         rows,
     };
     opts.write_json(&report);

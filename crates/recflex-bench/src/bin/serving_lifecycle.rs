@@ -260,6 +260,7 @@ fn main() -> ExitCode {
         policy: BatchPolicy::Split { cap: 256 },
         slo_deadline_us: None,
         closed_loop: false,
+        hot_shard_cap: None,
     };
     let n_requests = (scale.eval_batches * 16).clamp(36, 96);
     let (_shifted, stream) = drifting_stream(&model, n_requests, 8);

@@ -81,6 +81,7 @@ fn main() -> ExitCode {
         policy: BatchPolicy::Split { cap: split_cap },
         slo_deadline_us: None,
         closed_loop: false,
+        hot_shard_cap: None,
     };
     let n_requests = (scale.eval_batches * 16).clamp(24, 96);
 

@@ -153,6 +153,7 @@ fn load_sweep(
                         policy: *policy,
                         slo_deadline_us: Some(slo_deadline_us),
                         closed_loop: false,
+                        hot_shard_cap: None,
                     },
                 };
                 let report = runtime.serve(&stream).unwrap();

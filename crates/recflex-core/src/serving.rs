@@ -93,6 +93,7 @@ impl ServingSimulator<'_> {
                 },
                 slo_deadline_us: None,
                 closed_loop: true,
+                hot_shard_cap: None,
             },
         };
         let report = runtime.serve(&stream).map_err(|e| match e {
@@ -332,6 +333,7 @@ mod tests {
                 policy: BatchPolicy::Split { cap: 256 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         };
         let report = runtime.serve_with_retune(&reqs, &mut policy).unwrap();

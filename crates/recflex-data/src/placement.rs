@@ -244,6 +244,30 @@ impl FleetAssignment {
         }
     }
 
+    /// Re-place one drained model against *residual* capacity: the
+    /// elasticity move [`cheapest_fit`](Self::cheapest_fit) solves at
+    /// fleet-build time, re-solved mid-run for a single member. `costs`
+    /// is the model's per-sample cost row across classes, `residual`
+    /// the free devices per class right now, `banned` the classes the
+    /// controller refuses (the member's failing current class, classes
+    /// inside an outage window). Returns the cheapest admissible class
+    /// (ties toward the lower class index), or `None` when no class can
+    /// absorb `demand` — unlike `cheapest_fit` there is *no*
+    /// oversubscription fallback: a migration that cannot land whole is
+    /// aborted, not forced.
+    pub fn rehome(
+        costs: &[f64],
+        demand: usize,
+        residual: &[isize],
+        banned: &[bool],
+    ) -> Option<usize> {
+        assert_eq!(costs.len(), residual.len());
+        assert_eq!(costs.len(), banned.len());
+        (0..costs.len())
+            .filter(|&c| !banned[c] && residual[c] >= demand as isize)
+            .min_by(|&a, &b| costs[a].total_cmp(&costs[b]).then(a.cmp(&b)))
+    }
+
     /// Model indices assigned to one class, in fleet order.
     pub fn models_on(&self, class: usize) -> Vec<usize> {
         self.class_of
@@ -407,6 +431,42 @@ mod tests {
         let costs = vec![vec![4.0, 2.0]];
         let a = FleetAssignment::cheapest_fit(&costs, &[3], &[1, 1]);
         assert_eq!(a.class_of, vec![1]);
+    }
+
+    #[test]
+    fn rehome_picks_cheapest_admissible_class() {
+        let costs = vec![4.0, 1.0, 2.0];
+        // Cheapest class 1 is banned (say, it is the failing class);
+        // class 2 is next-cheapest with room.
+        assert_eq!(
+            FleetAssignment::rehome(&costs, 2, &[3, 3, 3], &[false, true, false]),
+            Some(2)
+        );
+        // With nothing banned the global argmin wins.
+        assert_eq!(
+            FleetAssignment::rehome(&costs, 2, &[3, 3, 3], &[false; 3]),
+            Some(1)
+        );
+        // Cost ties break toward the lower class index.
+        assert_eq!(
+            FleetAssignment::rehome(&[1.0, 1.0], 1, &[2, 2], &[false, false]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn rehome_refuses_to_oversubscribe() {
+        // Unlike cheapest_fit there is no overflow fallback: demand 2
+        // against residuals [1, 0] must abort the migration.
+        assert_eq!(
+            FleetAssignment::rehome(&[1.0, 2.0], 2, &[1, 0], &[false, false]),
+            None
+        );
+        // All classes banned likewise aborts.
+        assert_eq!(
+            FleetAssignment::rehome(&[1.0, 2.0], 1, &[4, 4], &[true, true]),
+            None
+        );
     }
 
     #[test]

@@ -288,6 +288,205 @@ impl FaultSpec {
     }
 }
 
+/// A correlated fault kind scoped to a whole [`DeviceClass`] of the
+/// fleet rather than a single shard lane — the failure mode a real
+/// device pool sees when a rack PDU trips or a driver rollout bricks
+/// one accelerator generation.
+///
+/// [`DeviceClass`]: crate::fleet::DeviceClass
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ClassFaultKind {
+    /// Every lane of every member pinned to the class is dead for the
+    /// window (expands to [`FaultKind::Crash`] on every shard).
+    Outage,
+    /// Every lane of every member on the class retires work at `rate`
+    /// of healthy throughput (expands to [`FaultKind::Slowdown`]) —
+    /// a fleet-wide thermal event or power cap.
+    Brownout {
+        /// Throughput multiplier, in `(0, 1)`.
+        rate: f64,
+    },
+}
+
+/// One timed correlated fault window: `kind` hits device class `class`
+/// on `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassFaultWindow {
+    /// Index of the device class the window hits (into the fleet's
+    /// class list).
+    pub class: usize,
+    /// What breaks, fleet-wide on that class.
+    pub kind: ClassFaultKind,
+    /// When the window opens, µs.
+    pub start_us: f64,
+    /// When the window clears, µs.
+    pub end_us: f64,
+}
+
+impl ClassFaultWindow {
+    fn active_at(&self, t: f64) -> bool {
+        self.start_us <= t && t < self.end_us
+    }
+
+    fn overlaps(&self, start_us: f64, end_us: f64) -> bool {
+        self.start_us < end_us && start_us < self.end_us
+    }
+}
+
+/// The fleet-level fault schedule: scripted correlated class windows
+/// plus an optional background [`FaultSpec`] drawn independently per
+/// member. The fleet analogue of [`FaultSpec`]: identical
+/// `(spec, shards, horizon, seed)` replays a bit-identical
+/// [`FleetFaultPlan`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct FleetFaultSpec {
+    /// Correlated whole-class windows, applied to every member pinned
+    /// to the named class at serve time.
+    pub class_windows: Vec<ClassFaultWindow>,
+    /// Background per-member fault mix; `None` injects nothing beyond
+    /// the class windows.
+    pub background: Option<FaultSpec>,
+}
+
+impl FleetFaultSpec {
+    /// Materialize the plan for a fleet whose member `i` runs
+    /// `shards[i]` shard lanes. Background plans are seeded per member
+    /// with the same golden-ratio stride the fleet workload uses for
+    /// per-scenario streams, so members stay decorrelated but
+    /// replayable.
+    pub fn plan(&self, shards: &[usize], horizon_us: f64, seed: u64) -> FleetFaultPlan {
+        let mut class_windows: Vec<ClassFaultWindow> = self
+            .class_windows
+            .iter()
+            .copied()
+            .filter(|w| w.end_us > w.start_us)
+            .collect();
+        class_windows.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(a.class.cmp(&b.class))
+        });
+        let member_plans = shards
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| match &self.background {
+                Some(spec) => spec.plan(
+                    n,
+                    horizon_us,
+                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                None => FaultPlan::none(),
+            })
+            .collect();
+        FleetFaultPlan {
+            class_windows,
+            member_plans,
+        }
+    }
+}
+
+/// A materialized fleet fault schedule: one background [`FaultPlan`]
+/// per member plus the correlated class windows. The per-member plan a
+/// runtime actually executes comes from [`FleetFaultPlan::member_plan`],
+/// which expands the class windows of the member's *current* class onto
+/// its shard lanes — so a migrated member escapes its old class's
+/// outages and inherits its new class's.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct FleetFaultPlan {
+    /// Correlated whole-class windows, sorted by start time.
+    pub class_windows: Vec<ClassFaultWindow>,
+    /// Background fault plan per fleet member, in member order.
+    pub member_plans: Vec<FaultPlan>,
+}
+
+impl FleetFaultPlan {
+    /// The empty plan for `num_members` members: injects nothing, and
+    /// [`member_plan`](Self::member_plan) returns [`FaultPlan::none`]
+    /// everywhere — the fleet's bit-identity fast path.
+    pub fn none(num_members: usize) -> Self {
+        FleetFaultPlan {
+            class_windows: Vec::new(),
+            member_plans: vec![FaultPlan::none(); num_members],
+        }
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.class_windows.is_empty() && self.member_plans.iter().all(FaultPlan::is_empty)
+    }
+
+    /// The concrete [`FaultPlan`] member `member` executes while pinned
+    /// to device class `class` with `num_shards` shard lanes: its
+    /// background plan merged with every class window on `class`
+    /// expanded onto all of its lanes (Outage → crash, Brownout →
+    /// slowdown).
+    pub fn member_plan(&self, member: usize, class: usize, num_shards: usize) -> FaultPlan {
+        let mut faults = self
+            .member_plans
+            .get(member)
+            .map(|p| p.faults.clone())
+            .unwrap_or_default();
+        for w in self.class_windows.iter().filter(|w| w.class == class) {
+            for shard in 0..num_shards {
+                let kind = match w.kind {
+                    ClassFaultKind::Outage => FaultKind::Crash { shard },
+                    ClassFaultKind::Brownout { rate } => FaultKind::Slowdown {
+                        shard,
+                        rate: rate.clamp(1e-3, 1.0),
+                    },
+                };
+                faults.push(Fault {
+                    start_us: w.start_us,
+                    end_us: w.end_us,
+                    kind,
+                });
+            }
+        }
+        FaultPlan::scripted(faults)
+    }
+
+    /// True when an outage window on `class` covers `t`.
+    pub fn outage_active(&self, class: usize, t: f64) -> bool {
+        self.class_windows
+            .iter()
+            .any(|w| w.class == class && matches!(w.kind, ClassFaultKind::Outage) && w.active_at(t))
+    }
+
+    /// True when any outage window on `class` intersects
+    /// `[start_us, end_us)` — the query a staged migration runs before
+    /// committing each rollout stage onto a target class.
+    pub fn outage_overlaps(&self, class: usize, start_us: f64, end_us: f64) -> bool {
+        self.class_windows.iter().any(|w| {
+            w.class == class
+                && matches!(w.kind, ClassFaultKind::Outage)
+                && w.overlaps(start_us, end_us)
+        })
+    }
+
+    /// Total outage downtime windows on `class` clipped to
+    /// `[0, until]`, µs, overlaps merged.
+    pub fn outage_downtime_us(&self, class: usize, until: f64) -> f64 {
+        let mut windows: Vec<(f64, f64)> = self
+            .class_windows
+            .iter()
+            .filter(|w| w.class == class && matches!(w.kind, ClassFaultKind::Outage))
+            .map(|w| (w.start_us.max(0.0), w.end_us.min(until)))
+            .filter(|&(s, e)| e > s)
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = 0.0;
+        let mut frontier = f64::NEG_INFINITY;
+        for (s, e) in windows {
+            let s = s.max(frontier);
+            if e > s {
+                total += e - s;
+                frontier = e;
+            }
+        }
+        total
+    }
+}
+
 /// How much standby capacity backs the tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub enum ReplicationPolicy {
@@ -682,6 +881,87 @@ mod tests {
         let back = tracker.observe(2.0, 500.0, signal);
         assert_eq!(back, 500.0);
         assert!(tracker.value().is_finite());
+    }
+
+    fn outage(class: usize, start: f64, end: f64) -> ClassFaultWindow {
+        ClassFaultWindow {
+            class,
+            kind: ClassFaultKind::Outage,
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    #[test]
+    fn empty_fleet_plan_expands_to_empty_member_plans() {
+        let plan = FleetFaultPlan::none(3);
+        assert!(plan.is_empty());
+        for m in 0..3 {
+            assert!(plan.member_plan(m, 0, 4).is_empty());
+        }
+        assert!(!plan.outage_active(0, 0.0));
+        assert_eq!(plan.outage_downtime_us(0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn class_outage_expands_to_crashes_on_every_lane_of_the_class() {
+        let spec = FleetFaultSpec {
+            class_windows: vec![
+                outage(1, 1_000.0, 2_000.0),
+                ClassFaultWindow {
+                    class: 0,
+                    kind: ClassFaultKind::Brownout { rate: 0.25 },
+                    start_us: 500.0,
+                    end_us: 800.0,
+                },
+                outage(0, 300.0, 300.0), // empty, dropped
+            ],
+            background: None,
+        };
+        let plan = spec.plan(&[2, 3], 10_000.0, 7);
+        assert_eq!(plan.class_windows.len(), 2, "empty windows are dropped");
+        assert!(!plan.is_empty());
+
+        // A member on class 1 sees a crash on each of its lanes.
+        let on_hit = plan.member_plan(0, 1, 2);
+        assert_eq!(on_hit.faults.len(), 2);
+        assert!(on_hit.crashed(0, 1_500.0) && on_hit.crashed(1, 1_500.0));
+        assert!(!on_hit.crashed(0, 2_000.0), "windows stay half-open");
+
+        // The same member pinned to class 0 instead sees the brownout.
+        let on_other = plan.member_plan(0, 0, 2);
+        assert_eq!(on_other.rate_of(0, 600.0), 0.25);
+        assert!(!on_other.crashed(0, 1_500.0));
+
+        // Outage queries are class- and kind-scoped.
+        assert!(plan.outage_active(1, 1_000.0));
+        assert!(!plan.outage_active(1, 2_000.0));
+        assert!(!plan.outage_active(0, 600.0), "brownout is not an outage");
+        assert!(plan.outage_overlaps(1, 1_900.0, 5_000.0));
+        assert!(!plan.outage_overlaps(1, 2_000.0, 5_000.0));
+        assert_eq!(plan.outage_downtime_us(1, 1_600.0), 600.0);
+    }
+
+    #[test]
+    fn fleet_background_plans_are_decorrelated_but_replayable() {
+        let spec = FleetFaultSpec {
+            class_windows: vec![outage(0, 1_000.0, 2_000.0)],
+            background: Some(FaultSpec::mixed(2_000.0, 1_000.0)),
+        };
+        let a = spec.plan(&[2, 2], 20_000.0, 42);
+        let b = spec.plan(&[2, 2], 20_000.0, 42);
+        assert_eq!(a, b, "same inputs replay bit-for-bit");
+        assert_ne!(
+            a.member_plans[0], a.member_plans[1],
+            "members draw independent background faults"
+        );
+        // The background seed derivation matches FaultSpec::plan per member.
+        let direct = FaultSpec::mixed(2_000.0, 1_000.0).plan(
+            2,
+            20_000.0,
+            42u64 ^ 1u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        assert_eq!(a.member_plans[1], direct);
     }
 
     #[test]

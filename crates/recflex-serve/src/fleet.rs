@@ -25,12 +25,52 @@
 
 use serde::Serialize;
 
+use crate::elastic::FleetChaosStats;
 use crate::sharded::ShardedServeRuntime;
-use crate::stats::ShardedReport;
+use crate::stats::{RequestRecord, ShardedReport, ShardedRequestRecord, ShedReason};
 use crate::workload::FleetArrival;
 use crate::Request;
 use crate::ServeError;
 use recflex_sim::GpuArch;
+
+/// Synthesize the record of a request resolved *at the fleet edge*,
+/// before it could enter any member runtime: an admission/brownout shed
+/// (`shed != None`) or a degraded zero-pooled edge answer (`degraded`)
+/// — zero queue, zero service, done at arrival. Keeps edge decisions
+/// visible in the same record stream the runtimes produce, so
+/// availability and shed-reason accounting see every offered request.
+pub(crate) fn edge_record(req: &Request, shed: ShedReason, degraded: bool) -> ShardedRequestRecord {
+    ShardedRequestRecord {
+        base: RequestRecord {
+            id: req.id,
+            batch_size: req.batch.batch_size,
+            arrival_us: req.arrival_us,
+            queue_us: 0.0,
+            service_us: 0.0,
+            done_us: req.arrival_us,
+            shed,
+        },
+        device_us: 0.0,
+        gather_us: 0.0,
+        straggler_us: 0.0,
+        degraded,
+    }
+}
+
+/// Splice edge-synthesized records into a member report and restore one
+/// arrival order over the combined stream.
+pub(crate) fn splice_edge_records(report: &mut ShardedReport, edge: Vec<ShardedRequestRecord>) {
+    if edge.is_empty() {
+        return;
+    }
+    report.records.extend(edge);
+    report.records.sort_by(|a, b| {
+        a.base
+            .arrival_us
+            .total_cmp(&b.base.arrival_us)
+            .then(a.base.id.cmp(&b.base.id))
+    });
+}
 
 /// A pool of identical simulated devices — one heterogeneity bucket.
 pub struct DeviceClass<'a> {
@@ -139,6 +179,10 @@ pub struct FleetReport {
     /// Fleet-wide SLO attainment: attained requests over offered
     /// requests, across all members.
     pub slo_attainment: f64,
+    /// Chaos/elasticity observables, populated only by
+    /// [`FleetRuntime::serve_chaos`](crate::elastic) runs; `None` (and
+    /// serialized as `null`) on the plain serving path.
+    pub chaos: Option<FleetChaosStats>,
 }
 
 impl<'a> FleetRuntime<'a> {
@@ -146,15 +190,24 @@ impl<'a> FleetRuntime<'a> {
     /// merged order, which is already per-scenario arrival order) and
     /// run every member on its slice.
     pub fn serve(&self, arrivals: &[FleetArrival]) -> Result<FleetReport, ServeError> {
+        self.serve_streams(&self.demux(arrivals))
+    }
+
+    /// Demux a merged fleet trace into per-member request streams
+    /// (preserving the merged order, which is already per-scenario
+    /// arrival order).
+    pub(crate) fn demux(&self, arrivals: &[FleetArrival]) -> Vec<Vec<Request>> {
         let mut streams: Vec<Vec<Request>> = vec![Vec::new(); self.members.len()];
         for a in arrivals {
             streams[a.scenario].push(a.request.clone());
         }
-        self.serve_streams(&streams)
+        streams
     }
 
     /// Serve pre-demuxed per-member request streams. `streams[i]` goes
-    /// to member `i` after its admission gate.
+    /// to member `i` after its admission gate; gate rejections surface
+    /// as [`ShedReason::Admission`] records in the member report, so
+    /// every offered request has a record.
     pub fn serve_streams(&self, streams: &[Vec<Request>]) -> Result<FleetReport, ServeError> {
         assert_eq!(streams.len(), self.members.len());
         let mut models = Vec::with_capacity(self.members.len());
@@ -162,45 +215,87 @@ impl<'a> FleetRuntime<'a> {
         let mut offered_total = 0u64;
         for (member, stream) in self.members.iter().zip(streams) {
             let offered = stream.len() as u64;
-            let admitted: Vec<Request> = match member.gate {
-                None => stream.clone(),
+            let (admitted, rejected): (Vec<Request>, Vec<Request>) = match member.gate {
+                None => (stream.clone(), Vec::new()),
                 Some(gate) => stream
                     .iter()
-                    .filter(|r| gate.admits(r.batch.batch_size))
                     .cloned()
-                    .collect(),
+                    .partition(|r| gate.admits(r.batch.batch_size)),
             };
-            let gate_shed = offered - admitted.len() as u64;
-            let report = member.runtime.serve(&admitted)?;
-            let attained = report
-                .records
-                .iter()
-                .filter(|r| {
-                    !r.base.is_shed()
-                        && member
-                            .slo_deadline_us
-                            .is_none_or(|d| r.base.latency_us() <= d)
-                })
-                .count() as u64;
+            let gate_shed = rejected.len() as u64;
+            let mut report = member.runtime.serve(&admitted)?;
+            splice_edge_records(
+                &mut report,
+                rejected
+                    .iter()
+                    .map(|r| edge_record(r, ShedReason::Admission, false))
+                    .collect(),
+            );
+            let (outcome, attained) =
+                self.finish_member(member, member.class, offered, gate_shed, report);
             attained_total += attained;
             offered_total += offered;
-            models.push(FleetModelOutcome {
-                name: member.name.clone(),
-                class: self.classes[member.class].name.clone(),
-                shards: member.runtime.placement.num_devices,
-                slo_deadline_us: member.slo_deadline_us,
-                requests_offered: offered,
-                gate_shed,
-                slo_attainment: if offered == 0 {
-                    1.0
-                } else {
-                    attained as f64 / offered as f64
-                },
-                p50_us: report.percentile_us(0.50),
-                p99_us: report.percentile_us(0.99),
-                report,
-            });
+            models.push(outcome);
         }
+        let class_of: Vec<usize> = self.members.iter().map(|m| m.class).collect();
+        Ok(self.assemble(models, &class_of, attained_total, offered_total, None))
+    }
+
+    /// Roll one member's finished report up into its fleet outcome,
+    /// returning the outcome and the member's attained-request count.
+    /// `class` is the device class the outcome is attributed to — the
+    /// member's pinned class on the plain path, its *final* class after
+    /// a chaos-path migration.
+    pub(crate) fn finish_member(
+        &self,
+        member: &FleetMember<'a>,
+        class: usize,
+        offered: u64,
+        gate_shed: u64,
+        report: ShardedReport,
+    ) -> (FleetModelOutcome, u64) {
+        let attained = report
+            .records
+            .iter()
+            .filter(|r| {
+                !r.base.is_shed()
+                    && member
+                        .slo_deadline_us
+                        .is_none_or(|d| r.base.latency_us() <= d)
+            })
+            .count() as u64;
+        let outcome = FleetModelOutcome {
+            name: member.name.clone(),
+            class: self.classes[class].name.clone(),
+            shards: member.runtime.placement.num_devices,
+            slo_deadline_us: member.slo_deadline_us,
+            requests_offered: offered,
+            gate_shed,
+            slo_attainment: if offered == 0 {
+                1.0
+            } else {
+                attained as f64 / offered as f64
+            },
+            p50_us: report.percentile_us(0.50),
+            p99_us: report.percentile_us(0.99),
+            report,
+        };
+        (outcome, attained)
+    }
+
+    /// Assemble the fleet report from finished member outcomes.
+    /// `class_of[i]` attributes member `i`'s busy time to a device class
+    /// — the pinned classes on the plain path (where this reproduces the
+    /// historical arithmetic branch-for-branch), the final post-migration
+    /// classes on the chaos path.
+    pub(crate) fn assemble(
+        &self,
+        models: Vec<FleetModelOutcome>,
+        class_of: &[usize],
+        attained_total: u64,
+        offered_total: u64,
+        chaos: Option<FleetChaosStats>,
+    ) -> FleetReport {
         let makespan_us = models
             .iter()
             .map(|m| m.report.makespan_us)
@@ -210,11 +305,10 @@ impl<'a> FleetRuntime<'a> {
             .iter()
             .enumerate()
             .map(|(ci, class)| {
-                let busy_us: f64 = self
-                    .members
+                let busy_us: f64 = class_of
                     .iter()
                     .zip(&models)
-                    .filter(|(m, _)| m.class == ci)
+                    .filter(|(&c, _)| c == ci)
                     .map(|(_, out)| {
                         out.report
                             .per_shard
@@ -237,7 +331,7 @@ impl<'a> FleetRuntime<'a> {
                 }
             })
             .collect();
-        Ok(FleetReport {
+        FleetReport {
             models,
             classes,
             makespan_us,
@@ -246,7 +340,8 @@ impl<'a> FleetRuntime<'a> {
             } else {
                 attained_total as f64 / offered_total as f64
             },
-        })
+            chaos,
+        }
     }
 }
 
@@ -266,6 +361,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         }
     }
 
@@ -293,6 +389,7 @@ mod tests {
                 workload: WorkloadSpec::long_tail(400.0),
                 shape: TrafficShape::flat(),
                 requests: 32,
+                priority: 1,
             }],
             seed: 42,
         };
@@ -357,6 +454,7 @@ mod tests {
                 workload: WorkloadSpec::long_tail(400.0),
                 shape: TrafficShape::flat(),
                 requests: 48,
+                priority: 1,
             }],
             seed: 11,
         };
@@ -386,11 +484,26 @@ mod tests {
         };
         let report = fleet.serve(&merged).expect("fleet serve");
         assert_eq!(report.models[0].gate_shed, expect_shed);
+        let records = &report.models[0].report.records;
         assert_eq!(
-            report.models[0].report.records.len() as u64,
-            48 - expect_shed,
-            "gated requests never reach the runtime"
+            records.len() as u64,
+            48,
+            "gated requests keep an edge record instead of vanishing"
         );
+        let admission_shed = records
+            .iter()
+            .filter(|r| r.base.shed == crate::stats::ShedReason::Admission)
+            .count() as u64;
+        assert_eq!(
+            admission_shed, expect_shed,
+            "gate rejections surface as ShedReason::Admission"
+        );
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].base.arrival_us <= pair[1].base.arrival_us,
+                "edge records splice back into arrival order"
+            );
+        }
         // Gate-shed requests count against attainment.
         assert!(report.models[0].slo_attainment <= 1.0 - expect_shed as f64 / 48.0);
     }
@@ -420,12 +533,14 @@ mod tests {
                     workload: WorkloadSpec::long_tail(300.0),
                     shape: TrafficShape::flat(),
                     requests: 24,
+                    priority: 1,
                 },
                 ScenarioSpec {
                     name: "c".into(),
                     workload: WorkloadSpec::long_tail(500.0),
                     shape: TrafficShape::flat(),
                     requests: 16,
+                    priority: 1,
                 },
             ],
             seed: 5,

@@ -50,7 +50,15 @@
 //!   served over a pool of heterogeneous device classes
 //!   ([`DeviceClass`]), with per-model SLO deadlines, DeepRecSys-style
 //!   batch-size-aware admission gates ([`QueryGate`]), and a fleet-wide
-//!   SLO-attainment roll-up ([`FleetReport`]).
+//!   SLO-attainment roll-up ([`FleetReport`]),
+//! * [`FleetFaultPlan`] / [`FleetChaosConfig`] — fleet-scale chaos:
+//!   correlated whole-class outage/brownout windows, a health-monitored
+//!   drain-and-migrate elasticity controller that re-places an
+//!   unhealthy member onto the best surviving class
+//!   ([`ElasticityConfig`]), and a fleet brownout ladder
+//!   ([`FleetBrownoutConfig`]) that tightens gates, sheds low-priority
+//!   scenarios, and answers outage-stranded traffic with degraded edge
+//!   records.
 //!
 //! Simulated time is the only clock; ties resolve in a fixed priority.
 //! A run is a pure function of `(config, stream, backend, fault plan)`,
@@ -59,6 +67,7 @@
 //! arithmetic path as a runtime without fault injection at all.
 
 pub mod drift;
+pub mod elastic;
 pub mod executor;
 pub mod faults;
 pub mod fleet;
@@ -72,10 +81,14 @@ pub mod workload;
 pub use drift::{
     expected_lookups_per_sample, expected_lookups_per_sample_per_feature, DriftConfig, DriftMonitor,
 };
+pub use elastic::{
+    ElasticityConfig, FleetBrownoutConfig, FleetChaosConfig, FleetChaosStats, HealthPolicy,
+    MigrationRecord, ResidualClassStats,
+};
 pub use executor::{DeviceExecutor, JobId};
 pub use faults::{
-    Fault, FaultKind, FaultPlan, FaultSpec, LadderConfig, PressureSignal, ReplicationPolicy,
-    ResilienceConfig,
+    ClassFaultKind, ClassFaultWindow, Fault, FaultKind, FaultPlan, FaultSpec, FleetFaultPlan,
+    FleetFaultSpec, LadderConfig, PressureSignal, ReplicationPolicy, ResilienceConfig,
 };
 pub use fleet::{
     DeviceClass, DeviceClassStats, FleetMember, FleetModelOutcome, FleetReport, FleetRuntime,
@@ -83,7 +96,7 @@ pub use fleet::{
 };
 pub use lifecycle::{
     CanaryConfig, FailReason, LifecycleConfig, LifecycleEvent, LifecycleMachine, LifecycleStats,
-    OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome,
+    OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome, StagedSchedule,
 };
 pub use request::{Request, WorkloadSpec};
 pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
@@ -141,6 +154,7 @@ mod tests {
             },
             slo_deadline_us: Some(20_000.0),
             closed_loop: false,
+            hot_shard_cap: None,
         };
         let rt = runtime(&backend, &m, &t, &arch, config);
         let a = rt.serve(&reqs).unwrap();
@@ -172,6 +186,7 @@ mod tests {
                     policy,
                     slo_deadline_us: None,
                     closed_loop: false,
+                    hot_shard_cap: None,
                 },
             );
             let report = rt.serve(&reqs).unwrap();
@@ -205,6 +220,7 @@ mod tests {
                 policy: BatchPolicy::Unsplit,
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         )
         .serve(&reqs)
@@ -222,6 +238,7 @@ mod tests {
                 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         )
         .serve(&reqs)
@@ -261,6 +278,7 @@ mod tests {
                     policy,
                     slo_deadline_us: None,
                     closed_loop: false,
+                    hot_shard_cap: None,
                 },
             )
             .serve(&reqs)
@@ -342,6 +360,7 @@ mod tests {
                 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         )
         .serve(&all)
@@ -380,6 +399,7 @@ mod tests {
                     policy: BatchPolicy::Unsplit,
                     slo_deadline_us: None,
                     closed_loop: false,
+                    hot_shard_cap: None,
                 },
             )
             .serve(&reqs)
@@ -421,6 +441,7 @@ mod tests {
                     policy: BatchPolicy::Split { cap: 128 },
                     slo_deadline_us: slo,
                     closed_loop: false,
+                    hot_shard_cap: None,
                 },
             )
             .serve(&reqs)
@@ -485,6 +506,7 @@ mod tests {
                 policy: BatchPolicy::Split { cap: 256 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         );
         let report = rt.serve_with_retune(&reqs, &mut policy).unwrap();
@@ -548,6 +570,7 @@ mod tests {
                 policy: BatchPolicy::Split { cap: 128 },
                 slo_deadline_us: None,
                 closed_loop: true,
+                hot_shard_cap: None,
             },
         );
         let report = rt.serve(&reqs).unwrap();
@@ -573,6 +596,7 @@ mod tests {
                 policy: BatchPolicy::Split { cap: 0 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         );
         let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 2, 1);
@@ -659,6 +683,7 @@ mod tests {
                 policy: BatchPolicy::Split { cap: 256 },
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             });
             let a = rt.serve_with_retune(&reqs, &mut mk_policy()).unwrap();
             let b = rt.serve_with_retune(&reqs, &mut mk_policy()).unwrap();

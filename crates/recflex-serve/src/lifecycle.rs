@@ -346,6 +346,48 @@ pub struct LifecycleStats {
     pub engine_version: u32,
 }
 
+/// The timing skeleton of a staged rollout, extracted from the §8f
+/// shard-by-shard promotion machinery so other controllers (the fleet
+/// elasticity drain in [`crate::elastic`]) can stage *their* multi-step
+/// transitions on the same abortable cadence: `stages` steps starting
+/// at `start_us`, spaced `stagger_us` apart. Step `k` commits at
+/// [`stage_us(k)`](Self::stage_us); the whole transition is complete at
+/// [`complete_us`](Self::complete_us). A controller that checks each
+/// stage timestamp against an abort predicate before committing gets
+/// exactly the lifecycle rollout's abort semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StagedSchedule {
+    /// When stage 0 commits, µs.
+    pub start_us: f64,
+    /// Number of stages (shards to drain, lanes to promote, …).
+    pub stages: usize,
+    /// Gap between consecutive stages, µs.
+    pub stagger_us: f64,
+}
+
+impl StagedSchedule {
+    /// A schedule of `stages` steps from `start_us`, `stagger_us`
+    /// apart. Negative staggers collapse to zero (all stages commit at
+    /// `start_us`, like a single-shard rollout).
+    pub fn new(start_us: f64, stages: usize, stagger_us: f64) -> Self {
+        StagedSchedule {
+            start_us,
+            stages: stages.max(1),
+            stagger_us: stagger_us.max(0.0),
+        }
+    }
+
+    /// The timestamp stage `k` commits at.
+    pub fn stage_us(&self, k: usize) -> f64 {
+        self.start_us + self.stagger_us * k as f64
+    }
+
+    /// When the final stage has committed.
+    pub fn complete_us(&self) -> f64 {
+        self.stage_us(self.stages - 1)
+    }
+}
+
 /// What the runtime must do when a lifecycle timer fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimerAction {
@@ -1104,5 +1146,22 @@ mod tests {
         assert!((run.latency_us - 3.0 * base.latency_us).abs() < 1e-9);
         assert_eq!(run.kernel_launches, base.kernel_launches);
         assert_eq!(run.output, base.output);
+    }
+
+    #[test]
+    fn staged_schedule_spaces_stages_like_a_rollout() {
+        let s = StagedSchedule::new(1_000.0, 3, 250.0);
+        assert_eq!(s.stage_us(0), 1_000.0);
+        assert_eq!(s.stage_us(1), 1_250.0);
+        assert_eq!(s.stage_us(2), 1_500.0);
+        assert_eq!(s.complete_us(), 1_500.0);
+    }
+
+    #[test]
+    fn staged_schedule_clamps_degenerate_inputs() {
+        let s = StagedSchedule::new(500.0, 0, -10.0);
+        assert_eq!(s.stages, 1, "at least one stage always commits");
+        assert_eq!(s.stagger_us, 0.0);
+        assert_eq!(s.complete_us(), 500.0);
     }
 }

@@ -88,6 +88,13 @@ pub struct ServeConfig {
     /// semantics of `ServingSimulator`. Open-loop (`false`) replays the
     /// stream's own arrival times.
     pub closed_loop: bool,
+    /// Sharded-tier straggler cap: chunks bigger than this are re-split
+    /// into sub-chunks of at most `cap` samples *after* the batching
+    /// policy shapes them, narrowing the per-chunk work the hottest
+    /// shard gates on. `Some(0)` is rejected at run start. `None` (the
+    /// default) reproduces the un-capped tier bit-for-bit; the
+    /// single-device runtime ignores the knob entirely.
+    pub hot_shard_cap: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +104,7 @@ impl Default for ServeConfig {
             policy: BatchPolicy::Unsplit,
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         }
     }
 }

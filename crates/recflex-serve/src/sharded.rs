@@ -244,6 +244,9 @@ impl<'a> ShardedServeRuntime<'a> {
             }
             _ => {}
         }
+        if self.config.hot_shard_cap == Some(0) {
+            return Err(ServeError::Policy("hot_shard_cap must be at least 1"));
+        }
 
         let n = requests.len();
         let num_shards = self.placement.num_devices;
@@ -921,10 +924,40 @@ impl ShardedRunState {
         self.submit_chunk(merged, owners, now, rt, requests)
     }
 
+    /// Submit one device chunk, re-splitting it first when
+    /// `hot_shard_cap` narrows it: every sub-chunk of at most `cap`
+    /// samples fans out independently, so the slowest shard gates on a
+    /// strictly smaller slice of work per gather and the straggler gap
+    /// shrinks where placement is imbalanced. Each sub-chunk keeps the
+    /// full owner set — `remaining_chunks` counts per sub-chunk, so
+    /// request finalization waits for all of them. `None` takes the
+    /// exact historical single-submission path.
+    fn submit_chunk(
+        &mut self,
+        batch: Batch,
+        owners: Vec<usize>,
+        now: f64,
+        rt: &ShardedServeRuntime<'_>,
+        requests: &[Request],
+    ) -> Result<(), ServeError> {
+        match rt.config.hot_shard_cap {
+            Some(cap) if batch.batch_size > cap => {
+                let parts = batch
+                    .split(cap)
+                    .map_err(|_| ServeError::Policy("hot_shard_cap must be at least 1"))?;
+                for part in parts {
+                    self.submit_chunk_inner(part, owners.clone(), now, rt, requests)?;
+                }
+                Ok(())
+            }
+            _ => self.submit_chunk_inner(batch, owners, now, rt, requests),
+        }
+    }
+
     /// Fan one device chunk out over every shard. Shards crashed at
     /// submission time (under mitigation) never see the job — their slice
     /// goes straight to a replica, a survivor, or the zero-pool.
-    fn submit_chunk(
+    fn submit_chunk_inner(
         &mut self,
         batch: Batch,
         owners: Vec<usize>,
@@ -1644,6 +1677,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         }
     }
 
@@ -1676,6 +1710,7 @@ mod tests {
                 policy,
                 slo_deadline_us: Some(20_000.0),
                 closed_loop: false,
+                hot_shard_cap: None,
             };
             let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
                 .serve(&reqs)
@@ -1709,6 +1744,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 128 },
             slo_deadline_us: Some(20_000.0),
             closed_loop: false,
+            hot_shard_cap: None,
         };
         let resilience = ResilienceConfig {
             plan: FaultPlan::none(),
@@ -1938,6 +1974,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 128 },
             slo_deadline_us: Some(2_000.0),
             closed_loop: false,
+            hot_shard_cap: None,
         };
         let report = tier(&m, &arch, 2, config, Interconnect::nvlink())
             .serve(&reqs)
@@ -1958,6 +1995,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 0 },
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         };
         let rt = tier(&m, &arch, 2, config, Interconnect::nvlink());
         let reqs = WorkloadSpec::long_tail(100.0).stream(&m, 2, 1);
@@ -1970,6 +2008,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: Some(8_000.0),
             closed_loop: false,
+            hot_shard_cap: None,
         }
     }
 
@@ -2264,6 +2303,7 @@ mod tests {
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         };
         // Blind swap and full-canary must both degenerate to the
         // single-device lifecycle with one shard.
@@ -2470,5 +2510,68 @@ mod tests {
         );
         // Hedging sustained through the stall buys tail latency.
         assert!(damped.percentile_us(0.99) <= twitchy.percentile_us(0.99));
+    }
+
+    #[test]
+    fn hot_shard_cap_none_and_slack_cap_are_byte_identical() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
+        let run = |cap: Option<u32>| {
+            let mut config = load_config();
+            config.hot_shard_cap = cap;
+            tier(&m, &arch, 2, config, Interconnect::nvlink())
+                .serve(&reqs)
+                .unwrap()
+        };
+        let baseline = run(None);
+        // A cap no chunk can exceed must not perturb a single record.
+        assert_eq!(baseline, run(Some(u32::MAX)));
+        assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&run(Some(u32::MAX))).unwrap()
+        );
+    }
+
+    #[test]
+    fn hot_shard_cap_zero_is_rejected_up_front() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 4, 42);
+        let mut config = load_config();
+        config.hot_shard_cap = Some(0);
+        let err = tier(&m, &arch, 2, config, Interconnect::nvlink())
+            .serve(&reqs)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Policy(_)), "{err:?}");
+    }
+
+    #[test]
+    fn hot_shard_cap_resplits_hot_chunks_without_losing_requests() {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
+        let run = |cap: Option<u32>| {
+            let mut config = load_config();
+            config.policy = BatchPolicy::Unsplit; // admit whole hot batches
+            config.hot_shard_cap = cap;
+            tier(&m, &arch, 2, config, Interconnect::nvlink())
+                .serve(&reqs)
+                .unwrap()
+        };
+        let uncapped = run(None);
+        let capped = run(Some(256));
+        // The cap only re-splits submissions above it: every request
+        // still completes, in more, narrower chunks on every lane.
+        let ids = |r: &ShardedReport| {
+            let mut v: Vec<u64> = r.records.iter().map(|x| x.base.id).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&uncapped), ids(&capped));
+        assert!(capped.records.iter().all(|r| !r.base.is_shed()));
+        assert!(
+            capped.kernel_launches > uncapped.kernel_launches,
+            "{} vs {}",
+            capped.kernel_launches,
+            uncapped.kernel_launches
+        );
     }
 }

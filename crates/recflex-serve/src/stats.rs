@@ -309,6 +309,49 @@ impl ShardedReport {
         mean(self.completed().map(|r| r.base.queue_us))
     }
 
+    /// Merge the reports of one logical run that was served in several
+    /// time segments — the shape a drained-and-migrated fleet member
+    /// produces (pre-migration traffic on the old class, post-handoff
+    /// traffic on the new one). Records concatenate and re-sort by
+    /// `(arrival_us, id)` so the merged stream reads as one arrival
+    /// order; lane stats concatenate in segment order (the segments may
+    /// run on different hardware, so their lanes are distinct);
+    /// counters and downtime sum; makespan is the max; lifecycle
+    /// counters sum field-wise except `engine_version`, which takes the
+    /// max (versions only move forward); traces concatenate in segment
+    /// order.
+    pub fn merge(parts: Vec<ShardedReport>) -> ShardedReport {
+        let mut out = ShardedReport::default();
+        for part in parts {
+            out.records.extend(part.records);
+            out.per_shard.extend(part.per_shard);
+            out.per_replica.extend(part.per_replica);
+            out.kernel_launches += part.kernel_launches;
+            out.hedge_fires += part.hedge_fires;
+            out.hedge_wins += part.hedge_wins;
+            out.failovers += part.failovers;
+            out.makespan_us = out.makespan_us.max(part.makespan_us);
+            out.lifecycle.retunes_attempted += part.lifecycle.retunes_attempted;
+            out.lifecycle.retunes_failed += part.lifecycle.retunes_failed;
+            out.lifecycle.retunes_rolled_back += part.lifecycle.retunes_rolled_back;
+            out.lifecycle.retunes_promoted += part.lifecycle.retunes_promoted;
+            out.lifecycle.canary_shadow_chunks += part.lifecycle.canary_shadow_chunks;
+            out.lifecycle.canary_overhead_us += part.lifecycle.canary_overhead_us;
+            out.lifecycle.engine_version = out
+                .lifecycle
+                .engine_version
+                .max(part.lifecycle.engine_version);
+            out.lifecycle_trace.extend(part.lifecycle_trace);
+        }
+        out.records.sort_by(|a, b| {
+            a.base
+                .arrival_us
+                .total_cmp(&b.base.arrival_us)
+                .then(a.base.id.cmp(&b.base.id))
+        });
+        out
+    }
+
     /// The run flattened to the single-device report shape, for code that
     /// only cares about the request-level outcome (and for the 1-shard
     /// equivalence tests).
@@ -480,6 +523,81 @@ mod tests {
         assert_eq!(ShedReason::deserialize_value(&fault), Ok(ShedReason::Fault));
         assert!(ShedReason::deserialize_value(&serde::Value::Str("bogus".into())).is_err());
         assert!(ShedReason::deserialize_value(&serde::Value::UInt(1)).is_err());
+    }
+
+    #[test]
+    fn merge_interleaves_records_and_sums_counters() {
+        let wrap = |base: RequestRecord| ShardedRequestRecord {
+            base,
+            device_us: 0.0,
+            gather_us: 0.0,
+            straggler_us: 0.0,
+            degraded: false,
+        };
+        let a = ShardedReport {
+            records: vec![wrap(rec(0, 0.0, 0.0, 10.0)), wrap(rec(2, 20.0, 0.0, 10.0))],
+            per_shard: vec![ShardLaneStats {
+                jobs: 2,
+                ..Default::default()
+            }],
+            kernel_launches: 4,
+            hedge_fires: 1,
+            makespan_us: 30.0,
+            lifecycle: LifecycleStats {
+                retunes_promoted: 1,
+                engine_version: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = ShardedReport {
+            records: vec![wrap(rec(1, 10.0, 0.0, 10.0))],
+            per_shard: vec![ShardLaneStats {
+                jobs: 1,
+                ..Default::default()
+            }],
+            kernel_launches: 2,
+            failovers: 3,
+            makespan_us: 20.0,
+            lifecycle: LifecycleStats {
+                retunes_attempted: 2,
+                engine_version: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let merged = ShardedReport::merge(vec![a, b]);
+        assert_eq!(
+            merged.records.iter().map(|r| r.base.id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "records re-sort into one arrival order"
+        );
+        assert_eq!(merged.per_shard.len(), 2, "lane stats stay segmented");
+        assert_eq!(merged.kernel_launches, 6);
+        assert_eq!(merged.hedge_fires, 1);
+        assert_eq!(merged.failovers, 3);
+        assert_eq!(merged.makespan_us, 30.0);
+        assert_eq!(merged.lifecycle.retunes_attempted, 2);
+        assert_eq!(merged.lifecycle.retunes_promoted, 1);
+        assert_eq!(merged.lifecycle.engine_version, 1, "versions take the max");
+    }
+
+    #[test]
+    fn merge_of_one_part_reorders_nothing() {
+        let wrap = |base: RequestRecord| ShardedRequestRecord {
+            base,
+            device_us: 1.0,
+            gather_us: 2.0,
+            straggler_us: 3.0,
+            degraded: true,
+        };
+        let part = ShardedReport {
+            records: vec![wrap(rec(0, 0.0, 0.0, 10.0)), wrap(rec(1, 5.0, 0.0, 10.0))],
+            makespan_us: 15.0,
+            ..Default::default()
+        };
+        assert_eq!(ShardedReport::merge(vec![part.clone()]), part);
+        assert_eq!(ShardedReport::merge(Vec::new()), ShardedReport::default());
     }
 
     #[test]

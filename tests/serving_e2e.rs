@@ -37,6 +37,7 @@ fn facade_tune_then_serve_all_policies() {
                 policy,
                 slo_deadline_us: None,
                 closed_loop: false,
+                hot_shard_cap: None,
             },
         };
         let report = runtime.serve(&stream).unwrap();
@@ -96,6 +97,7 @@ fn facade_drift_retune_hot_swaps_a_fresh_engine() {
             policy: BatchPolicy::Split { cap: 256 },
             slo_deadline_us: None,
             closed_loop: false,
+            hot_shard_cap: None,
         },
     };
     let report = runtime.serve_with_retune(&stream, &mut policy).unwrap();
