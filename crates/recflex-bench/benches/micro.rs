@@ -56,7 +56,7 @@ fn bench_thread_map(c: &mut Criterion) {
         .features
         .iter()
         .enumerate()
-        .map(|(i, f)| enumerate_candidates(i, f).candidates[0])
+        .map(|(i, f)| enumerate_candidates(i, f).unwrap().candidates[0])
         .collect();
     c.bench_function("host/thread_map_runtime_build", |b| {
         b.iter(|| black_box(TaskMap::runtime(&schedules, &workloads)))
@@ -71,7 +71,7 @@ fn bench_fused_launch(c: &mut Criterion) {
         .features
         .iter()
         .enumerate()
-        .map(|(i, f)| enumerate_candidates(i, f).candidates[0])
+        .map(|(i, f)| enumerate_candidates(i, f).unwrap().candidates[0])
         .collect();
     let obj = FusedKernelObject::compile(FusedSpec::new(schedules));
     let arch = GpuArch::v100();

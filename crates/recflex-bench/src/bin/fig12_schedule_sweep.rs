@@ -34,7 +34,7 @@ fn main() {
         .collect();
 
     for (pi, &f) in picks.iter().enumerate() {
-        let cands = enumerate_candidates(f, &fixture.model.features[f]);
+        let cands = enumerate_candidates(f, &fixture.model.features[f]).unwrap();
         let tuned_choice = engine.tune_result.choices[f];
         println!(
             "\n== Fig.12 feature {pi} (model feature {f}, dim {}, {} candidates) ==",

@@ -254,6 +254,7 @@ fn build_fleet<'a>(
                     cost_per_sample_us,
                     deadline_us: slos[m],
                 }),
+                tuning: None,
             }
         })
         .collect();
@@ -304,6 +305,7 @@ fn degenerate_identity(scale: &Scale) -> bool {
             runtime: build(),
             slo_deadline_us: None,
             gate: None,
+            tuning: None,
         }],
     };
     let via_fleet = fleet
@@ -396,6 +398,7 @@ fn chaos_summary(scale: &Scale) -> ChaosSummary {
                 runtime: tier(m, pinned[m]),
                 slo_deadline_us: Some(slos[m]),
                 gate: None,
+                tuning: None,
             })
             .collect(),
     };

@@ -261,6 +261,7 @@ fn fleet<'a>(b: &'a Bench, archs: &[&'a GpuArch; 2], scale: &Scale) -> FleetRunt
                     cost_per_sample_us: b.per_sample[m][b.pinned[m]],
                     deadline_us: b.slos[m],
                 }),
+                tuning: None,
             })
             .collect(),
     }

@@ -314,8 +314,9 @@ fn main() -> ExitCode {
                 retune_latency_us: RETUNE_LATENCY_US,
                 lifecycle,
                 retuner: Box::new(|_: &[Batch]| {
-                    Box::new(RecFlexEngine::tune(&model, &history, &arch, &scale.tuner))
-                        as Box<dyn Backend>
+                    (Box::new(RecFlexEngine::tune(&model, &history, &arch, &scale.tuner))
+                        as Box<dyn Backend>)
+                        .into()
                 }),
             };
             let report: ServeReport = runtime
@@ -409,12 +410,13 @@ fn main() -> ExitCode {
             },
             retuner: Box::new(|sub_model: &ModelConfig, _: &[Batch]| {
                 let sub_history = Dataset::synthesize(sub_model, 3, scale.batch_size, 7);
-                Box::new(RecFlexEngine::tune(
+                (Box::new(RecFlexEngine::tune(
                     sub_model,
                     &sub_history,
                     &arch,
                     &scale.tuner,
-                )) as Box<dyn Backend>
+                )) as Box<dyn Backend>)
+                    .into()
             }),
         };
         let report = tier

@@ -308,7 +308,7 @@ pub fn long_tail_batch(model: &ModelConfig) -> Batch {
 /// for free as long as they reuse the naming conventions:
 ///
 /// * higher is better: `slo_attainment`, `availability`, `speedup_4t`,
-///   `hit_rate`
+///   `hit_rate`, `warm_speedup`
 /// * lower is better: `p50_us`, `p99_us`, `makespan_us`, `latency_us`
 ///
 /// Wall-clock fields (`wall_ms`) are deliberately untracked — they vary
@@ -317,7 +317,13 @@ pub fn long_tail_batch(model: &ModelConfig) -> Batch {
 pub mod trajectory {
     use serde_json::Value;
 
-    const HIGHER_BETTER: &[&str] = &["slo_attainment", "availability", "speedup_4t", "hit_rate"];
+    const HIGHER_BETTER: &[&str] = &[
+        "slo_attainment",
+        "availability",
+        "speedup_4t",
+        "hit_rate",
+        "warm_speedup",
+    ];
     const LOWER_BETTER: &[&str] = &["p50_us", "p99_us", "makespan_us", "latency_us"];
 
     /// One tracked metric that moved the wrong way (or disappeared).

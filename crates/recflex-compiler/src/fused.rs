@@ -301,7 +301,7 @@ mod tests {
             .features
             .iter()
             .enumerate()
-            .map(|(i, f)| enumerate_candidates(i, f).candidates[0])
+            .map(|(i, f)| enumerate_candidates(i, f).unwrap().candidates[0])
             .collect();
         FusedKernelObject::compile(FusedSpec::new(schedules))
     }

@@ -18,6 +18,6 @@ pub mod serving;
 pub mod sharding;
 
 pub use end_to_end::EndToEndModel;
-pub use engine::RecFlexEngine;
+pub use engine::{RecFlexEngine, VaultTuneReport, DEFAULT_WARM_BUDGET_PER_FEATURE};
 pub use serving::{ServingSimulator, ServingStats};
 pub use sharding::{feature_cost_estimates, Placement, ShardedEngine};

@@ -317,7 +317,7 @@ mod tests {
                 let ds = Dataset::from_batches(recent.to_vec());
                 let engine =
                     RecFlexEngine::tune(&shifted, &ds, &GpuArch::v100(), &TunerConfig::fast());
-                Box::new(engine) as Box<dyn Backend>
+                (Box::new(engine) as Box<dyn Backend>).into()
             }),
         };
         // The runtime's model is the one the engine was tuned on — the

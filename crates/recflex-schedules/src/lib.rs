@@ -36,7 +36,12 @@ pub mod codegen;
 pub mod exec;
 pub mod profile;
 pub mod registry;
+pub mod store;
 pub mod template;
 
-pub use registry::{enumerate_candidates, CandidateSet};
+pub use registry::{enumerate_candidates, CandidateError, CandidateSet};
+pub use store::{
+    distribution_summary, DirVfs, MemVfs, ProfileKey, ProfileVault, ScheduleProfile, StoreError,
+    StoreFault, StoreFaultKind, StoreFaultPlan, StoreFaultSpec, VaultStats, Vfs,
+};
 pub use template::{ScheduleInstance, ScheduleKind, ScheduleParams};

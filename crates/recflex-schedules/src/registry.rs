@@ -24,11 +24,41 @@ impl CandidateSet {
         self.candidates.len()
     }
 
-    /// Whether the set is empty (never true for a valid feature).
+    /// Whether the set is empty. Never true for a set returned by
+    /// [`enumerate_candidates`]: emptiness is surfaced there as a
+    /// [`CandidateError`] instead of an empty set, so downstream code
+    /// may index `candidates[0]` without checking.
     pub fn is_empty(&self) -> bool {
         self.candidates.is_empty()
     }
 }
+
+/// Candidate enumeration failure: the feature admits no schedule at all.
+///
+/// The only way to get here is a degenerate [`FeatureSpec`] (an embedding
+/// dimension of zero prunes every template family). Surfacing it as a
+/// structured error — rather than the `debug_assert` this module used to
+/// rely on — means release builds fail loudly at enumeration time instead
+/// of panicking on an out-of-bounds `candidates[0]` deep inside the tuner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateError {
+    /// Feature index in the model.
+    pub feature_idx: usize,
+    /// The embedding dimension that pruned every template.
+    pub emb_dim: u32,
+}
+
+impl std::fmt::Display for CandidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "feature {} admits no schedule candidates (emb_dim {})",
+            self.feature_idx, self.emb_dim
+        )
+    }
+}
+
+impl std::error::Error for CandidateError {}
 
 fn params(t: u32, g: u32, v: u32, u: u32, stage: u32) -> ScheduleParams {
     ScheduleParams {
@@ -41,7 +71,15 @@ fn params(t: u32, g: u32, v: u32, u: u32, stage: u32) -> ScheduleParams {
 }
 
 /// Enumerate the schedule candidates for one feature.
-pub fn enumerate_candidates(feature_idx: usize, spec: &FeatureSpec) -> CandidateSet {
+///
+/// Guaranteed non-empty on success: any feature with `emb_dim >= 1` always
+/// receives at least the scalar `SamplePerWarp` mapping. A degenerate spec
+/// that prunes everything returns [`CandidateError`] instead of an empty
+/// set.
+pub fn enumerate_candidates(
+    feature_idx: usize,
+    spec: &FeatureSpec,
+) -> Result<CandidateSet, CandidateError> {
     let dim = spec.emb_dim;
     let mean_pf = spec.pooling.mean();
     let mut c = Vec::new();
@@ -118,7 +156,7 @@ pub fn enumerate_candidates(feature_idx: usize, spec: &FeatureSpec) -> Candidate
     // multi-hot feature when measured in isolation, a bandwidth trap when
     // fused (which is exactly why the search space must contain it: the
     // tuner's job is to reject it under interference).
-    if mean_pf >= 4.0 {
+    if mean_pf >= 4.0 && dim >= 1 {
         for t in [128u32, 256] {
             let v = 4u32.min(dim);
             c.push(ScheduleInstance {
@@ -149,11 +187,16 @@ pub fn enumerate_candidates(feature_idx: usize, spec: &FeatureSpec) -> Candidate
         }
     }
 
-    debug_assert!(!c.is_empty(), "every feature must have candidates");
-    CandidateSet {
+    if c.is_empty() {
+        return Err(CandidateError {
+            feature_idx,
+            emb_dim: dim,
+        });
+    }
+    Ok(CandidateSet {
         feature_idx,
         candidates: c,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +221,7 @@ mod tests {
         for preset in ModelPreset::TABLE1 {
             let m = preset.scaled(0.02);
             for (i, f) in m.features.iter().enumerate() {
-                let cs = enumerate_candidates(i, f);
+                let cs = enumerate_candidates(i, f).unwrap();
                 assert!(!cs.is_empty(), "{preset:?} feature {i}");
                 assert!(
                     cs.len() < 80,
@@ -191,7 +234,7 @@ mod tests {
 
     #[test]
     fn one_hot_features_skip_block_per_sample() {
-        let cs = enumerate_candidates(0, &spec(32, PoolingDist::OneHot));
+        let cs = enumerate_candidates(0, &spec(32, PoolingDist::OneHot)).unwrap();
         assert!(cs
             .candidates
             .iter()
@@ -204,7 +247,7 @@ mod tests {
 
     #[test]
     fn heavy_multi_hot_includes_block_per_sample() {
-        let cs = enumerate_candidates(0, &spec(64, PoolingDist::Fixed(100)));
+        let cs = enumerate_candidates(0, &spec(64, PoolingDist::Fixed(100))).unwrap();
         assert!(cs
             .candidates
             .iter()
@@ -217,7 +260,7 @@ mod tests {
 
     #[test]
     fn wide_dims_skip_row_per_thread() {
-        let cs = enumerate_candidates(0, &spec(128, PoolingDist::Fixed(10)));
+        let cs = enumerate_candidates(0, &spec(128, PoolingDist::Fixed(10))).unwrap();
         assert!(cs
             .candidates
             .iter()
@@ -226,15 +269,15 @@ mod tests {
 
     #[test]
     fn vector_width_never_exceeds_dim() {
-        let cs = enumerate_candidates(0, &spec(4, PoolingDist::Fixed(20)));
+        let cs = enumerate_candidates(0, &spec(4, PoolingDist::Fixed(20))).unwrap();
         assert!(cs.candidates.iter().all(|s| s.params.vector_width <= 4));
-        let tiny = enumerate_candidates(0, &spec(4, PoolingDist::OneHot));
+        let tiny = enumerate_candidates(0, &spec(4, PoolingDist::OneHot)).unwrap();
         assert!(tiny.candidates.iter().all(|s| s.params.vector_width <= 4));
     }
 
     #[test]
     fn candidates_are_distinct() {
-        let cs = enumerate_candidates(0, &spec(32, PoolingDist::Fixed(50)));
+        let cs = enumerate_candidates(0, &spec(32, PoolingDist::Fixed(50))).unwrap();
         let set: HashSet<_> = cs.candidates.iter().collect();
         assert_eq!(
             set.len(),
@@ -245,8 +288,40 @@ mod tests {
 
     #[test]
     fn enumeration_is_deterministic() {
-        let a = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30)));
-        let b = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30)));
+        let a = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30))).unwrap();
+        let b = enumerate_candidates(3, &spec(16, PoolingDist::Fixed(30))).unwrap();
         assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn degenerate_feature_is_a_structured_error_not_a_panic() {
+        // emb_dim 0 prunes every template family; the old debug_assert
+        // made this a release-mode silent empty set.
+        let err = enumerate_candidates(7, &spec(0, PoolingDist::Fixed(10))).unwrap_err();
+        assert_eq!(
+            err,
+            CandidateError {
+                feature_idx: 7,
+                emb_dim: 0
+            }
+        );
+        assert!(err.to_string().contains("feature 7"));
+    }
+
+    #[test]
+    fn any_positive_dim_is_guaranteed_candidates() {
+        // The doc contract on `is_empty`: every valid (dim >= 1) feature
+        // gets at least the scalar SamplePerWarp mapping, for every
+        // pooling shape.
+        for dim in [1u32, 2, 3, 5, 17, 64, 128, 512] {
+            for pooling in [
+                PoolingDist::OneHot,
+                PoolingDist::Fixed(1),
+                PoolingDist::Fixed(200),
+            ] {
+                let cs = enumerate_candidates(0, &spec(dim, pooling)).unwrap();
+                assert!(!cs.is_empty(), "dim {dim}");
+            }
+        }
     }
 }

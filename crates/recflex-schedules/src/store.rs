@@ -1,0 +1,1150 @@
+//! The crash-safe profile vault: persistent tuned-schedule sidecars.
+//!
+//! Every lifecycle retune and fleet replica used to start from a cold
+//! tuner sweep because tuned schedules lived only in memory. This module
+//! persists a tuning decision as a JSON **sidecar** keyed by
+//! `(model, arch, quantized distribution summary)` — the Chic
+//! `schedule_tuner` sidecar design: a content hash over the canonical
+//! encoding, a schema version, deterministic diagnostics on any mismatch,
+//! and lexical tie-breaks wherever an order must be invented.
+//!
+//! The robustness contract mirrors the compute-side fault machinery
+//! ([`FaultPlan`](../../recflex_serve/struct.FaultPlan.html) and friends):
+//!
+//! * **Writes are atomic**: serialize → content-hash → write a `.tmp`
+//!   sibling → rename into place. A fault mid-write can corrupt the temp
+//!   file being published, never an already-published sidecar in place.
+//! * **Loads never trust bytes**: parse errors, hash mismatches, schema
+//!   skew and shape violations all surface as structured [`StoreError`]s.
+//!   The offending sidecar is **quarantined** (renamed aside) with a
+//!   deterministic diagnostic, and the caller degrades to a cold tune.
+//!   Nothing in this module panics on foreign bytes.
+//! * **Conflicts resolve deterministically**: among valid sidecars for
+//!   one key the winner is the lowest recorded mean fused latency, ties
+//!   broken by lexical sidecar name.
+//! * **Every failure mode is replayable**: the [`Vfs`] trait has a real
+//!   directory backend ([`DirVfs`]) and a deterministic in-memory backend
+//!   ([`MemVfs`]) that executes a seeded [`StoreFaultPlan`] — fail-write,
+//!   torn write, byte-flip, stale read, duplicate sidecar — so a
+//!   corruption scenario is a pure function of its seed at any
+//!   `RECFLEX_THREADS`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recflex_data::Batch;
+use serde::{Deserialize, Serialize};
+
+/// Sidecar schema version this build reads and writes. A sidecar bearing
+/// any other version is quarantined as [`StoreError::SchemaSkew`] — never
+/// reinterpreted.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Lookups-per-sample are quantized to multiples of `1/SUMMARY_QUANTUM`
+/// when they enter a [`ProfileKey`], so keys are exact-match stable under
+/// measurement noise.
+pub const SUMMARY_QUANTUM: f64 = 8.0;
+
+// ---------------------------------------------------------------------------
+// Keys and profiles
+// ---------------------------------------------------------------------------
+
+/// Identity of a tuned profile: which model, which device, and what the
+/// traffic looked like (quantized per-feature mean lookups per sample).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// Model name.
+    pub model: String,
+    /// Architecture name (e.g. `"V100"`).
+    pub arch: String,
+    /// Per-feature mean lookups per sample, in units of
+    /// `1/`[`SUMMARY_QUANTUM`] (see [`distribution_summary`]).
+    pub dist_summary: Vec<u32>,
+}
+
+impl ProfileKey {
+    /// Stable 64-bit digest of the key (FNV-1a over its canonical JSON).
+    pub fn digest(&self) -> u64 {
+        let canon = serde_json::to_string(self).expect("key serialization is infallible");
+        fnv1a64(canon.as_bytes())
+    }
+
+    /// The sidecar file name this key stores under.
+    pub fn sidecar_name(&self) -> String {
+        format!(
+            "{}-{}-{:016x}.json",
+            sanitize(&self.model),
+            sanitize(&self.arch),
+            self.digest()
+        )
+    }
+
+    /// L1 distance between two quantized summaries, or `None` when the
+    /// keys are not comparable (different model, arch or feature count).
+    pub fn distance(&self, other: &ProfileKey) -> Option<u64> {
+        if self.model != other.model
+            || self.arch != other.arch
+            || self.dist_summary.len() != other.dist_summary.len()
+        {
+            return None;
+        }
+        Some(
+            self.dist_summary
+                .iter()
+                .zip(&other.dist_summary)
+                .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+                .sum(),
+        )
+    }
+}
+
+/// Quantized per-feature mean lookups per sample over `batches` — the
+/// traffic component of a [`ProfileKey`]. Empty input yields an empty
+/// summary.
+pub fn distribution_summary(batches: &[Batch]) -> Vec<u32> {
+    let Some(first) = batches.first() else {
+        return Vec::new();
+    };
+    let mut lookups = vec![0u64; first.features.len()];
+    let mut samples = 0u64;
+    for b in batches {
+        samples += u64::from(b.batch_size);
+        for (f, fb) in b.features.iter().enumerate() {
+            lookups[f] += fb.indices.len() as u64;
+        }
+    }
+    let samples = samples.max(1) as f64;
+    lookups
+        .iter()
+        .map(|&l| (l as f64 / samples * SUMMARY_QUANTUM).round() as u32)
+        .collect()
+}
+
+/// One persisted tuning decision.
+///
+/// Schedules are stored as per-feature candidate **indices** plus the
+/// chosen schedules' display labels: on resume the loader re-enumerates
+/// the candidate sets and verifies index → label agreement, so a sidecar
+/// written by a build with a different enumeration order (version skew
+/// the schema version cannot see) is rejected instead of silently
+/// resuming the wrong schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleProfile {
+    /// Sidecar schema version ([`SCHEMA_VERSION`] for this build).
+    pub schema_version: u32,
+    /// What this profile was tuned for.
+    pub key: ProfileKey,
+    /// Winning candidate index per feature.
+    pub choices: Vec<usize>,
+    /// Display label of each chosen schedule (skew guard).
+    pub schedule_labels: Vec<String>,
+    /// The winning occupancy target, if occupancy control was in force.
+    pub occupancy: Option<u32>,
+    /// Mean fused latency of the chosen configuration, µs — the recorded
+    /// perf counter deterministic winner selection is based on.
+    pub mean_latency_us: f64,
+    /// FNV-1a content hash (hex) over the canonical encoding of every
+    /// other field. Filled by [`Self::seal`]; verified on load.
+    pub hash: String,
+}
+
+impl ScheduleProfile {
+    /// The hash of the profile's current content (hash field excluded).
+    pub fn content_hash(&self) -> String {
+        let mut body = self.clone();
+        body.hash = String::new();
+        let canon = serde_json::to_string(&body).expect("profile serialization is infallible");
+        format!("{:016x}", fnv1a64(canon.as_bytes()))
+    }
+
+    /// Fill `hash` from the current content.
+    pub fn seal(mut self) -> Self {
+        self.hash = self.content_hash();
+        self
+    }
+
+    /// Validate everything that can be validated without re-enumerating
+    /// candidates: schema version, content hash, and structural shape.
+    pub fn validate(&self, name: &str) -> Result<(), StoreError> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(StoreError::SchemaSkew {
+                name: name.to_string(),
+                found: self.schema_version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let actual = self.content_hash();
+        if actual != self.hash {
+            return Err(StoreError::HashMismatch {
+                name: name.to_string(),
+                expected: self.hash.clone(),
+                actual,
+            });
+        }
+        let n = self.key.dist_summary.len();
+        if self.choices.len() != n || self.schedule_labels.len() != n {
+            return Err(StoreError::Shape {
+                name: name.to_string(),
+                detail: format!(
+                    "{} choices / {} labels for {} features",
+                    self.choices.len(),
+                    self.schedule_labels.len(),
+                    n
+                ),
+            });
+        }
+        if !self.mean_latency_us.is_finite() || self.mean_latency_us < 0.0 {
+            return Err(StoreError::Shape {
+                name: name.to_string(),
+                detail: format!("non-physical mean latency {:?}", self.mean_latency_us),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a sidecar could not be stored or trusted. Every variant renders a
+/// deterministic, host-independent diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The backing store refused an operation.
+    Io {
+        /// The operation (`"write"`, `"rename"`, `"read"`, …).
+        op: &'static str,
+        /// The sidecar involved.
+        name: String,
+        /// Backend detail (deterministic for [`MemVfs`]).
+        detail: String,
+    },
+    /// The sidecar's bytes are not a well-formed profile document.
+    Malformed {
+        /// The sidecar involved.
+        name: String,
+        /// Parse/decode detail.
+        detail: String,
+    },
+    /// The content hash does not match the content.
+    HashMismatch {
+        /// The sidecar involved.
+        name: String,
+        /// Hash recorded in the sidecar.
+        expected: String,
+        /// Hash of the bytes actually present.
+        actual: String,
+    },
+    /// The sidecar was written by a different schema version.
+    SchemaSkew {
+        /// The sidecar involved.
+        name: String,
+        /// Version found in the sidecar.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// Internally inconsistent field shapes (wrong arity, non-finite
+    /// latency, …).
+    Shape {
+        /// The sidecar involved.
+        name: String,
+        /// What is inconsistent.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, name, detail } => {
+                write!(f, "{op} `{name}` failed: {detail}")
+            }
+            StoreError::Malformed { name, detail } => {
+                write!(f, "`{name}` is malformed: {detail}")
+            }
+            StoreError::HashMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{name}` hash mismatch: sidecar says {expected}, content is {actual}"
+            ),
+            StoreError::SchemaSkew {
+                name,
+                found,
+                supported,
+            } => write!(
+                f,
+                "`{name}` schema version {found} (this build supports {supported})"
+            ),
+            StoreError::Shape { name, detail } => {
+                write!(f, "`{name}` shape invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+// ---------------------------------------------------------------------------
+// The Vfs trait and its two backends
+// ---------------------------------------------------------------------------
+
+/// A backend I/O failure (deterministic text for [`MemVfs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsError(pub String);
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The flat file namespace the vault runs on. Implementations must keep
+/// [`Vfs::list`] sorted so every scan is order-deterministic.
+pub trait Vfs {
+    /// All file names, lexically sorted.
+    fn list(&self) -> Vec<String>;
+    /// Read a file's bytes.
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, VfsError>;
+    /// Create or replace a file.
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), VfsError>;
+    /// Atomically move `from` onto `to` (replacing it).
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError>;
+    /// Delete a file (ok if absent).
+    fn remove(&mut self, name: &str) -> Result<(), VfsError>;
+}
+
+/// A real directory. Writes land in the directory given at construction;
+/// the vault's temp-then-rename protocol makes publishes atomic on any
+/// POSIX filesystem.
+pub struct DirVfs {
+    root: PathBuf,
+}
+
+impl DirVfs {
+    /// Open (creating if needed) a vault directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, VfsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| VfsError(e.to_string()))?;
+        Ok(DirVfs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Vfs for DirVfs {
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.root)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, VfsError> {
+        std::fs::read(self.path(name)).map_err(|e| VfsError(e.to_string()))
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        std::fs::write(self.path(name), bytes).map_err(|e| VfsError(e.to_string()))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| VfsError(e.to_string()))
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), VfsError> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(VfsError(e.to_string())),
+        }
+    }
+}
+
+/// One storage fault. `op` indexes the [`MemVfs`] operation counter for
+/// the operation type the kind targets (write #k, read #k, rename #k) —
+/// counters advance even when an operation fails, so a plan addresses a
+/// fixed schedule of I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StoreFault {
+    /// Zero-based index into the per-type operation counter.
+    pub op: u64,
+    /// What breaks.
+    pub kind: StoreFaultKind,
+}
+
+/// The five storage failure modes the vault must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum StoreFaultKind {
+    /// The write returns an error; nothing is stored.
+    FailWrite,
+    /// The write "succeeds" but persists only the first `keep` bytes —
+    /// a crash between write and flush.
+    TornWrite {
+        /// Bytes that actually reach the store.
+        keep: usize,
+    },
+    /// The write "succeeds" but one byte is corrupted in flight.
+    ByteFlip {
+        /// Corrupted position (taken modulo the content length).
+        offset: usize,
+        /// XOR mask applied to the byte (never 0).
+        xor: u8,
+    },
+    /// The read returns the file's *previous* version — a lagging,
+    /// non-coherent replica of the store.
+    StaleRead,
+    /// The rename also publishes a second sidecar (`dup-<name>`) holding
+    /// the target's previous content — the "two writers raced" aftermath.
+    DuplicateSidecar,
+}
+
+/// A replayable schedule of storage faults. Construct scripted plans
+/// directly or seeded ones with [`StoreFaultSpec::plan`]; the empty plan
+/// leaves [`MemVfs`] a faithful in-memory filesystem.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StoreFaultPlan {
+    /// The faults, in any order (matched by counter, not position).
+    pub faults: Vec<StoreFault>,
+}
+
+impl StoreFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        StoreFaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn find(
+        &self,
+        op: u64,
+        want_write: bool,
+        want_read: bool,
+        want_rename: bool,
+    ) -> Option<StoreFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| {
+                f.op == op
+                    && match f.kind {
+                        StoreFaultKind::FailWrite
+                        | StoreFaultKind::TornWrite { .. }
+                        | StoreFaultKind::ByteFlip { .. } => want_write,
+                        StoreFaultKind::StaleRead => want_read,
+                        StoreFaultKind::DuplicateSidecar => want_rename,
+                    }
+            })
+            .map(|f| f.kind)
+    }
+}
+
+/// Per-fault-kind probabilities for seeded plan synthesis, mirroring the
+/// serving tier's `FaultSpec` idiom: a spec plus a seed replays to a
+/// bit-identical [`StoreFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StoreFaultSpec {
+    /// P(a write fails outright).
+    pub fail_write: f64,
+    /// P(a write is torn).
+    pub torn_write: f64,
+    /// P(a write is bit-flipped).
+    pub byte_flip: f64,
+    /// P(a read is stale).
+    pub stale_read: f64,
+    /// P(a rename duplicates its target).
+    pub duplicate: f64,
+}
+
+impl StoreFaultSpec {
+    /// A moderately hostile store for chaos tests.
+    pub fn hostile() -> Self {
+        StoreFaultSpec {
+            fail_write: 0.1,
+            torn_write: 0.15,
+            byte_flip: 0.15,
+            stale_read: 0.1,
+            duplicate: 0.1,
+        }
+    }
+
+    /// Draw a plan covering the first `ops` operations of each type.
+    /// Pure function of `(self, ops, seed)`.
+    pub fn plan(&self, ops: u64, seed: u64) -> StoreFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        for op in 0..ops {
+            // At most one write-fault per write op, drawn in fixed order.
+            if rng.gen_bool(self.fail_write) {
+                faults.push(StoreFault {
+                    op,
+                    kind: StoreFaultKind::FailWrite,
+                });
+            } else if rng.gen_bool(self.torn_write) {
+                faults.push(StoreFault {
+                    op,
+                    kind: StoreFaultKind::TornWrite {
+                        keep: rng.gen_range(0..96usize),
+                    },
+                });
+            } else if rng.gen_bool(self.byte_flip) {
+                faults.push(StoreFault {
+                    op,
+                    kind: StoreFaultKind::ByteFlip {
+                        offset: rng.gen_range(0..4096usize),
+                        xor: rng.gen_range(1..=255u8),
+                    },
+                });
+            }
+            if rng.gen_bool(self.stale_read) {
+                faults.push(StoreFault {
+                    op,
+                    kind: StoreFaultKind::StaleRead,
+                });
+            }
+            if rng.gen_bool(self.duplicate) {
+                faults.push(StoreFault {
+                    op,
+                    kind: StoreFaultKind::DuplicateSidecar,
+                });
+            }
+        }
+        StoreFaultPlan { faults }
+    }
+}
+
+/// Deterministic in-memory backend. Keeps every version of every file
+/// (so [`StoreFaultKind::StaleRead`] has something stale to serve) and
+/// executes a [`StoreFaultPlan`] against per-type operation counters.
+/// With the empty plan it behaves as an ordinary filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct MemVfs {
+    /// Version history per file; the last entry is current.
+    files: BTreeMap<String, Vec<Vec<u8>>>,
+    plan: StoreFaultPlan,
+    writes: u64,
+    reads: u64,
+    renames: u64,
+}
+
+impl MemVfs {
+    /// A fault-free in-memory store.
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    /// An in-memory store executing `plan`.
+    pub fn with_plan(plan: StoreFaultPlan) -> Self {
+        MemVfs {
+            plan,
+            ..MemVfs::default()
+        }
+    }
+
+    /// Plant a file directly, bypassing fault injection and the vault's
+    /// write protocol — for seeding corrupt or foreign sidecars.
+    pub fn plant(&mut self, name: &str, bytes: &[u8]) {
+        self.files
+            .entry(name.to_string())
+            .or_default()
+            .push(bytes.to_vec());
+    }
+
+    /// Current content of a file, if present.
+    pub fn contents(&self, name: &str) -> Option<&[u8]> {
+        self.files
+            .get(name)
+            .and_then(|v| v.last())
+            .map(Vec::as_slice)
+    }
+}
+
+impl Vfs for MemVfs {
+    fn list(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, VfsError> {
+        let op = self.reads;
+        self.reads += 1;
+        let versions = self
+            .files
+            .get(name)
+            .ok_or_else(|| VfsError(format!("no such file `{name}`")))?;
+        let stale = matches!(
+            self.plan.find(op, false, true, false),
+            Some(StoreFaultKind::StaleRead)
+        );
+        let v = if stale && versions.len() >= 2 {
+            &versions[versions.len() - 2]
+        } else {
+            versions.last().expect("history is never empty")
+        };
+        Ok(v.clone())
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        let op = self.writes;
+        self.writes += 1;
+        let mut stored = bytes.to_vec();
+        match self.plan.find(op, true, false, false) {
+            Some(StoreFaultKind::FailWrite) => {
+                return Err(VfsError(format!("injected write failure (write #{op})")));
+            }
+            Some(StoreFaultKind::TornWrite { keep }) => {
+                stored.truncate(keep.min(stored.len()));
+            }
+            Some(StoreFaultKind::ByteFlip { offset, xor }) if !stored.is_empty() => {
+                let at = offset % stored.len();
+                stored[at] ^= xor.max(1);
+            }
+            _ => {}
+        }
+        self.files.entry(name.to_string()).or_default().push(stored);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
+        let op = self.renames;
+        self.renames += 1;
+        let mut versions = self
+            .files
+            .remove(from)
+            .ok_or_else(|| VfsError(format!("no such file `{from}`")))?;
+        let current = versions.pop().expect("history is never empty");
+        if matches!(
+            self.plan.find(op, false, false, true),
+            Some(StoreFaultKind::DuplicateSidecar)
+        ) {
+            // The raced writer's leftovers: the target's previous content
+            // (or this one, if the target is new) under a sibling name.
+            let dup = self
+                .files
+                .get(to)
+                .and_then(|v| v.last())
+                .cloned()
+                .unwrap_or_else(|| current.clone());
+            self.files.entry(format!("dup-{to}")).or_default().push(dup);
+        }
+        self.files.entry(to.to_string()).or_default().push(current);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), VfsError> {
+        self.files.remove(name);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The vault
+// ---------------------------------------------------------------------------
+
+/// Vault observables, reported per run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct VaultStats {
+    /// Profiles successfully published.
+    pub stores: u64,
+    /// Publishes that failed (write or rename error).
+    pub store_failures: u64,
+    /// Lookups answered from a stored profile.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Sidecars quarantined (renamed aside) after failing validation.
+    pub quarantined: u64,
+    /// Lookups where >1 valid sidecar matched and a winner was selected.
+    pub conflicts_resolved: u64,
+}
+
+/// The persistent profile store. All operations are sequential and
+/// deterministic: scans walk the backend's sorted listing, diagnostics
+/// carry no timestamps or host paths, and every anomaly degrades —
+/// nothing here panics on untrusted bytes.
+pub struct ProfileVault<V: Vfs> {
+    vfs: V,
+    diagnostics: Vec<String>,
+    stats: VaultStats,
+}
+
+impl<V: Vfs> ProfileVault<V> {
+    /// Open a vault over a backend.
+    pub fn new(vfs: V) -> Self {
+        ProfileVault {
+            vfs,
+            diagnostics: Vec::new(),
+            stats: VaultStats::default(),
+        }
+    }
+
+    /// The backend (tests and seeding).
+    pub fn vfs_mut(&mut self) -> &mut V {
+        &mut self.vfs
+    }
+
+    /// Deterministic diagnostic log, in emission order.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
+    }
+
+    /// Vault counters.
+    pub fn stats(&self) -> VaultStats {
+        self.stats
+    }
+
+    /// Append an external diagnostic line (e.g. a resume rejection from
+    /// the tuner layer) so one log tells the whole story.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.diagnostics.push(line.into());
+    }
+
+    /// Publish a profile under its key: seal the content hash, write a
+    /// `.tmp` sibling, rename into place. On any backend error the temp
+    /// file is dropped, a diagnostic is recorded, and the previously
+    /// published sidecar (if any) is untouched.
+    pub fn store(&mut self, profile: &ScheduleProfile) -> Result<String, StoreError> {
+        let sealed = profile.clone().seal();
+        let name = sealed.key.sidecar_name();
+        let tmp = format!("{name}.tmp");
+        let text =
+            serde_json::to_string_pretty(&sealed).expect("profile serialization is infallible");
+        if let Err(e) = self.vfs.write(&tmp, text.as_bytes()) {
+            let _ = self.vfs.remove(&tmp);
+            self.stats.store_failures += 1;
+            let err = StoreError::Io {
+                op: "write",
+                name: name.clone(),
+                detail: e.0,
+            };
+            self.diagnostics.push(format!("store rejected: {err}"));
+            return Err(err);
+        }
+        if let Err(e) = self.vfs.rename(&tmp, &name) {
+            let _ = self.vfs.remove(&tmp);
+            self.stats.store_failures += 1;
+            let err = StoreError::Io {
+                op: "rename",
+                name: name.clone(),
+                detail: e.0,
+            };
+            self.diagnostics.push(format!("store rejected: {err}"));
+            return Err(err);
+        }
+        self.stats.stores += 1;
+        Ok(name)
+    }
+
+    /// Exact-key lookup: the valid sidecar for `key` with the lowest
+    /// recorded latency (lexical name tie-break), or `None`.
+    pub fn lookup(&mut self, key: &ProfileKey) -> Option<ScheduleProfile> {
+        self.lookup_nearest(key, 0)
+    }
+
+    /// Nearest-key lookup: among valid sidecars for the same model and
+    /// arch whose summary is within `max_l1` (L1 over quantized units),
+    /// the closest wins; ties break on latency, then lexical name.
+    pub fn lookup_nearest(&mut self, key: &ProfileKey, max_l1: u64) -> Option<ScheduleProfile> {
+        let mut best: Option<(u64, f64, String, ScheduleProfile)> = None;
+        let mut matched = 0u64;
+        for (name, profile) in self.scan() {
+            let Some(d) = key.distance(&profile.key) else {
+                continue;
+            };
+            if d > max_l1 {
+                continue;
+            }
+            matched += 1;
+            let candidate = (d, profile.mean_latency_us, name, profile);
+            let better = match &best {
+                None => true,
+                Some((bd, bl, bn, _)) => {
+                    (candidate.0, candidate.1, candidate.2.as_str()) < (*bd, *bl, bn.as_str())
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        if matched > 1 {
+            self.stats.conflicts_resolved += 1;
+        }
+        match best {
+            Some((d, _, name, profile)) => {
+                self.stats.hits += 1;
+                self.diagnostics
+                    .push(format!("hit `{name}` (summary distance {d})"));
+                Some(profile)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Scan every published sidecar, quarantining the invalid ones.
+    fn scan(&mut self) -> Vec<(String, ScheduleProfile)> {
+        let names: Vec<String> = self
+            .vfs
+            .list()
+            .into_iter()
+            .filter(|n| n.ends_with(".json"))
+            .collect();
+        let mut valid = Vec::new();
+        for name in names {
+            match self.load_one(&name) {
+                Ok(profile) => valid.push((name, profile)),
+                Err(err) => self.quarantine(&name, &err),
+            }
+        }
+        valid
+    }
+
+    fn load_one(&mut self, name: &str) -> Result<ScheduleProfile, StoreError> {
+        let bytes = self.vfs.read(name).map_err(|e| StoreError::Io {
+            op: "read",
+            name: name.to_string(),
+            detail: e.0,
+        })?;
+        let text = std::str::from_utf8(&bytes).map_err(|_| StoreError::Malformed {
+            name: name.to_string(),
+            detail: "not valid UTF-8".to_string(),
+        })?;
+        let profile: ScheduleProfile =
+            serde_json::from_str(text).map_err(|e| StoreError::Malformed {
+                name: name.to_string(),
+                detail: e.to_string(),
+            })?;
+        profile.validate(name)?;
+        Ok(profile)
+    }
+
+    /// Rename a failed sidecar aside and record why. A sidecar that
+    /// cannot even be renamed is left in place but never trusted (the
+    /// next scan re-detects it).
+    fn quarantine(&mut self, name: &str, err: &StoreError) {
+        self.stats.quarantined += 1;
+        match self.vfs.rename(name, &format!("{name}.quarantined")) {
+            Ok(()) => self.diagnostics.push(format!("quarantined: {err}")),
+            Err(e) => self
+                .diagnostics
+                .push(format!("quarantined in place ({e}): {err}")),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit — the workspace's stable content hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn sanitize(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(model: &str, latency: f64, summary: Vec<u32>) -> ScheduleProfile {
+        let n = summary.len();
+        ScheduleProfile {
+            schema_version: SCHEMA_VERSION,
+            key: ProfileKey {
+                model: model.to_string(),
+                arch: "V100".to_string(),
+                dist_summary: summary,
+            },
+            choices: vec![0; n],
+            schedule_labels: vec!["warp_t128_v1_u1".to_string(); n],
+            occupancy: Some(4),
+            mean_latency_us: latency,
+            hash: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let p = profile("model-a", 12.5, vec![8, 80, 16]);
+        let name = vault.store(&p).unwrap();
+        assert!(name.ends_with(".json"));
+        let back = vault.lookup(&p.key).expect("stored profile is found");
+        assert_eq!(back.choices, p.choices);
+        assert_eq!(back.mean_latency_us, p.mean_latency_us);
+        assert_eq!(back.hash, back.content_hash());
+        assert_eq!(vault.stats().hits, 1);
+        assert_eq!(vault.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn round_trip_through_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "recflex-vault-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(b"round_trip_through_directory")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut vault = ProfileVault::new(DirVfs::open(&dir).unwrap());
+        let p = profile("dir-model", 7.0, vec![24]);
+        vault.store(&p).unwrap();
+        assert!(vault.lookup(&p.key).is_some());
+        // A second vault over the same directory sees the sidecar.
+        let mut again = ProfileVault::new(DirVfs::open(&dir).unwrap());
+        assert!(again.lookup(&p.key).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_flip_is_quarantined_and_degrades_to_miss() {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let p = profile("m", 5.0, vec![8]);
+        let name = vault.store(&p).unwrap();
+        // Corrupt one content byte in place (inside a digit of a number,
+        // keeping the JSON well-formed: the hash must catch it).
+        let mut bytes = vault.vfs_mut().contents(&name).unwrap().to_vec();
+        let at = bytes
+            .windows(4)
+            .position(|w| w == b"5.0,")
+            .expect("latency literal present");
+        bytes[at] = b'9';
+        vault.vfs_mut().remove(&name).unwrap();
+        vault.vfs_mut().plant(&name, &bytes);
+        assert!(vault.lookup(&p.key).is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+        assert!(
+            vault.diagnostics()[0].contains("hash mismatch"),
+            "{:?}",
+            vault.diagnostics()
+        );
+        // The quarantined sidecar is out of the namespace: scans skip it.
+        assert!(vault.lookup(&p.key).is_none());
+        assert_eq!(vault.stats().quarantined, 1, "no double quarantine");
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_the_published_sidecar() {
+        // Publish clean, then retune into a torn write: the loader must
+        // still serve the *old* profile (the temp file took the tear).
+        let plan = StoreFaultPlan {
+            faults: vec![StoreFault {
+                op: 1, // the second write: the re-publish
+                kind: StoreFaultKind::TornWrite { keep: 30 },
+            }],
+        };
+        let mut vault = ProfileVault::new(MemVfs::with_plan(plan));
+        let p1 = profile("m", 9.0, vec![8]);
+        vault.store(&p1).unwrap();
+        let p2 = ScheduleProfile {
+            mean_latency_us: 4.0,
+            ..p1.clone()
+        };
+        // The torn write "succeeds" — the tear is only visible on read.
+        vault.store(&p2).unwrap();
+        let got = vault.lookup(&p1.key);
+        // The published sidecar was replaced by the torn bytes via
+        // rename, so the loader quarantines it and reports a miss —
+        // never a half-parsed profile.
+        assert!(got.is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+        assert!(vault.diagnostics().iter().any(|d| d.contains("malformed")));
+    }
+
+    #[test]
+    fn fail_write_leaves_previous_version_live() {
+        let plan = StoreFaultPlan {
+            faults: vec![StoreFault {
+                op: 1,
+                kind: StoreFaultKind::FailWrite,
+            }],
+        };
+        let mut vault = ProfileVault::new(MemVfs::with_plan(plan));
+        let p1 = profile("m", 9.0, vec![8]);
+        vault.store(&p1).unwrap();
+        let p2 = ScheduleProfile {
+            mean_latency_us: 4.0,
+            ..p1.clone()
+        };
+        assert!(vault.store(&p2).is_err());
+        let got = vault.lookup(&p1.key).expect("old version still live");
+        assert_eq!(got.mean_latency_us, 9.0);
+        assert_eq!(vault.stats().store_failures, 1);
+    }
+
+    #[test]
+    fn schema_skew_is_quarantined() {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let skewed = ScheduleProfile {
+            schema_version: SCHEMA_VERSION + 1,
+            ..profile("m", 5.0, vec![8])
+        };
+        vault.store(&skewed).unwrap();
+        assert!(vault.lookup(&skewed.key).is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+        assert!(
+            vault
+                .diagnostics()
+                .iter()
+                .any(|d| d.contains("schema version 2")),
+            "{:?}",
+            vault.diagnostics()
+        );
+    }
+
+    #[test]
+    fn duplicate_sidecars_resolve_by_latency_then_name() {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let slow = profile("m", 9.0, vec![8]).seal();
+        let fast = ScheduleProfile {
+            mean_latency_us: 3.0,
+            ..profile("m", 3.0, vec![8])
+        }
+        .seal();
+        let name = slow.key.sidecar_name();
+        vault.vfs_mut().plant(
+            &name,
+            serde_json::to_string_pretty(&slow).unwrap().as_bytes(),
+        );
+        vault.vfs_mut().plant(
+            &format!("dup-{name}"),
+            serde_json::to_string_pretty(&fast).unwrap().as_bytes(),
+        );
+        let got = vault.lookup(&slow.key).unwrap();
+        assert_eq!(got.mean_latency_us, 3.0, "lowest latency wins");
+        assert_eq!(vault.stats().conflicts_resolved, 1);
+        // Equal latencies: lexically smaller name wins ("dup-…" < the
+        // plain name here).
+        let mut vault2 = ProfileVault::new(MemVfs::new());
+        let a = ScheduleProfile {
+            occupancy: Some(2),
+            ..slow.clone()
+        }
+        .seal();
+        vault2.vfs_mut().plant(
+            &name,
+            serde_json::to_string_pretty(&slow).unwrap().as_bytes(),
+        );
+        vault2.vfs_mut().plant(
+            &format!("dup-{name}"),
+            serde_json::to_string_pretty(&a).unwrap().as_bytes(),
+        );
+        let got2 = vault2.lookup(&slow.key).unwrap();
+        assert_eq!(got2.occupancy, Some(2), "lexical tie-break");
+    }
+
+    #[test]
+    fn nearest_lookup_respects_budget_and_distance_order() {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let near = profile("m", 9.0, vec![8, 16]);
+        let far = profile("m", 1.0, vec![8, 24]);
+        vault.store(&near).unwrap();
+        vault.store(&far).unwrap();
+        let probe = ProfileKey {
+            model: "m".to_string(),
+            arch: "V100".to_string(),
+            dist_summary: vec![8, 17],
+        };
+        // Distance 1 vs 7: the near one wins despite worse latency.
+        let got = vault.lookup_nearest(&probe, 8).unwrap();
+        assert_eq!(got.key.dist_summary, vec![8, 16]);
+        // Budget 0: exact only — a miss.
+        assert!(vault.lookup(&probe).is_none());
+        // Different arch never matches.
+        let other_arch = ProfileKey {
+            arch: "A100".to_string(),
+            ..probe.clone()
+        };
+        assert!(vault.lookup_nearest(&other_arch, 100).is_none());
+    }
+
+    #[test]
+    fn stale_read_serves_old_but_valid_content() {
+        let plan = StoreFaultPlan {
+            faults: vec![StoreFault {
+                op: 0,
+                kind: StoreFaultKind::StaleRead,
+            }],
+        };
+        let mut vault = ProfileVault::new(MemVfs::with_plan(plan));
+        let p1 = profile("m", 9.0, vec![8]);
+        vault.store(&p1).unwrap();
+        let p2 = ScheduleProfile {
+            mean_latency_us: 4.0,
+            ..p1.clone()
+        };
+        vault.store(&p2).unwrap();
+        // The stale read returns version 1 — old, but internally
+        // consistent, so it loads (hash still matches its own content).
+        let got = vault.lookup(&p1.key).unwrap();
+        assert_eq!(got.mean_latency_us, 9.0);
+        // With the fault spent, the next lookup sees the fresh version.
+        let got = vault.lookup(&p1.key).unwrap();
+        assert_eq!(got.mean_latency_us, 4.0);
+    }
+
+    #[test]
+    fn seeded_plans_replay() {
+        let spec = StoreFaultSpec::hostile();
+        assert_eq!(spec.plan(64, 0xFEED), spec.plan(64, 0xFEED));
+        assert_ne!(spec.plan(64, 0xFEED), spec.plan(64, 0xBEEF));
+    }
+
+    #[test]
+    fn distribution_summary_quantizes() {
+        use recflex_data::ModelPreset;
+        let m = ModelPreset::A.scaled(0.02);
+        let b1 = Batch::generate(&m, 32, 1);
+        let b2 = Batch::generate(&m, 32, 2);
+        let s = distribution_summary(&[b1.clone(), b2.clone()]);
+        assert_eq!(s.len(), m.features.len());
+        assert_eq!(s, distribution_summary(&[b1, b2]));
+        assert!(distribution_summary(&[]).is_empty());
+    }
+
+    #[test]
+    fn sidecar_names_are_sanitized_and_stable() {
+        let k = ProfileKey {
+            model: "Crazy Model/α".to_string(),
+            arch: "V100".to_string(),
+            dist_summary: vec![1, 2],
+        };
+        let n = k.sidecar_name();
+        assert!(n.starts_with("crazy_model__-v100-"), "{n}");
+        assert_eq!(n, k.sidecar_name());
+        let k2 = ProfileKey {
+            dist_summary: vec![1, 3],
+            ..k.clone()
+        };
+        assert_ne!(n, k2.sidecar_name(), "summary is part of the identity");
+    }
+}

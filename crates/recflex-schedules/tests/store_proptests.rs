@@ -1,0 +1,227 @@
+//! Property tests for the profile vault (ISSUE 9 satellites 1 and 3).
+//!
+//! * **Loader hardening**: arbitrary bytes — pure garbage, truncations
+//!   and single-byte mutations of real sidecars — must always come back
+//!   as a structured [`StoreError`] (observed as a quarantine), never a
+//!   panic. This also exercises the vendored `serde_json` parser's error
+//!   paths, including its recursion-depth guard.
+//! * **Determinism**: the same seed and [`StoreFaultSpec`] must replay
+//!   to a byte-identical diagnostic log, quarantine set and stats JSON,
+//!   run after run — the property CI re-checks across `RECFLEX_THREADS`.
+
+use proptest::proptest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recflex_schedules::{MemVfs, ProfileKey, ProfileVault, ScheduleProfile, StoreFaultSpec, Vfs};
+use serde::Serialize;
+
+const SCHEMA_VERSION: u32 = recflex_schedules::store::SCHEMA_VERSION;
+
+fn profile(model: &str, latency: f64, summary: Vec<u32>) -> ScheduleProfile {
+    let n = summary.len();
+    ScheduleProfile {
+        schema_version: SCHEMA_VERSION,
+        key: ProfileKey {
+            model: model.to_string(),
+            arch: "V100".to_string(),
+            dist_summary: summary,
+        },
+        choices: (0..n).collect(),
+        schedule_labels: (0..n)
+            .map(|i| format!("warp_t128_v{}_u1", 1 + i % 4))
+            .collect(),
+        occupancy: Some(4),
+        mean_latency_us: latency,
+        hash: String::new(),
+    }
+}
+
+proptest! {
+    /// Pure garbage bytes load as a quarantine, never a panic.
+    #[test]
+    fn garbage_sidecars_never_panic(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..512usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        let mut vault = ProfileVault::new(MemVfs::new());
+        vault.vfs_mut().plant("garbage.json", &bytes);
+        let key = ProfileKey {
+            model: "m".to_string(),
+            arch: "V100".to_string(),
+            dist_summary: vec![8],
+        };
+        assert!(vault.lookup(&key).is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+        assert_eq!(vault.diagnostics().len(), 1);
+    }
+
+    /// Truncating a valid sidecar at any byte boundary is detected.
+    #[test]
+    fn truncated_sidecars_never_panic(cut in 0u32..4096) {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let p = profile("trunc", 11.25, vec![8, 40, 16, 2]);
+        let name = vault.store(&p).unwrap();
+        let full = vault.vfs_mut().contents(&name).unwrap().to_vec();
+        let cut = (cut as usize) % full.len();
+        vault.vfs_mut().remove(&name).unwrap();
+        vault.vfs_mut().plant(&name, &full[..cut]);
+        // A truncated document can never parse AND hash-validate: the
+        // hash field seals the full content.
+        assert!(vault.lookup(&p.key).is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+    }
+
+    /// Flipping any single byte of a valid sidecar either leaves a
+    /// detectably-invalid document (quarantine) or — only when the flip
+    /// lands in insignificant whitespace — the identical profile.
+    #[test]
+    fn mutated_sidecars_never_panic(pos in 0u32..4096, xor in 1u32..256) {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let p = profile("mut", 7.5, vec![3, 9]);
+        let name = vault.store(&p).unwrap();
+        let mut bytes = vault.vfs_mut().contents(&name).unwrap().to_vec();
+        let at = (pos as usize) % bytes.len();
+        bytes[at] ^= xor as u8;
+        vault.vfs_mut().remove(&name).unwrap();
+        vault.vfs_mut().plant(&name, &bytes);
+        match vault.lookup(&p.key) {
+            Some(got) => {
+                // Survivable flips must reproduce the profile exactly.
+                assert_eq!(got, p.clone().seal());
+                assert_eq!(vault.stats().quarantined, 0);
+            }
+            None => assert_eq!(vault.stats().quarantined, 1),
+        }
+    }
+
+    /// Deeply nested JSON planted as a sidecar exercises the parser's
+    /// recursion guard: structured error, no stack overflow.
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed(depth in 100u32..5000) {
+        let mut vault = ProfileVault::new(MemVfs::new());
+        let doc = "[".repeat(depth as usize);
+        vault.vfs_mut().plant("deep.json", doc.as_bytes());
+        let key = ProfileKey {
+            model: "m".to_string(),
+            arch: "V100".to_string(),
+            dist_summary: vec![1],
+        };
+        assert!(vault.lookup(&key).is_none());
+        assert_eq!(vault.stats().quarantined, 1);
+    }
+
+    /// One seed ⇒ one story: a hostile fault plan replays to
+    /// byte-identical diagnostics, quarantine set and stats JSON.
+    #[test]
+    fn seeded_fault_runs_replay_byte_identically(seed in 0u64..1_000_000) {
+        let a = hostile_run(seed);
+        let b = hostile_run(seed);
+        assert_eq!(a, b);
+    }
+}
+
+#[derive(Serialize)]
+struct RunReport {
+    diagnostics: Vec<String>,
+    quarantine_log: Vec<String>,
+    stats: recflex_schedules::VaultStats,
+    survivors: Vec<String>,
+}
+
+/// A fixed op sequence against a seeded hostile store; returns the run's
+/// full observable state as canonical JSON.
+fn hostile_run(seed: u64) -> String {
+    let spec = StoreFaultSpec::hostile();
+    let plan = spec.plan(32, seed);
+    let mut vault = ProfileVault::new(MemVfs::with_plan(plan));
+    let models = ["alpha", "beta", "gamma"];
+    for (i, m) in models.iter().enumerate() {
+        let p = profile(m, 5.0 + i as f64, vec![8 + i as u32, 24]);
+        let _ = vault.store(&p); // store failures are part of the story
+    }
+    // Two lookup rounds: the first may quarantine, the second must see
+    // a clean (or cleanly degraded) store.
+    let mut survivors = Vec::new();
+    for _round in 0..2 {
+        for (i, m) in models.iter().enumerate() {
+            let key = ProfileKey {
+                model: m.to_string(),
+                arch: "V100".to_string(),
+                dist_summary: vec![8 + i as u32, 24],
+            };
+            if let Some(p) = vault.lookup_nearest(&key, 4) {
+                survivors.push(format!("{m}:{}", p.mean_latency_us));
+            }
+        }
+    }
+    let quarantine_log = vault
+        .vfs_mut()
+        .list()
+        .into_iter()
+        .filter(|n| n.ends_with(".quarantined"))
+        .collect();
+    let report = RunReport {
+        diagnostics: vault.diagnostics().to_vec(),
+        quarantine_log,
+        stats: vault.stats(),
+        survivors,
+    };
+    serde_json::to_string_pretty(&report).unwrap()
+}
+
+/// The canonical corruption quartet (torn write, byte-flip, duplicate,
+/// version skew) in one store: all four detected, all four quarantined
+/// with deterministic diagnostics, and the clean profile still served.
+#[test]
+fn corruption_quartet_is_fully_quarantined() {
+    let mut vault = ProfileVault::new(MemVfs::new());
+    let clean = profile("clean", 5.0, vec![8]).seal();
+    vault.store(&clean).unwrap();
+
+    // Torn write: a truncated sidecar.
+    let torn = profile("torn", 6.0, vec![8]).seal();
+    let torn_text = serde_json::to_string_pretty(&torn).unwrap();
+    vault
+        .vfs_mut()
+        .plant(&torn.key.sidecar_name(), &torn_text.as_bytes()[..40]);
+
+    // Byte-flip: one corrupted content byte behind a valid hash.
+    let flip = profile("flip", 7.0, vec![8]).seal();
+    let mut flip_bytes = serde_json::to_string_pretty(&flip).unwrap().into_bytes();
+    let at = flip_bytes
+        .windows(3)
+        .position(|w| w == b"7.0")
+        .expect("latency literal");
+    flip_bytes[at] = b'1';
+    vault.vfs_mut().plant(&flip.key.sidecar_name(), &flip_bytes);
+
+    // Duplicate: a second (invalid: stale hash) copy of the clean key.
+    let mut dup = clean.clone();
+    dup.mean_latency_us = 1.0; // content changed, hash not re-sealed
+    vault.vfs_mut().plant(
+        &format!("dup-{}", clean.key.sidecar_name()),
+        serde_json::to_string_pretty(&dup).unwrap().as_bytes(),
+    );
+
+    // Version skew: wrong schema version, correctly sealed.
+    let skew = ScheduleProfile {
+        schema_version: SCHEMA_VERSION + 7,
+        ..profile("skew", 8.0, vec![8])
+    }
+    .seal();
+    vault.vfs_mut().plant(
+        &skew.key.sidecar_name(),
+        serde_json::to_string_pretty(&skew).unwrap().as_bytes(),
+    );
+
+    // One lookup sweeps the store: every corruption quarantined, the
+    // clean profile survives (the stale-hash duplicate loses validation,
+    // so no conflict is even reached).
+    let got = vault.lookup(&clean.key).expect("clean profile survives");
+    assert_eq!(got.mean_latency_us, 5.0);
+    assert_eq!(vault.stats().quarantined, 4, "{:?}", vault.diagnostics());
+    let diags = vault.diagnostics().join("\n");
+    assert!(diags.contains("malformed"), "torn: {diags}");
+    assert!(diags.contains("hash mismatch"), "flip+dup: {diags}");
+    assert!(diags.contains("schema version"), "skew: {diags}");
+}

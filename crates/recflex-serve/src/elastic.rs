@@ -771,6 +771,7 @@ mod tests {
                 runtime: build(model, v100),
                 slo_deadline_us: Some(3_000.0),
                 gate: None,
+                tuning: None,
             }],
         }
     }
@@ -1043,6 +1044,7 @@ mod tests {
                     runtime: build(&model, &v100),
                     slo_deadline_us: Some(3_000.0),
                     gate: None,
+                    tuning: None,
                 },
                 FleetMember {
                     name: "high".into(),
@@ -1050,6 +1052,7 @@ mod tests {
                     runtime: build(&model, &a100),
                     slo_deadline_us: Some(3_000.0),
                     gate: None,
+                    tuning: None,
                 },
             ],
         };

@@ -26,6 +26,7 @@
 use serde::Serialize;
 
 use crate::elastic::FleetChaosStats;
+use crate::lifecycle::EngineTuning;
 use crate::sharded::ShardedServeRuntime;
 use crate::stats::{RequestRecord, ShardedReport, ShardedRequestRecord, ShedReason};
 use crate::workload::FleetArrival;
@@ -116,6 +117,10 @@ pub struct FleetMember<'a> {
     pub slo_deadline_us: Option<f64>,
     /// Per-query admission gate. `None` admits everything.
     pub gate: Option<QueryGate>,
+    /// How this member's engines were tuned, when the builder went
+    /// through the shared profile vault (replicas of one model reuse one
+    /// sidecar). `None` for plainly tuned members.
+    pub tuning: Option<EngineTuning>,
 }
 
 /// The fleet runtime: a pool of device classes and the members placed on
@@ -149,6 +154,8 @@ pub struct FleetModelOutcome {
     pub p50_us: f64,
     /// Tail end-to-end latency over completed requests, µs.
     pub p99_us: f64,
+    /// Vault tuning accounting carried over from the member, if any.
+    pub tuning: Option<EngineTuning>,
     /// The member runtime's full report.
     pub report: ShardedReport,
 }
@@ -278,6 +285,7 @@ impl<'a> FleetRuntime<'a> {
             },
             p50_us: report.percentile_us(0.50),
             p99_us: report.percentile_us(0.99),
+            tuning: member.tuning,
             report,
         };
         (outcome, attained)
@@ -407,6 +415,7 @@ mod tests {
                 runtime: build(),
                 slo_deadline_us: None,
                 gate: None,
+                tuning: None,
             }],
         };
         let fleet_report = fleet.serve(&merged).expect("fleet serve");
@@ -480,6 +489,7 @@ mod tests {
                 runtime: build(),
                 slo_deadline_us: None,
                 gate: Some(gate),
+                tuning: None,
             }],
         };
         let report = fleet.serve(&merged).expect("fleet serve");
@@ -566,6 +576,7 @@ mod tests {
                     runtime: build(&ma, &v100),
                     slo_deadline_us: None,
                     gate: None,
+                    tuning: None,
                 },
                 FleetMember {
                     name: "c".into(),
@@ -573,6 +584,7 @@ mod tests {
                     runtime: build(&mb, &edge),
                     slo_deadline_us: None,
                     gate: None,
+                    tuning: None,
                 },
             ],
         };

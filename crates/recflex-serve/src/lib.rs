@@ -95,11 +95,14 @@ pub use fleet::{
     QueryGate,
 };
 pub use lifecycle::{
-    CanaryConfig, FailReason, LifecycleConfig, LifecycleEvent, LifecycleMachine, LifecycleStats,
-    OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome, StagedSchedule,
+    CanaryConfig, EngineTuning, FailReason, LifecycleConfig, LifecycleEvent, LifecycleMachine,
+    LifecycleStats, OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome,
+    StagedSchedule,
 };
 pub use request::{Request, WorkloadSpec};
-pub use runtime::{BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime};
+pub use runtime::{
+    BatchPolicy, RetunePolicy, ServeConfig, ServeError, ServeRuntime, TunedCandidate,
+};
 pub use sharded::{ShardLane, ShardedRetunePolicy, ShardedServeRuntime};
 pub use stats::{
     RequestRecord, ServeReport, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
@@ -493,7 +496,9 @@ mod tests {
             lifecycle: LifecycleConfig::default(),
             retuner: Box::new(|recent: &[Batch]| {
                 retune_inputs.set(recent.len());
-                Box::new(TorchRecBackend::compile(&shifted_model)) as Box<dyn Backend>
+                TunedCandidate::from(
+                    Box::new(TorchRecBackend::compile(&shifted_model)) as Box<dyn Backend>
+                )
             }),
         };
         let rt = runtime(

@@ -325,6 +325,17 @@ pub enum LifecycleEvent {
     },
 }
 
+/// How one tuning run was produced — reported by retuners that tune
+/// through the profile vault, aggregated into [`LifecycleStats`] and
+/// surfaced per fleet member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EngineTuning {
+    /// Whether the run warm-started from a stored vault profile.
+    pub warm_started: bool,
+    /// Kernel launches the tuning run cost.
+    pub tuner_evaluations: u64,
+}
+
 /// Lifecycle counters, reported per run.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct LifecycleStats {
@@ -344,6 +355,11 @@ pub struct LifecycleStats {
     /// The engine version serving at the end of the run (0 = the engine
     /// the runtime was built with).
     pub engine_version: u32,
+    /// Kernel launches spent across every tuning run reported to this
+    /// machine (zero when the retuner does not report tuning costs).
+    pub tuner_evaluations: u64,
+    /// Tuning runs that warm-started from a stored vault profile.
+    pub warm_starts: u32,
 }
 
 /// The timing skeleton of a staged rollout, extracted from the §8f
@@ -506,6 +522,14 @@ impl LifecycleMachine {
     /// Counters so far.
     pub fn stats(&self) -> LifecycleStats {
         self.stats
+    }
+
+    /// Record how a tuning run was produced (vault-aware retuners only).
+    pub fn record_tuning(&mut self, tuning: EngineTuning) {
+        self.stats.tuner_evaluations += tuning.tuner_evaluations;
+        if tuning.warm_started {
+            self.stats.warm_starts += 1;
+        }
     }
 
     /// The trace so far.

@@ -27,7 +27,8 @@ use recflex_sim::GpuArch;
 use crate::drift::{DriftConfig, DriftMonitor};
 use crate::executor::DeviceExecutor;
 use crate::lifecycle::{
-    CanaryVerdict, LifecycleConfig, LifecycleMachine, RegressedBackend, RetuneOutcome, TimerAction,
+    CanaryVerdict, EngineTuning, LifecycleConfig, LifecycleMachine, RegressedBackend,
+    RetuneOutcome, TimerAction,
 };
 use crate::request::Request;
 use crate::stats::{RequestRecord, ServeReport, ShedReason};
@@ -129,7 +130,27 @@ pub struct RetunePolicy<'a> {
     pub lifecycle: LifecycleConfig,
     /// Builds a new backend from recent traffic.
     #[allow(clippy::type_complexity)]
-    pub retuner: Box<dyn FnMut(&[Batch]) -> Box<dyn Backend> + 'a>,
+    pub retuner: Box<dyn FnMut(&[Batch]) -> TunedCandidate + 'a>,
+}
+
+/// What a retuner hands back: the freshly tuned backend, plus how the
+/// tuning was produced when it went through the profile vault. Plain
+/// retuners convert a bare backend with `.into()` — accounting stays
+/// opt-in and the no-vault path is unchanged.
+pub struct TunedCandidate {
+    /// The freshly tuned backend.
+    pub backend: Box<dyn Backend>,
+    /// Vault accounting (warm start, evaluation count), if reported.
+    pub tuning: Option<EngineTuning>,
+}
+
+impl From<Box<dyn Backend>> for TunedCandidate {
+    fn from(backend: Box<dyn Backend>) -> Self {
+        TunedCandidate {
+            backend,
+            tuning: None,
+        }
+    }
 }
 
 /// Why a serving run failed.
@@ -674,11 +695,18 @@ impl RunState<'_> {
             mon.reset_window();
         }
         self.candidate = match outcome {
-            RetuneOutcome::Success => Some((policy.retuner)(&self.recent)),
-            RetuneOutcome::Regression { slowdown } => Some(Box::new(RegressedBackend::new(
-                (policy.retuner)(&self.recent),
-                slowdown,
-            ))),
+            RetuneOutcome::Success | RetuneOutcome::Regression { .. } => {
+                let tuned = (policy.retuner)(&self.recent);
+                if let (Some(t), Some(m)) = (tuned.tuning, self.machine.as_mut()) {
+                    m.record_tuning(t);
+                }
+                Some(match outcome {
+                    RetuneOutcome::Regression { slowdown } => {
+                        Box::new(RegressedBackend::new(tuned.backend, slowdown))
+                    }
+                    _ => tuned.backend,
+                })
+            }
             RetuneOutcome::CompileFail | RetuneOutcome::Stall => None,
         };
     }

@@ -69,7 +69,7 @@ use crate::lifecycle::{
     CanaryVerdict, LifecycleConfig, LifecycleMachine, RegressedBackend, RetuneOutcome, TimerAction,
 };
 use crate::request::Request;
-use crate::runtime::{BatchPolicy, ServeConfig, ServeError};
+use crate::runtime::{BatchPolicy, ServeConfig, ServeError, TunedCandidate};
 use crate::stats::{
     RequestRecord, ShardLaneStats, ShardedReport, ShardedRequestRecord, ShedReason,
 };
@@ -97,7 +97,7 @@ pub struct ShardedRetunePolicy<'a> {
     /// Builds a new per-shard backend from the shard's sub-model and
     /// recent traffic projected onto it.
     #[allow(clippy::type_complexity)]
-    pub retuner: Box<dyn FnMut(&ModelConfig, &[Batch]) -> Box<dyn Backend> + 'a>,
+    pub retuner: Box<dyn FnMut(&ModelConfig, &[Batch]) -> TunedCandidate + 'a>,
 }
 
 /// One shard's serving lane: the sub-model it owns, its tables and the
@@ -682,12 +682,15 @@ impl ShardedRunState {
                         .iter()
                         .map(|b| rt.placement.project_batch(b, s))
                         .collect();
-                    let engine = (policy.retuner)(&rt.lanes[s].model, &projected);
+                    let tuned = (policy.retuner)(&rt.lanes[s].model, &projected);
+                    if let (Some(t), Some(m)) = (tuned.tuning, self.machine.as_mut()) {
+                        m.record_tuning(t);
+                    }
                     let engine: Box<dyn Backend> =
                         if let RetuneOutcome::Regression { slowdown } = outcome {
-                            Box::new(RegressedBackend::new(engine, slowdown))
+                            Box::new(RegressedBackend::new(tuned.backend, slowdown))
                         } else {
-                            engine
+                            tuned.backend
                         };
                     self.candidates[s] = Some(engine);
                 }
@@ -2324,7 +2327,9 @@ mod tests {
                 stagger_us: 0.0,
                 lifecycle: lifecycle.clone(),
                 retuner: Box::new(|_: &ModelConfig, _: &[Batch]| {
-                    Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                    TunedCandidate::from(
+                        Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                    )
                 }),
             };
             let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
@@ -2337,7 +2342,9 @@ mod tests {
                 retune_latency_us: 1_000.0,
                 lifecycle: lifecycle.clone(),
                 retuner: Box::new(|_: &[Batch]| {
-                    Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                    TunedCandidate::from(
+                        Box::new(TorchRecBackend::compile(&shifted)) as Box<dyn Backend>
+                    )
                 }),
             };
             let single = ServeRuntime {
@@ -2368,7 +2375,7 @@ mod tests {
             stagger_us: 0.0,
             lifecycle,
             retuner: Box::new(|sm: &ModelConfig, _: &[Batch]| {
-                Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>
+                TunedCandidate::from(Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>)
             }),
         };
         let plain = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
@@ -2434,7 +2441,7 @@ mod tests {
                 ..LifecycleConfig::default()
             },
             retuner: Box::new(|sm: &ModelConfig, _: &[Batch]| {
-                Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>
+                TunedCandidate::from(Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>)
             }),
         };
         let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink())

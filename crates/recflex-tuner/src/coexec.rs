@@ -167,7 +167,7 @@ mod tests {
         let (m, b) = setup();
         let ws = analyze_batch(&m, &b);
         let f = m.features.len() - 1; // a multi-hot feature
-        let cs = enumerate_candidates(f, &m.features[f]);
+        let cs = enumerate_candidates(f, &m.features[f]).unwrap();
         let pad = padding_profile(std::slice::from_ref(&ws));
         let k = CoExecKernel::new(&cs.candidates, &b.features[f], &ws[f], 100, pad);
         let mut covered = 0u32;
@@ -188,7 +188,7 @@ mod tests {
     fn padding_blocks_report_pad_profile() {
         let (m, b) = setup();
         let ws = analyze_batch(&m, &b);
-        let cs = enumerate_candidates(0, &m.features[0]);
+        let cs = enumerate_candidates(0, &m.features[0]).unwrap();
         let pad = padding_profile(std::slice::from_ref(&ws));
         let k = CoExecKernel::new(&cs.candidates, &b.features[0], &ws[0], 10, pad);
         let ctx = ProfileCtx::default();
@@ -201,7 +201,7 @@ mod tests {
         let (m, b) = setup();
         let ws = analyze_batch(&m, &b);
         let f = m.features.len() - 1;
-        let cs = enumerate_candidates(f, &m.features[f]);
+        let cs = enumerate_candidates(f, &m.features[f]).unwrap();
         let pad = padding_profile(std::slice::from_ref(&ws));
         let k = CoExecKernel::new(&cs.candidates, &b.features[f], &ws[f], 320, pad);
         let report = launch(&k, &GpuArch::v100(), &LaunchConfig::with_occupancy(4)).unwrap();

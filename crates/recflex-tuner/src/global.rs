@@ -11,16 +11,20 @@ use recflex_sim::launch;
 use crate::{TuneResult, TuningContext};
 
 /// Run the global stage over `levels` with the corresponding local-stage
-/// `winners` (one choice vector per level).
+/// `winners` (one choice vector per level). `local_evaluations` is the
+/// launch count the local stage already spent; the fused measurements made
+/// here are added on top for [`TuneResult::evaluations`].
 pub fn tune_global_stage(
     ctx: &TuningContext<'_>,
     levels: &[u32],
     winners: Vec<Vec<usize>>,
+    local_evaluations: usize,
 ) -> TuneResult {
     assert_eq!(levels.len(), winners.len());
     let tables = recflex_embedding::TableSet::for_model(ctx.model);
 
     let mut global_latencies = Vec::with_capacity(levels.len());
+    let mut evaluations = local_evaluations;
     // (level index, occupancy decision) → measured mean latency.
     let mut best: Option<(usize, Option<u32>, f64)> = None;
 
@@ -42,6 +46,7 @@ pub fn tune_global_stage(
             let mut measured = 0usize;
             for batch in ctx.tuning_batches() {
                 let bound = obj.bind(ctx.model, &tables, batch);
+                evaluations += 1;
                 if let Ok(report) = launch(&bound, ctx.arch, &obj.launch_config()) {
                     total += report.latency_us;
                     measured += 1;
@@ -60,7 +65,8 @@ pub fn tune_global_stage(
         }
     }
 
-    let (best_li, best_occ, _) = best.expect("at least one occupancy level must be feasible");
+    let (best_li, best_occ, best_mean) =
+        best.expect("at least one occupancy level must be feasible");
     let choices = winners[best_li].clone();
     let schedules: Vec<ScheduleInstance> = choices
         .iter()
@@ -72,6 +78,8 @@ pub fn tune_global_stage(
         choices,
         occupancy: best_occ,
         global_latencies,
+        evaluations,
+        mean_latency_us: best_mean,
     }
 }
 

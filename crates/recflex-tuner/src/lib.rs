@@ -25,9 +25,11 @@ pub mod coexec;
 pub mod cost;
 pub mod global;
 pub mod local;
+pub mod resume;
 pub mod strawman;
 
 pub use cost::TuningCost;
+pub use resume::{resume_from_profile, ResumeError};
 
 use rayon::prelude::*;
 use recflex_data::{Dataset, ModelConfig};
@@ -83,6 +85,16 @@ pub struct TuneResult {
     /// Global-stage measurements: `(O_k, mean fused latency in µs)` —
     /// the data behind the Equation 4 argmin.
     pub global_latencies: Vec<(u32, f64)>,
+    /// Kernel launches this result cost: the currency the profile vault's
+    /// warm-start saves. Co-execution launches in the local stage, fused
+    /// measurements in the global stage (isolated per-candidate launches
+    /// for the straw man); a warm resume pays only its validation
+    /// measurements.
+    pub evaluations: usize,
+    /// Mean fused latency of the chosen configuration in µs (`0.0` for
+    /// the straw man, which never measures its fused kernel) — recorded
+    /// into stored profiles for deterministic winner selection.
+    pub mean_latency_us: f64,
 }
 
 /// Shared tuning context: the model, its candidate sets and the analyzed
@@ -114,7 +126,10 @@ impl<'a> TuningContext<'a> {
             .features
             .par_iter()
             .enumerate()
-            .map(|(i, f)| enumerate_candidates(i, f))
+            .map(|(i, f)| {
+                enumerate_candidates(i, f)
+                    .unwrap_or_else(|e| panic!("model `{}` is untunable: {e}", model.name))
+            })
             .collect();
         let n = cfg.tuning_batches.clamp(1, dataset.len());
         let history: Vec<Vec<FeatureWorkload>> = dataset.batches()[..n]
@@ -148,13 +163,15 @@ pub fn tune_two_stage(
         .occupancy_levels
         .clone()
         .unwrap_or_else(|| arch.occupancy_levels());
-    // Local stage: winners per occupancy level.
+    // Local stage: winners per occupancy level. Each level launches one
+    // co-execution kernel per (feature, batch) pair.
     let winners_per_level: Vec<Vec<usize>> = levels
         .iter()
         .map(|&k| local::tune_local_stage(&ctx, k, cfg))
         .collect();
+    let local_evaluations = levels.len() * ctx.candidates.len() * ctx.history.len();
     // Global stage: pick the occupancy whose fused kernel is fastest.
-    global::tune_global_stage(&ctx, &levels, winners_per_level)
+    global::tune_global_stage(&ctx, &levels, winners_per_level, local_evaluations)
 }
 
 /// Run the straw-man separate-and-combine tuning (Figure 11 ablation).

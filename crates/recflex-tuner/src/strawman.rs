@@ -26,6 +26,12 @@ const MEASUREMENT_GRANULARITY_US: f64 = 2.0;
 
 /// Run the separate-and-combine tuning.
 pub fn tune(ctx: &TuningContext<'_>) -> TuneResult {
+    // One isolated launch per (feature, candidate, batch).
+    let evaluations: usize = ctx
+        .candidates
+        .iter()
+        .map(|cs| cs.len() * ctx.history.len())
+        .sum();
     let choices: Vec<usize> = ctx
         .candidates
         .par_iter()
@@ -64,6 +70,10 @@ pub fn tune(ctx: &TuningContext<'_>) -> TuneResult {
         choices,
         occupancy: None,
         global_latencies: Vec::new(),
+        evaluations,
+        // The straw man never measures its fused kernel — that blindness
+        // is its defining flaw — so there is no honest latency to record.
+        mean_latency_us: 0.0,
     }
 }
 

@@ -79,12 +79,13 @@ fn facade_drift_retune_hot_swaps_a_fresh_engine() {
         lifecycle: LifecycleConfig::default(),
         retuner: Box::new(|recent: &[Batch]| {
             let ds = Dataset::from_batches(recent.to_vec());
-            Box::new(RecFlexEngine::tune(
+            (Box::new(RecFlexEngine::tune(
                 &ModelPreset::A.scaled(0.01),
                 &ds,
                 &GpuArch::v100(),
                 &TunerConfig::fast(),
-            )) as Box<dyn Backend>
+            )) as Box<dyn Backend>)
+                .into()
         }),
     };
     let runtime = ServeRuntime {

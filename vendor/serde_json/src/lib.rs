@@ -42,7 +42,7 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parse JSON text into any [`Deserialize`] type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -144,9 +144,17 @@ fn write_string(s: &str, out: &mut String) {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. Parsing recurses per
+/// nesting level, so without a ceiling a hostile document of repeated
+/// `[`s overflows the stack — an abort, not an `Err`. 128 levels is far
+/// beyond any document this workspace writes; deeper input is rejected
+/// with a structured error instead.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -175,8 +183,22 @@ impl Parser<'_> {
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(c @ (b'{' | b'[')) => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(Error(format!(
+                        "nesting deeper than {MAX_DEPTH} levels at offset {}",
+                        self.pos
+                    )));
+                }
+                self.depth += 1;
+                let v = if c == b'{' {
+                    self.parse_object()
+                } else {
+                    self.parse_array()
+                };
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
@@ -366,7 +388,7 @@ mod tests {
         for pretty in [false, true] {
             let mut text = String::new();
             write_value(&v, &mut text, if pretty { Some(2) } else { None }, 0);
-            let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+            let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
             let back = p.parse_value().unwrap();
             assert_eq!(back, v, "{text}");
         }
@@ -377,7 +399,7 @@ mod tests {
         let mut text = String::new();
         write_value(&Value::Float(2.0), &mut text, None, 0);
         assert_eq!(text, "2.0");
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         assert_eq!(p.parse_value().unwrap(), Value::Float(2.0));
     }
 
@@ -386,5 +408,19 @@ mod tests {
         assert!(from_str::<f64>("1.5 junk").is_err());
         assert!(from_str::<f64>("[1,").is_err());
         assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One past the ceiling must be a structured error (unbounded
+        // recursion would abort the process long before 100k levels).
+        let deep = "[".repeat(100_000);
+        let err = from_str::<Value>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // At the ceiling the parser still works.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&ok).is_ok());
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(from_str::<Value>(&over).is_err());
     }
 }
