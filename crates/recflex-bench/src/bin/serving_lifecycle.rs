@@ -83,6 +83,7 @@ fn canary() -> CanaryConfig {
         shadow_fraction: 1.0,
         window: 4,
         min_win_margin: 0.0,
+        split_traffic: false,
     }
 }
 

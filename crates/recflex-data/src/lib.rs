@@ -27,6 +27,7 @@ pub mod distribution;
 pub mod feature;
 pub mod io;
 pub mod models;
+pub mod pipeline;
 pub mod placement;
 pub mod shift;
 
@@ -36,5 +37,6 @@ pub use distribution::PoolingDist;
 pub use feature::{FeatureSpec, ModelConfig};
 pub use io::{load_dataset, load_model, save_dataset, save_model};
 pub use models::ModelPreset;
+pub use pipeline::{BreakerStateStat, PipelineReport, StageStats};
 pub use placement::{FleetAssignment, Placement};
 pub use shift::shift_distribution;

@@ -1,0 +1,164 @@
+//! Plain per-stage statistics for multi-stage serving pipelines.
+//!
+//! The serving crate's `recflex_serve::pipeline` runtime produces a
+//! [`PipelineReport`] summarizing one end-to-end run of a
+//! retrieval → (filtering) → ranking cascade: per-stage SLO-budget
+//! attainment, fallback/degradation counts, retry amplification and
+//! circuit-breaker state transitions, plus the pipeline-level
+//! availability and tail latency. The types live here — not in the
+//! serving crate — so benches, trajectory baselines (`BENCH_*.json`)
+//! and external tooling can consume the numbers without depending on
+//! the simulator; everything is plain data and serializes with the
+//! same key names (`availability`, `p99_us`, …) the `bench_check`
+//! regression gate tracks.
+
+use serde::{Deserialize, Serialize};
+
+/// Circuit-breaker state, mirrored as plain data (the live state
+/// machine lives in the serving crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerStateStat {
+    /// Traffic flows; failure pressure is below the trip threshold.
+    Closed,
+    /// Tripped: the stage is skipped and served by its fallback.
+    Open,
+    /// Cooldown elapsed: one probe execution decides reopen-or-close.
+    HalfOpen,
+}
+
+impl BreakerStateStat {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerStateStat::Closed => "closed",
+            BreakerStateStat::Open => "open",
+            BreakerStateStat::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One stage's aggregate statistics over a pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage label (`retrieval`, `filtering`, `ranking`, …).
+    pub name: String,
+    /// Chunks admitted into the stage (first attempts actually served —
+    /// fallback-skipped chunks are not admitted).
+    pub admitted: u64,
+    /// Chunks the stage executed, including retries. The retry-storm
+    /// gate bounds `executions / admitted`.
+    pub executions: u64,
+    /// Retry executions granted (naive: every failure until the attempt
+    /// cap; budgeted: only while the token bucket has budget).
+    pub retries: u64,
+    /// Retries the token bucket refused (budgeted policy only).
+    pub retries_denied: u64,
+    /// Chunks answered by the stage's fallback (ranking →
+    /// retrieval-order scores, filtering → skipped) instead of a shed.
+    pub fallbacks: u64,
+    /// Chunks that finished past the stage's deadline-budget share.
+    pub late: u64,
+    /// Chunks shed inside the stage (admission or fault).
+    pub faulted: u64,
+    /// Fraction of chunks that consumed no more than the stage's
+    /// budget share (per surviving chunk; 1.0 for an idle stage).
+    pub attainment: f64,
+    /// Closed → Open transitions over the run.
+    pub breaker_trips: u64,
+    /// Breaker state when the run ended.
+    pub breaker_final: BreakerStateStat,
+}
+
+impl StageStats {
+    /// An empty accumulator for one named stage.
+    pub fn named(name: impl Into<String>) -> Self {
+        StageStats {
+            name: name.into(),
+            admitted: 0,
+            executions: 0,
+            retries: 0,
+            retries_denied: 0,
+            fallbacks: 0,
+            late: 0,
+            faulted: 0,
+            attainment: 1.0,
+            breaker_trips: 0,
+            breaker_final: BreakerStateStat::Closed,
+        }
+    }
+}
+
+/// End-to-end statistics of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// The end-to-end SLO every answer is measured against, µs.
+    pub slo_us: f64,
+    /// Requests offered to the pipeline.
+    pub offered: u64,
+    /// Requests that produced an answer (full-quality or degraded).
+    pub answered: u64,
+    /// Answers that landed within the end-to-end SLO.
+    pub answered_in_slo: u64,
+    /// Answers carrying at least one degraded-stage bit.
+    pub degraded_answers: u64,
+    /// `answered_in_slo / offered` — degraded answers count, late and
+    /// shed ones do not.
+    pub availability: f64,
+    /// Median end-to-end latency over answered requests, µs.
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency over answered requests, µs.
+    pub p99_us: f64,
+    /// Last completion instant, µs.
+    pub makespan_us: f64,
+    /// Sum of [`StageStats::executions`] over all stages.
+    pub total_executions: u64,
+    /// Sum of [`StageStats::admitted`] over all stages.
+    pub total_admitted: u64,
+    /// `total_executions / total_admitted` — 1.0 means zero retry
+    /// amplification; the budgeted-policy gate caps this at 1.2.
+    pub amplification: f64,
+    /// Per-stage statistics, in pipeline order.
+    pub stages: Vec<StageStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_labels_are_stable() {
+        assert_eq!(BreakerStateStat::Closed.label(), "closed");
+        assert_eq!(BreakerStateStat::Open.label(), "open");
+        assert_eq!(BreakerStateStat::HalfOpen.label(), "half-open");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = PipelineReport {
+            slo_us: 8_000.0,
+            offered: 64,
+            answered: 60,
+            answered_in_slo: 58,
+            degraded_answers: 5,
+            availability: 58.0 / 64.0,
+            p50_us: 900.0,
+            p99_us: 4_100.0,
+            makespan_us: 20_000.0,
+            total_executions: 130,
+            total_admitted: 124,
+            amplification: 130.0 / 124.0,
+            stages: vec![
+                StageStats::named("retrieval"),
+                StageStats {
+                    breaker_trips: 1,
+                    breaker_final: BreakerStateStat::Open,
+                    fallbacks: 12,
+                    ..StageStats::named("ranking")
+                },
+            ],
+        };
+        let text = serde_json::to_string(&report).expect("serialize");
+        let back: PipelineReport = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, report);
+    }
+}

@@ -802,8 +802,15 @@ mod tests {
         }
     }
 
+    fn chaos_stats(report: &crate::fleet::FleetReport) -> Result<&FleetChaosStats, ServeError> {
+        report
+            .chaos
+            .as_ref()
+            .ok_or(ServeError::Internal("chaos stats missing"))
+    }
+
     #[test]
-    fn trivial_chaos_reproduces_plain_serve_byte_for_byte() {
+    fn trivial_chaos_reproduces_plain_serve_byte_for_byte() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -812,7 +819,7 @@ mod tests {
         };
         let merged = workload.merged(&[&model]);
         let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-        let plain = fleet.serve(&merged).expect("plain serve");
+        let plain = fleet.serve(&merged)?;
         let chaos = FleetChaosConfig {
             faults: FleetFaultPlan::none(1),
             epoch_us: EPOCH_US,
@@ -820,19 +827,18 @@ mod tests {
             brownout: None,
         };
         assert!(chaos.is_trivial());
-        let chaotic = fleet
-            .serve_chaos(&merged, &chaos, |_, _| panic!("must not rebuild"))
-            .expect("trivial chaos serve");
+        let chaotic = fleet.serve_chaos(&merged, &chaos, |_, _| panic!("must not rebuild"))?;
         assert_eq!(
-            serde_json::to_string(&plain).unwrap(),
-            serde_json::to_string(&chaotic).unwrap(),
+            serde_json::to_string(&plain).ok(),
+            serde_json::to_string(&chaotic).ok(),
             "empty plan + disabled elasticity must reproduce serve byte-for-byte"
         );
         assert!(chaotic.chaos.is_none());
+        Ok(())
     }
 
     #[test]
-    fn class_outage_triggers_a_completed_drain_and_migrate() {
+    fn class_outage_triggers_a_completed_drain_and_migrate() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -841,13 +847,11 @@ mod tests {
         };
         let merged = workload.merged(&[&model]);
         let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-        let report = fleet
-            .serve_chaos(&merged, &chaos_with_outage(true), |_, c| {
-                assert_eq!(c, 1, "the only surviving class is A100");
-                build(&model, &a100)
-            })
-            .expect("chaos serve");
-        let stats = report.chaos.as_ref().expect("chaos stats");
+        let report = fleet.serve_chaos(&merged, &chaos_with_outage(true), |_, c| {
+            assert_eq!(c, 1, "the only surviving class is A100");
+            build(&model, &a100)
+        })?;
+        let stats = chaos_stats(&report)?;
         assert_eq!(stats.migrations_attempted, 1);
         assert_eq!(stats.migrations_completed, 1);
         assert_eq!(stats.migrations_aborted, 0);
@@ -863,7 +867,9 @@ mod tests {
             "the health monitor triggers off the outage: {}",
             mig.trigger_us
         );
-        let resume = mig.resume_us.expect("completed migrations resume");
+        let resume = mig
+            .resume_us
+            .ok_or(ServeError::Internal("completed migrations must resume"))?;
         assert!(resume > mig.trigger_us);
         // The member escaped: its outcome is attributed to A100, the
         // spare A100 device is consumed, and V100 is free again.
@@ -881,10 +887,11 @@ mod tests {
             .filter(|r| r.base.arrival_us >= resume && !r.base.is_shed())
             .count();
         assert!(post_ok > 0, "post-migration traffic must be served");
+        Ok(())
     }
 
     #[test]
-    fn elasticity_beats_static_placement_under_an_outage() {
+    fn elasticity_beats_static_placement_under_an_outage() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -894,21 +901,20 @@ mod tests {
         let merged = workload.merged(&[&model]);
         let availability = |elastic: bool| {
             let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-            let report = fleet
-                .serve_chaos(&merged, &chaos_with_outage(elastic), |_, _| {
-                    build(&model, &a100)
-                })
-                .expect("chaos serve");
-            report.chaos.unwrap().availability
+            let report = fleet.serve_chaos(&merged, &chaos_with_outage(elastic), |_, _| {
+                build(&model, &a100)
+            })?;
+            Ok::<f64, ServeError>(chaos_stats(&report)?.availability)
         };
         assert!(
-            availability(true) > availability(false),
+            availability(true)? > availability(false)?,
             "migrating off the dead class must strictly improve availability"
         );
+        Ok(())
     }
 
     #[test]
-    fn no_residual_capacity_aborts_the_migration() {
+    fn no_residual_capacity_aborts_the_migration() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -918,22 +924,21 @@ mod tests {
         let merged = workload.merged(&[&model]);
         // Zero spare A100 devices: rehome must refuse to oversubscribe.
         let mut fleet = one_member_fleet(&model, &v100, &a100, 0);
-        let report = fleet
-            .serve_chaos(&merged, &chaos_with_outage(true), |_, _| {
-                panic!("aborted migrations must not rebuild")
-            })
-            .expect("chaos serve");
-        let stats = report.chaos.as_ref().expect("chaos stats");
+        let report = fleet.serve_chaos(&merged, &chaos_with_outage(true), |_, _| {
+            panic!("aborted migrations must not rebuild")
+        })?;
+        let stats = chaos_stats(&report)?;
         assert_eq!(stats.migrations_attempted, 1);
         assert_eq!(stats.migrations_aborted, 1);
         assert_eq!(stats.migrations_completed, 0);
         assert_eq!(stats.migrations[0].outcome, "aborted-no-capacity");
         assert!(stats.migrations[0].resume_us.is_none());
         assert_eq!(report.models[0].class, "V100", "the member stays put");
+        Ok(())
     }
 
     #[test]
-    fn target_outage_aborts_the_staged_drain() {
+    fn target_outage_aborts_the_staged_drain() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -944,12 +949,10 @@ mod tests {
         // Learn the deterministic trigger timestamp from a clean run…
         let trigger = {
             let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-            let report = fleet
-                .serve_chaos(&merged, &chaos_with_outage(true), |_, _| {
-                    build(&model, &a100)
-                })
-                .expect("chaos serve");
-            report.chaos.unwrap().migrations[0].trigger_us
+            let report = fleet.serve_chaos(&merged, &chaos_with_outage(true), |_, _| {
+                build(&model, &a100)
+            })?;
+            chaos_stats(&report)?.migrations[0].trigger_us
         };
         // …then open an A100 outage inside the drain+handoff window but
         // strictly after the trigger: the controller places onto A100
@@ -964,20 +967,20 @@ mod tests {
         }
         .plan(&[1], 30_000.0, 7);
         let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-        let report = fleet
-            .serve_chaos(&merged, &cfg, |_, _| {
-                panic!("aborted migrations must not rebuild")
-            })
-            .expect("chaos serve");
-        let stats = report.chaos.as_ref().expect("chaos stats");
+        let report = fleet.serve_chaos(&merged, &cfg, |_, _| {
+            panic!("aborted migrations must not rebuild")
+        })?;
+        let stats = chaos_stats(&report)?;
         assert_eq!(stats.migrations[0].outcome, "aborted-target-outage");
         assert_eq!(stats.migrations[0].to_class.as_deref(), Some("A100"));
         assert_eq!(stats.migrations_completed, 0);
         assert_eq!(report.models[0].class, "V100");
+        Ok(())
     }
 
     #[test]
-    fn brownout_rung_three_degrades_stranded_traffic_instead_of_shedding() {
+    fn brownout_rung_three_degrades_stranded_traffic_instead_of_shedding() -> Result<(), ServeError>
+    {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -989,11 +992,9 @@ mod tests {
             let mut cfg = chaos_with_outage(false);
             cfg.brownout = brownout;
             let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-            fleet
-                .serve_chaos(&merged, &cfg, |_, _| panic!("no elasticity, no rebuild"))
-                .expect("chaos serve")
+            fleet.serve_chaos(&merged, &cfg, |_, _| panic!("no elasticity, no rebuild"))
         };
-        let faults_only = run(None);
+        let faults_only = run(None)?;
         let browned = run(Some(FleetBrownoutConfig {
             signal: PressureSignal::Instantaneous,
             tighten_above: 0.01,
@@ -1001,8 +1002,8 @@ mod tests {
             degrade_above: 0.05,
             gate_tighten: 1.0,
             priorities: Vec::new(),
-        }));
-        let stats = browned.chaos.as_ref().expect("chaos stats");
+        }))?;
+        let stats = chaos_stats(&browned)?;
         assert!(
             stats.ladder.contains(&3),
             "the outage must climb the fleet ladder to rung 3: {:?}",
@@ -1010,13 +1011,14 @@ mod tests {
         );
         assert!(stats.edge_degraded > 0, "stranded traffic answers degraded");
         assert!(
-            stats.availability > faults_only.chaos.unwrap().availability,
+            stats.availability > chaos_stats(&faults_only)?.availability,
             "degraded edge answers must beat shedding on availability"
         );
+        Ok(())
     }
 
     #[test]
-    fn brownout_rung_two_sheds_only_the_lowest_priority_scenario() {
+    fn brownout_rung_two_sheds_only_the_lowest_priority_scenario() -> Result<(), ServeError> {
         let model = ModelPreset::A.scaled(0.02);
         let (v100, a100) = (GpuArch::v100(), GpuArch::a100());
         let workload = FleetWorkload {
@@ -1073,10 +1075,8 @@ mod tests {
                 priorities: vec![0, 5],
             }),
         };
-        let report = fleet
-            .serve_chaos(&merged, &cfg, |_, _| panic!("no elasticity"))
-            .expect("chaos serve");
-        let stats = report.chaos.as_ref().expect("chaos stats");
+        let report = fleet.serve_chaos(&merged, &cfg, |_, _| panic!("no elasticity"))?;
+        let stats = chaos_stats(&report)?;
         assert!(
             stats.ladder.contains(&2) && stats.ladder.iter().all(|&l| l < 3),
             "ladder must reach exactly rung 2: {:?}",
@@ -1090,6 +1090,7 @@ mod tests {
             report.models[1].gate_shed, 0,
             "the high-priority scenario is untouched"
         );
+        Ok(())
     }
 
     proptest! {
@@ -1116,12 +1117,13 @@ mod tests {
             cfg.faults = spec.plan(&[1], 30_000.0, seed);
             let run = || {
                 let mut fleet = one_member_fleet(&model, &v100, &a100, 1);
-                let report = fleet
+                fleet
                     .serve_chaos(&merged, &cfg, |_, _| build(&model, &a100))
-                    .expect("chaos serve");
-                serde_json::to_string(&report).unwrap()
+                    .ok()
+                    .and_then(|report| serde_json::to_string(&report).ok())
             };
             let (a, b) = (run(), run());
+            prop_assert!(a.is_some(), "a faulty chaos run must still serve");
             prop_assert_eq!(a, b, "same inputs must replay bit-for-bit");
         }
     }

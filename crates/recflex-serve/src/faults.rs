@@ -487,6 +487,77 @@ impl FleetFaultPlan {
     }
 }
 
+/// A fault window scoped to one pipeline stage: the wrapped [`Fault`]
+/// is injected only into that stage's tier, leaving the other stages
+/// healthy — the shape that makes per-stage breakers and fallbacks
+/// observable (a whole-pipeline fault would just look like overload).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageFault {
+    /// Pipeline stage index the window applies to.
+    pub stage: usize,
+    /// The fault injected into that stage's shard lanes.
+    pub fault: Fault,
+}
+
+/// The pipeline-level fault schedule: scripted stage-scoped windows plus
+/// an optional background [`FaultSpec`] drawn independently per stage.
+/// The staged analogue of [`FleetFaultSpec`]: identical
+/// `(spec, stage shard counts, horizon, seed)` replays bit-identical
+/// per-stage [`FaultPlan`]s.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct PipelineFaultSpec {
+    /// Stage-scoped scripted windows.
+    pub scripted: Vec<StageFault>,
+    /// Background per-stage fault mix; `None` injects nothing beyond
+    /// the scripted windows.
+    pub background: Option<FaultSpec>,
+}
+
+impl PipelineFaultSpec {
+    /// The empty schedule: every stage gets [`FaultPlan::none`] — the
+    /// pipeline's bit-identity fast path.
+    pub fn none() -> Self {
+        PipelineFaultSpec::default()
+    }
+
+    /// A schedule of scripted stage windows only.
+    pub fn scripted(scripted: Vec<StageFault>) -> Self {
+        PipelineFaultSpec {
+            scripted,
+            background: None,
+        }
+    }
+
+    /// Materialize one [`FaultPlan`] per stage, where stage `k` runs
+    /// `stage_shards[k]` shard lanes. Background plans are seeded per
+    /// stage with the same golden-ratio stride the fleet uses for
+    /// per-member plans, so stages stay decorrelated but replayable.
+    /// Scripted windows naming a stage out of range are dropped.
+    pub fn plans(&self, stage_shards: &[usize], horizon_us: f64, seed: u64) -> Vec<FaultPlan> {
+        stage_shards
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                let mut faults: Vec<Fault> = self
+                    .scripted
+                    .iter()
+                    .filter(|sf| sf.stage == k)
+                    .map(|sf| sf.fault)
+                    .collect();
+                if let Some(spec) = &self.background {
+                    let plan = spec.plan(
+                        n,
+                        horizon_us,
+                        seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    faults.extend(plan.faults);
+                }
+                FaultPlan::scripted(faults)
+            })
+            .collect()
+    }
+}
+
 /// How much standby capacity backs the tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub enum ReplicationPolicy {

@@ -58,7 +58,16 @@
 //!   ([`ElasticityConfig`]), and a fleet brownout ladder
 //!   ([`FleetBrownoutConfig`]) that tightens gates, sheds low-priority
 //!   scenarios, and answers outage-stranded traffic with degraded edge
-//!   records.
+//!   records,
+//! * [`PipelineRuntime`] ([`PipelineSpec`]) — deadline-budgeted
+//!   multi-stage cascades (retrieval → filtering → ranking), each stage
+//!   its own sharded tier with a share of the end-to-end SLO threaded
+//!   through the request path as a [`DeadlineBudget`]; a [`StagePolicy`]
+//!   decides deterministically whether a late/faulted stage retries
+//!   under a token-bucket [`RetryBudget`] (degrading candidates along a
+//!   ladder), or trips the per-stage [`CircuitBreaker`] and answers from
+//!   the stage fallback, flagged in a per-stage `degraded` mask instead
+//!   of shedding.
 //!
 //! Simulated time is the only clock; ties resolve in a fixed priority.
 //! A run is a pure function of `(config, stream, backend, fault plan)`,
@@ -72,6 +81,7 @@ pub mod executor;
 pub mod faults;
 pub mod fleet;
 pub mod lifecycle;
+pub mod pipeline;
 pub mod request;
 pub mod runtime;
 pub mod sharded;
@@ -88,7 +98,8 @@ pub use elastic::{
 pub use executor::{DeviceExecutor, JobId};
 pub use faults::{
     ClassFaultKind, ClassFaultWindow, Fault, FaultKind, FaultPlan, FaultSpec, FleetFaultPlan,
-    FleetFaultSpec, LadderConfig, PressureSignal, ReplicationPolicy, ResilienceConfig,
+    FleetFaultSpec, LadderConfig, PipelineFaultSpec, PressureSignal, ReplicationPolicy,
+    ResilienceConfig, StageFault,
 };
 pub use fleet::{
     DeviceClass, DeviceClassStats, FleetMember, FleetModelOutcome, FleetReport, FleetRuntime,
@@ -98,6 +109,11 @@ pub use lifecycle::{
     CanaryConfig, EngineTuning, FailReason, LifecycleConfig, LifecycleEvent, LifecycleMachine,
     LifecycleStats, OutcomePlan, OutcomeSpec, RegressedBackend, RetryPolicy, RetuneOutcome,
     StagedSchedule,
+};
+pub use pipeline::{
+    BreakerConfig, BudgetedPolicy, CircuitBreaker, DeadlineBudget, PipelineOutcome, PipelineRecord,
+    PipelineRuntime, PipelineSpec, RetryBudget, RetryBudgetConfig, StageKind, StagePolicy,
+    StageSpec,
 };
 pub use request::{Request, WorkloadSpec};
 pub use runtime::{

@@ -188,6 +188,14 @@ pub struct CanaryConfig {
     /// promoted iff `candidate ≤ incumbent × (1 − margin)` summed over
     /// the window (0.0 promotes on a tie — two identical engines pass).
     pub min_win_margin: f64,
+    /// Split-traffic canarying: when `true`, the canaried fraction of
+    /// chunks is **served by the candidate** — its device time enters
+    /// the real queue (actual queueing, not side-by-side shadow cost)
+    /// and the incumbent's cost for the same chunk becomes the free
+    /// comparator. `false` (the default) keeps the original shadow
+    /// mode, where the candidate's cost is accounted but never queued,
+    /// so default configs replay bit-identically.
+    pub split_traffic: bool,
 }
 
 impl Default for CanaryConfig {
@@ -196,6 +204,7 @@ impl Default for CanaryConfig {
             shadow_fraction: 0.25,
             window: 8,
             min_win_margin: 0.0,
+            split_traffic: false,
         }
     }
 }
@@ -693,6 +702,13 @@ impl LifecycleMachine {
         }
     }
 
+    /// Whether canaried chunks are routed to the candidate under real
+    /// queueing ([`CanaryConfig::split_traffic`]) instead of
+    /// shadow-executed side-by-side.
+    pub fn split_traffic(&self) -> bool {
+        self.config.canary.is_some_and(|c| c.split_traffic)
+    }
+
     /// Deterministically sample whether the next admitted chunk is
     /// shadowed (an accumulator over the configured fraction).
     pub fn should_shadow(&mut self) -> bool {
@@ -1003,6 +1019,7 @@ mod tests {
                 shadow_fraction: 1.0,
                 window: 2,
                 min_win_margin: 0.0,
+                split_traffic: false,
             }),
             ..Default::default()
         };
@@ -1050,6 +1067,7 @@ mod tests {
                 shadow_fraction: 1.0,
                 window: 1,
                 min_win_margin: 0.10,
+                split_traffic: false,
             }),
             retry: RetryPolicy {
                 max_attempts: 1,
@@ -1075,6 +1093,7 @@ mod tests {
                 shadow_fraction: 1.0,
                 window: 1,
                 min_win_margin: 0.0,
+                split_traffic: false,
             }),
             retry: RetryPolicy {
                 max_attempts: 1,
@@ -1122,6 +1141,7 @@ mod tests {
                 shadow_fraction: 0.5,
                 window: 100,
                 min_win_margin: 0.0,
+                split_traffic: false,
             }),
             ..Default::default()
         };

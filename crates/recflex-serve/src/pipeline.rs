@@ -1,0 +1,1458 @@
+//! Deadline-budgeted multi-stage serving pipelines.
+//!
+//! Real recommendation serving is a cascade, not a single scoring call:
+//! a cheap **retrieval** stage fans a request out into a candidate set,
+//! an optional **filtering** stage prunes it, and an expensive
+//! **ranking** stage scores what survives (DeepRecSys / RecPipe). Each
+//! stage here is backed by its own tuned [`ShardedServeRuntime`] with
+//! its own batch policy and candidate count, and owns a *share* of the
+//! end-to-end SLO: a [`DeadlineBudget`] is threaded through the request
+//! path, every stage consumes measured time from what remains, and the
+//! surplus of a fast stage rolls forward to the stages behind it.
+//!
+//! Stage fan-out is also where naive robustness goes metastable: a
+//! transient stall plus unbounded per-stage retries turns into a retry
+//! storm that outlives the fault. The [`StagePolicy`] therefore decides
+//! — deterministically, from the seeded event timeline — what a late or
+//! faulted stage attempt does:
+//!
+//! * **retry** under a token-bucket [`RetryBudget`] that caps
+//!   fleet-wide retry amplification, shrinking the candidate count
+//!   along the stage's degradation ladder;
+//! * **fall back** once the per-stage [`CircuitBreaker`] trips
+//!   (closed → open → half-open on the leaky-bucket
+//!   [`PressureSignal`](crate::PressureSignal) idiom): ranking falls
+//!   back to retrieval-order scores, filtering is skipped — the answer
+//!   arrives *within its budget share*, flagged in the per-stage
+//!   `degraded` mask, instead of shedding.
+//!
+//! Determinism: stage attempts are served by the (bit-replayable)
+//! sharded tier, and all policy decisions run over the resulting
+//! completion/shed events in `(time, id)` order, so a pipeline run is a
+//! pure function of `(spec, stage tiers, stream)`. The degenerate
+//! 1-stage pipeline takes the plain [`ShardedServeRuntime::serve`] path
+//! and reproduces it byte-for-byte.
+//!
+//! Modeling note: retry waves are served as fresh passes over the stage
+//! tier at their absolute timestamps — retries see the stage's fault
+//! windows and their own admission gates, but not queueing contention
+//! from the wave before them. Amplification is therefore accounted in
+//! execution counts (what the retry-storm gate bounds), not in
+//! cross-wave queue growth.
+
+use crate::faults::{PressureSignal, PressureTracker};
+use crate::request::Request;
+use crate::runtime::ServeError;
+use crate::sharded::ShardedServeRuntime;
+use crate::stats::{ShardedReport, ShedReason};
+use recflex_data::{Batch, BreakerStateStat, PipelineReport, StageStats};
+
+/// Attempt waves per stage the runtime will serve before forcing an
+/// outcome — a determinism backstop, far above any sane retry policy.
+const MAX_WAVES: u32 = 16;
+
+/// What a pipeline stage computes, which fixes its fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Candidate generation. No fallback exists — a request whose
+    /// retrieval ultimately fails is shed.
+    Retrieval,
+    /// Candidate pruning. Fallback: skip the stage (serve unfiltered).
+    Filtering,
+    /// Candidate scoring. Fallback: keep retrieval-order scores.
+    Ranking,
+}
+
+impl StageKind {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Retrieval => "retrieval",
+            StageKind::Filtering => "filtering",
+            StageKind::Ranking => "ranking",
+        }
+    }
+
+    /// Whether a tripped breaker / exhausted retry budget can answer
+    /// from a fallback instead of shedding.
+    pub fn has_fallback(self) -> bool {
+        !matches!(self, StageKind::Retrieval)
+    }
+}
+
+/// One stage of a [`PipelineSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// What the stage computes (fixes its fallback semantics).
+    pub kind: StageKind,
+    /// Candidate count the stage scores at full quality — the batch
+    /// size of the stage's derived request (≥ 1). The quality-vs-
+    /// latency knob of the pipeline.
+    pub candidates: u32,
+    /// The stage's share of the end-to-end SLO, as a fraction. Shares
+    /// are clamped and, when they sum past 1, normalized by
+    /// [`DeadlineBudget::stage_shares`] so budgets never over-commit.
+    pub budget_frac: f64,
+    /// Candidate counts successive retries degrade through (first
+    /// retry uses `degrade_ladder[0]`, …; past the end, the last rung
+    /// repeats). Empty keeps retries at full `candidates`.
+    pub degrade_ladder: Vec<u32>,
+}
+
+impl StageSpec {
+    /// A retrieval stage.
+    pub fn retrieval(candidates: u32, budget_frac: f64) -> Self {
+        StageSpec {
+            kind: StageKind::Retrieval,
+            candidates,
+            budget_frac,
+            degrade_ladder: Vec::new(),
+        }
+    }
+
+    /// A filtering stage.
+    pub fn filtering(candidates: u32, budget_frac: f64) -> Self {
+        StageSpec {
+            kind: StageKind::Filtering,
+            candidates,
+            budget_frac,
+            degrade_ladder: Vec::new(),
+        }
+    }
+
+    /// A ranking stage.
+    pub fn ranking(candidates: u32, budget_frac: f64) -> Self {
+        StageSpec {
+            kind: StageKind::Ranking,
+            candidates,
+            budget_frac,
+            degrade_ladder: Vec::new(),
+        }
+    }
+
+    /// Attach a degradation ladder.
+    pub fn with_ladder(mut self, ladder: Vec<u32>) -> Self {
+        self.degrade_ladder = ladder;
+        self
+    }
+
+    /// The candidate count attempt `attempt` runs at (attempt 0 is the
+    /// first try).
+    fn candidates_at(&self, attempt: u32) -> u32 {
+        if attempt == 0 || self.degrade_ladder.is_empty() {
+            return self.candidates.max(1);
+        }
+        let i = (attempt as usize - 1).min(self.degrade_ladder.len() - 1);
+        self.degrade_ladder[i].max(1)
+    }
+}
+
+/// Per-request deadline-budget arithmetic: a fixed end-to-end total,
+/// consumed by measured stage time, never negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineBudget {
+    total_us: f64,
+    spent_us: f64,
+}
+
+impl DeadlineBudget {
+    /// A fresh budget of `total_us` (clamped at ≥ 0).
+    pub fn new(total_us: f64) -> Self {
+        DeadlineBudget {
+            total_us: total_us.max(0.0),
+            spent_us: 0.0,
+        }
+    }
+
+    /// The end-to-end total, µs.
+    pub fn total_us(&self) -> f64 {
+        self.total_us
+    }
+
+    /// Time consumed so far, µs.
+    pub fn spent_us(&self) -> f64 {
+        self.spent_us
+    }
+
+    /// What is left, µs — clamped at 0, never negative.
+    pub fn remaining_us(&self) -> f64 {
+        (self.total_us - self.spent_us).max(0.0)
+    }
+
+    /// Consume `us` of measured time (negative charges are ignored —
+    /// time does not flow backwards).
+    pub fn consume(&mut self, us: f64) {
+        self.spent_us += us.max(0.0);
+    }
+
+    /// True once the budget is fully spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_us() <= 0.0
+    }
+
+    /// Split `total_us` into per-stage shares from the stages' budget
+    /// fractions. Each fraction is clamped to `[0, 1]`; when the
+    /// clamped fractions sum past 1 they are normalized, so the shares
+    /// always sum to ≤ `total_us` and no stage can over-commit the SLO.
+    pub fn stage_shares(total_us: f64, fracs: &[f64]) -> Vec<f64> {
+        let total_us = total_us.max(0.0);
+        let clamped: Vec<f64> = fracs
+            .iter()
+            .map(|f| {
+                if f.is_finite() {
+                    f.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sum: f64 = clamped.iter().sum();
+        let scale = if sum > 1.0 { 1.0 / sum } else { 1.0 };
+        clamped.iter().map(|f| f * scale * total_us).collect()
+    }
+}
+
+/// Token-bucket cap on fleet-wide retry amplification: every retry
+/// spends one token; tokens refill at a fixed rate up to a burst cap.
+/// All draw is in simulated time, so grants replay deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Bucket capacity, tokens (≥ 0).
+    pub burst: f64,
+    /// Refill rate, tokens per simulated millisecond.
+    pub refill_per_ms: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            burst: 4.0,
+            refill_per_ms: 0.5,
+        }
+    }
+}
+
+/// The live token bucket (one per pipeline run, shared by all stages —
+/// the budget is fleet-wide, not per-stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    tokens: f64,
+    last_us: f64,
+}
+
+impl RetryBudget {
+    /// A full bucket.
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        RetryBudget {
+            config,
+            tokens: config.burst.max(0.0),
+            last_us: 0.0,
+        }
+    }
+
+    /// Take one token at simulated instant `now`; `false` means the
+    /// retry is denied. Out-of-order instants refill conservatively
+    /// (elapsed time below the high-water mark counts as zero).
+    pub fn take(&mut self, now: f64) -> bool {
+        let dt = (now - self.last_us).max(0.0);
+        self.tokens = (self.tokens + dt * self.config.refill_per_ms / 1_000.0)
+            .min(self.config.burst.max(0.0));
+        self.last_us = self.last_us.max(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// How failure observations (1.0 = failure, 0.0 = success) fold
+    /// into pressure. [`PressureSignal::Instantaneous`] trips on the
+    /// first failure; the leaky bucket needs sustained failure.
+    pub signal: PressureSignal,
+    /// Pressure at or above which a closed breaker opens (in `[0, 1]`
+    /// for the failure signal).
+    pub trip_threshold: f64,
+    /// How long an open breaker waits before letting one half-open
+    /// probe through, µs.
+    pub cooldown_us: f64,
+}
+
+impl BreakerConfig {
+    /// A sensible default scaled to an end-to-end SLO: leaky-bucket
+    /// failure pressure with `tau = slo/2`, trip at 0.5, cooldown one
+    /// SLO.
+    pub fn for_slo(slo_us: f64) -> Self {
+        BreakerConfig {
+            signal: PressureSignal::LeakyBucket {
+                tau_us: (slo_us / 2.0).max(1.0),
+            },
+            trip_threshold: 0.5,
+            cooldown_us: slo_us.max(1.0),
+        }
+    }
+}
+
+/// Per-stage circuit breaker: closed → open on failure pressure, open →
+/// half-open after the cooldown (one probe), half-open → closed on a
+/// probe success or back to open on a probe failure.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    tracker: PressureTracker,
+    state: BreakerStateStat,
+    opened_at_us: f64,
+    trips: u64,
+    /// `(instant, entered state)`, in observation order.
+    transitions: Vec<(f64, BreakerStateStat)>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            tracker: PressureTracker::default(),
+            state: BreakerStateStat::Closed,
+            opened_at_us: 0.0,
+            trips: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Fold in one attempt outcome at `now`. Closed: trips when the
+    /// pressure crosses the threshold. Half-open: the observation *is*
+    /// the probe verdict — success closes (and drains the bucket),
+    /// failure re-opens.
+    pub fn observe(&mut self, now: f64, failure: bool) {
+        let raw = if failure { 1.0 } else { 0.0 };
+        let pressure = self.tracker.observe(now, raw, self.config.signal);
+        match self.state {
+            BreakerStateStat::Closed if pressure >= self.config.trip_threshold => {
+                self.trip(now);
+            }
+            BreakerStateStat::HalfOpen => {
+                if failure {
+                    self.trip(now);
+                } else {
+                    self.tracker = PressureTracker::default();
+                    self.enter(now, BreakerStateStat::Closed);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether a retry may execute at `now`. Closed admits; open admits
+    /// nothing until the cooldown elapses, then flips half-open and
+    /// admits exactly one probe; half-open admits nothing further until
+    /// the probe's outcome is observed.
+    pub fn admits_retry(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerStateStat::Closed => true,
+            BreakerStateStat::Open => {
+                if now >= self.opened_at_us + self.config.cooldown_us {
+                    self.enter(now, BreakerStateStat::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerStateStat::HalfOpen => false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerStateStat {
+        self.state
+    }
+
+    /// Closed → open trips so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The full `(instant, entered state)` transition log.
+    pub fn transitions(&self) -> &[(f64, BreakerStateStat)] {
+        &self.transitions
+    }
+
+    fn trip(&mut self, now: f64) {
+        self.trips += 1;
+        self.opened_at_us = now;
+        self.enter(now, BreakerStateStat::Open);
+    }
+
+    fn enter(&mut self, now: f64, state: BreakerStateStat) {
+        self.state = state;
+        self.transitions.push((now, state));
+    }
+}
+
+/// How late/faulted stage attempts are handled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagePolicy {
+    /// Retry every failure until the attempt cap, at full candidate
+    /// count, with no breaker and no fallback — the metastable baseline
+    /// the budgeted policy is graded against. A request whose attempts
+    /// exhaust keeps its earliest (late) completion if any attempt
+    /// finished at all, else sheds.
+    NaiveRetry {
+        /// Attempts per (request, stage), ≥ 1.
+        max_attempts: u32,
+        /// Delay before re-offering an admission-shed attempt, µs
+        /// (late attempts retry at their timeout instant).
+        shed_backoff_us: f64,
+    },
+    /// Retries gated by the token-bucket [`RetryBudget`] and the
+    /// per-stage [`CircuitBreaker`], degrading along the stage ladder;
+    /// fallback instead of shed once retries are denied or the breaker
+    /// is open.
+    Budgeted(BudgetedPolicy),
+}
+
+/// Tuning of [`StagePolicy::Budgeted`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetedPolicy {
+    /// The fleet-wide retry token bucket.
+    pub retry: RetryBudgetConfig,
+    /// Per-stage breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Attempts per (request, stage), ≥ 1.
+    pub max_attempts: u32,
+    /// Delay before re-offering an admission-shed attempt, µs.
+    pub shed_backoff_us: f64,
+}
+
+impl BudgetedPolicy {
+    /// Defaults scaled to an end-to-end SLO.
+    pub fn for_slo(slo_us: f64) -> Self {
+        BudgetedPolicy {
+            retry: RetryBudgetConfig::default(),
+            breaker: BreakerConfig::for_slo(slo_us),
+            max_attempts: 2,
+            shed_backoff_us: (slo_us / 16.0).max(1.0),
+        }
+    }
+}
+
+/// The full pipeline shape: stages, their SLO shares, and the failure
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// End-to-end SLO every answer is measured against, µs.
+    pub slo_us: f64,
+    /// The stages, in request order (1–3).
+    pub stages: Vec<StageSpec>,
+    /// What late/faulted attempts do.
+    pub policy: StagePolicy,
+    /// Seed deriving per-(stage, request, attempt) candidate batches.
+    pub seed: u64,
+}
+
+/// One per-request outcome of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRecord {
+    /// Stream-unique request id.
+    pub id: u64,
+    /// Arrival instant, µs.
+    pub arrival_us: f64,
+    /// Final answer instant, µs (arrival for shed requests).
+    pub done_us: f64,
+    /// True when the pipeline produced no answer.
+    pub shed: bool,
+    /// Per-stage degradation mask: `degraded_stages[k]` is set when
+    /// stage `k` answered from its fallback or a shrunken candidate
+    /// count.
+    pub degraded_stages: Vec<bool>,
+    /// Stage executions this request consumed (attempts, all stages).
+    pub attempts: u32,
+}
+
+impl PipelineRecord {
+    /// End-to-end latency, µs (0 for shed requests).
+    pub fn latency_us(&self) -> f64 {
+        if self.shed {
+            0.0
+        } else {
+            self.done_us - self.arrival_us
+        }
+    }
+
+    /// True when any stage answered degraded.
+    pub fn degraded(&self) -> bool {
+        self.degraded_stages.iter().any(|&d| d)
+    }
+}
+
+/// Everything a pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The end-to-end SLO, µs.
+    pub slo_us: f64,
+    /// Per-request outcomes, in offered order.
+    pub records: Vec<PipelineRecord>,
+    /// Per-stage aggregate statistics, in pipeline order.
+    pub stage_stats: Vec<StageStats>,
+    /// Each stage's first-attempt (wave-0) tier report. For a 1-stage
+    /// pipeline, `stage_wave0[0]` is byte-identical to what
+    /// [`ShardedServeRuntime::serve`] returns on the same stream.
+    pub stage_wave0: Vec<ShardedReport>,
+}
+
+impl PipelineOutcome {
+    /// Fraction of offered requests answered within the SLO (degraded
+    /// answers count; late and shed ones do not).
+    pub fn availability(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| !r.shed && r.latency_us() <= self.slo_us + 1e-9)
+            .count();
+        ok as f64 / self.records.len() as f64
+    }
+
+    /// Nearest-rank latency percentile over answered requests, µs.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        let mut lat: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.shed)
+            .map(PipelineRecord::latency_us)
+            .collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(f64::total_cmp);
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    }
+
+    /// Distill into the plain [`PipelineReport`] the benches serialize.
+    pub fn report(&self) -> PipelineReport {
+        let offered = self.records.len() as u64;
+        let answered = self.records.iter().filter(|r| !r.shed).count() as u64;
+        let answered_in_slo = self
+            .records
+            .iter()
+            .filter(|r| !r.shed && r.latency_us() <= self.slo_us + 1e-9)
+            .count() as u64;
+        let degraded_answers = self
+            .records
+            .iter()
+            .filter(|r| !r.shed && r.degraded())
+            .count() as u64;
+        let total_executions: u64 = self.stage_stats.iter().map(|s| s.executions).sum();
+        let total_admitted: u64 = self.stage_stats.iter().map(|s| s.admitted).sum();
+        let makespan_us = self
+            .records
+            .iter()
+            .map(|r| r.done_us)
+            .fold(0.0f64, f64::max);
+        PipelineReport {
+            slo_us: self.slo_us,
+            offered,
+            answered,
+            answered_in_slo,
+            degraded_answers,
+            availability: self.availability(),
+            p50_us: self.percentile_us(0.5),
+            p99_us: self.percentile_us(0.99),
+            makespan_us,
+            total_executions,
+            total_admitted,
+            amplification: if total_admitted == 0 {
+                1.0
+            } else {
+                total_executions as f64 / total_admitted as f64
+            },
+            stages: self.stage_stats.clone(),
+        }
+    }
+}
+
+/// A staged serving pipeline: one sharded tier per stage plus the spec
+/// tying their budgets and failure policy together.
+pub struct PipelineRuntime<'a> {
+    spec: PipelineSpec,
+    tiers: Vec<ShardedServeRuntime<'a>>,
+}
+
+/// One in-flight stage attempt.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Index into the offered request stream.
+    ri: usize,
+    /// The request's stream id.
+    id: u64,
+    /// When the attempt's input is available, µs.
+    ready_us: f64,
+    /// Candidate count this attempt runs at.
+    candidates: u32,
+    /// 0 for the first try.
+    attempt: u32,
+}
+
+/// Per-request pipeline state while stages run.
+#[derive(Debug, Clone)]
+struct LiveReq {
+    ready_us: f64,
+    budget: DeadlineBudget,
+    degraded: Vec<bool>,
+    attempts: u32,
+    /// Earliest completion of a late attempt (naive keeps it as the
+    /// answer when retries exhaust), ∞ when none finished.
+    best_late_done_us: f64,
+    shed: bool,
+}
+
+/// What one served attempt turned into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AttemptOutcome {
+    /// Finished within its deadline share at `done`.
+    Success { done_us: f64 },
+    /// Finished, but past its share — detected at the timeout instant.
+    Late { done_us: f64, detect_us: f64 },
+    /// Shed at admission — detected immediately.
+    Shed { detect_us: f64 },
+}
+
+impl<'a> PipelineRuntime<'a> {
+    /// Validate and assemble a pipeline. `tiers[k]` serves stage `k` of
+    /// `spec.stages`.
+    pub fn new(
+        spec: PipelineSpec,
+        tiers: Vec<ShardedServeRuntime<'a>>,
+    ) -> Result<Self, ServeError> {
+        if spec.stages.is_empty() || spec.stages.len() > 3 {
+            return Err(ServeError::Policy("a pipeline has 1 to 3 stages"));
+        }
+        if spec.stages.len() != tiers.len() {
+            return Err(ServeError::Policy("one serving tier per pipeline stage"));
+        }
+        if !spec.slo_us.is_finite() || spec.slo_us <= 0.0 {
+            return Err(ServeError::Policy(
+                "pipeline slo_us must be finite and positive",
+            ));
+        }
+        for stage in &spec.stages {
+            if stage.candidates == 0 {
+                return Err(ServeError::Policy(
+                    "stage candidate count must be at least 1",
+                ));
+            }
+            if !stage.budget_frac.is_finite() || stage.budget_frac <= 0.0 {
+                return Err(ServeError::Policy(
+                    "stage budget fraction must be finite and positive",
+                ));
+            }
+            if stage.degrade_ladder.contains(&0) {
+                return Err(ServeError::Policy(
+                    "degradation ladder rungs must be at least 1",
+                ));
+            }
+        }
+        match &spec.policy {
+            StagePolicy::NaiveRetry { max_attempts, .. } => {
+                if *max_attempts == 0 {
+                    return Err(ServeError::Policy("max_attempts must be at least 1"));
+                }
+            }
+            StagePolicy::Budgeted(b) => {
+                if b.max_attempts == 0 {
+                    return Err(ServeError::Policy("max_attempts must be at least 1"));
+                }
+            }
+        }
+        Ok(PipelineRuntime { spec, tiers })
+    }
+
+    /// The spec this pipeline runs.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The per-stage serving tiers.
+    pub fn tiers(&self) -> &[ShardedServeRuntime<'a>] {
+        &self.tiers
+    }
+
+    /// Mutable access to one stage's tier (for swapping fault plans
+    /// between scenario cells, like the chaos benches do).
+    pub fn tier_mut(&mut self, stage: usize) -> Option<&mut ShardedServeRuntime<'a>> {
+        self.tiers.get_mut(stage)
+    }
+
+    /// Swap the failure policy between sweep cells (tiers stay built).
+    pub fn set_policy(&mut self, policy: StagePolicy) {
+        self.spec.policy = policy;
+    }
+
+    /// Swap one stage's fault plan between scenario cells.
+    pub fn set_stage_plan(&mut self, stage: usize, plan: crate::faults::FaultPlan) {
+        if let Some(tier) = self.tiers.get_mut(stage) {
+            tier.resilience.plan = plan;
+        }
+    }
+
+    /// Re-point one stage's full-quality candidate count (the sweep
+    /// knob). Rejects 0 like [`PipelineRuntime::new`] does.
+    pub fn set_stage_candidates(
+        &mut self,
+        stage: usize,
+        candidates: u32,
+    ) -> Result<(), ServeError> {
+        if candidates == 0 {
+            return Err(ServeError::Policy(
+                "stage candidate count must be at least 1",
+            ));
+        }
+        if let Some(s) = self.spec.stages.get_mut(stage) {
+            s.candidates = candidates;
+        }
+        Ok(())
+    }
+
+    /// Serve an offered request stream end to end.
+    pub fn serve(&self, requests: &[Request]) -> Result<PipelineOutcome, ServeError> {
+        if self.spec.stages.len() == 1 {
+            return self.serve_degenerate(requests);
+        }
+        self.serve_staged(requests)
+    }
+
+    /// The 1-stage fast path: exactly [`ShardedServeRuntime::serve`],
+    /// wrapped — no deadline plumbing, no policy machinery, so the
+    /// report is byte-identical to the plain tier's.
+    fn serve_degenerate(&self, requests: &[Request]) -> Result<PipelineOutcome, ServeError> {
+        let report = self.tiers[0].serve(requests)?;
+        let mut stats = StageStats::named(self.spec.stages[0].kind.label());
+        let mut records = Vec::with_capacity(report.records.len());
+        let mut in_budget = 0u64;
+        for rec in &report.records {
+            let shed = rec.base.shed != ShedReason::None;
+            if shed {
+                stats.faulted += 1;
+            } else {
+                stats.admitted += 1;
+                stats.executions += 1;
+                let lat = rec.base.done_us - rec.base.arrival_us;
+                if lat <= self.spec.slo_us + 1e-9 {
+                    in_budget += 1;
+                } else {
+                    stats.late += 1;
+                }
+            }
+            records.push(PipelineRecord {
+                id: rec.base.id,
+                arrival_us: rec.base.arrival_us,
+                done_us: rec.base.done_us,
+                shed,
+                degraded_stages: vec![rec.degraded],
+                attempts: u32::from(!shed),
+            });
+        }
+        stats.attainment = if stats.admitted == 0 {
+            1.0
+        } else {
+            in_budget as f64 / stats.admitted as f64
+        };
+        Ok(PipelineOutcome {
+            slo_us: self.spec.slo_us,
+            records,
+            stage_stats: vec![stats],
+            stage_wave0: vec![report],
+        })
+    }
+
+    fn serve_staged(&self, requests: &[Request]) -> Result<PipelineOutcome, ServeError> {
+        let num_stages = self.spec.stages.len();
+        let shares = DeadlineBudget::stage_shares(
+            self.spec.slo_us,
+            &self
+                .spec
+                .stages
+                .iter()
+                .map(|s| s.budget_frac)
+                .collect::<Vec<_>>(),
+        );
+        let mut live: Vec<LiveReq> = requests
+            .iter()
+            .map(|r| LiveReq {
+                ready_us: r.arrival_us,
+                budget: DeadlineBudget::new(self.spec.slo_us),
+                degraded: vec![false; num_stages],
+                attempts: 0,
+                best_late_done_us: f64::INFINITY,
+                shed: false,
+            })
+            .collect();
+        let mut retry_budget = match &self.spec.policy {
+            StagePolicy::Budgeted(b) => Some(RetryBudget::new(b.retry)),
+            StagePolicy::NaiveRetry { .. } => None,
+        };
+        let mut stage_stats = Vec::with_capacity(num_stages);
+        let mut stage_wave0 = Vec::with_capacity(num_stages);
+
+        for (k, stage) in self.spec.stages.iter().enumerate() {
+            let mut stats = StageStats::named(stage.kind.label());
+            let mut breaker = match &self.spec.policy {
+                StagePolicy::Budgeted(b) => Some(CircuitBreaker::new(b.breaker)),
+                StagePolicy::NaiveRetry { .. } => None,
+            };
+            // Where each surviving request stood when it entered the
+            // stage, for per-stage budget attainment.
+            let entry_ready: Vec<f64> = live.iter().map(|l| l.ready_us).collect();
+
+            let mut wave: Vec<Entry> = live
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.shed)
+                .map(|(ri, l)| Entry {
+                    ri,
+                    id: requests[ri].id,
+                    ready_us: l.ready_us,
+                    candidates: stage.candidates_at(0),
+                    attempt: 0,
+                })
+                .collect();
+            stats.admitted += wave.len() as u64;
+            let mut wave_no = 0u32;
+
+            while !wave.is_empty() && wave_no < MAX_WAVES {
+                wave.sort_by(|a, b| a.ready_us.total_cmp(&b.ready_us).then(a.id.cmp(&b.id)));
+                let mut stream = Vec::with_capacity(wave.len());
+                let mut deadlines = Vec::with_capacity(wave.len());
+                for e in &wave {
+                    let share = shares[k].min(live[e.ri].budget.remaining_us());
+                    stream.push(Request {
+                        id: e.id,
+                        arrival_us: e.ready_us,
+                        batch: self.stage_batch(k, e, requests),
+                    });
+                    deadlines.push(e.ready_us + share);
+                }
+                let report = self.tiers[k].serve_with_deadlines(&stream, &deadlines)?;
+                stats.executions += wave.len() as u64;
+                if wave_no > 0 {
+                    stats.retries += wave.len() as u64;
+                }
+                for e in &wave {
+                    live[e.ri].attempts += 1;
+                }
+
+                // Policy decisions run over the wave's outcomes in
+                // (event time, id) order, so breaker and token-bucket
+                // state evolve on one deterministic timeline.
+                let mut events: Vec<(f64, usize)> = Vec::with_capacity(wave.len());
+                let mut outcomes: Vec<AttemptOutcome> = Vec::with_capacity(wave.len());
+                for (j, rec) in report.records.iter().enumerate() {
+                    let outcome = if rec.base.shed != ShedReason::None {
+                        AttemptOutcome::Shed {
+                            detect_us: rec.base.done_us,
+                        }
+                    } else if rec.base.done_us > deadlines[j] + 1e-9 {
+                        AttemptOutcome::Late {
+                            done_us: rec.base.done_us,
+                            detect_us: deadlines[j],
+                        }
+                    } else {
+                        AttemptOutcome::Success {
+                            done_us: rec.base.done_us,
+                        }
+                    };
+                    let t = match outcome {
+                        AttemptOutcome::Success { done_us } => done_us,
+                        AttemptOutcome::Late { detect_us, .. } => detect_us,
+                        AttemptOutcome::Shed { detect_us } => detect_us,
+                    };
+                    events.push((t, j));
+                    outcomes.push(outcome);
+                }
+                events.sort_by(|a, b| a.0.total_cmp(&b.0).then(wave[a.1].id.cmp(&wave[b.1].id)));
+
+                let mut next_wave = Vec::new();
+                for (t, j) in events {
+                    let e = &wave[j];
+                    let outcome = outcomes[j];
+                    match outcome {
+                        AttemptOutcome::Success { done_us } => {
+                            if let Some(b) = breaker.as_mut() {
+                                b.observe(done_us, false);
+                            }
+                            let l = &mut live[e.ri];
+                            l.budget.consume(done_us - l.ready_us);
+                            l.ready_us = done_us;
+                            if e.attempt > 0 && e.candidates < stage.candidates {
+                                l.degraded[k] = true;
+                            }
+                            // Record a degraded full-quality answer when
+                            // a prior attempt shrank the ladder but this
+                            // one recovered: nothing to flag.
+                        }
+                        AttemptOutcome::Late { .. } | AttemptOutcome::Shed { .. } => {
+                            if let AttemptOutcome::Late { done_us, .. } = outcome {
+                                live[e.ri].best_late_done_us =
+                                    live[e.ri].best_late_done_us.min(done_us);
+                                stats.late += 1;
+                            } else {
+                                stats.faulted += 1;
+                            }
+                            if let Some(b) = breaker.as_mut() {
+                                b.observe(t, true);
+                            }
+                            self.decide_failure(
+                                k,
+                                stage,
+                                t,
+                                e,
+                                &mut live,
+                                &mut stats,
+                                breaker.as_mut(),
+                                retry_budget.as_mut(),
+                                &mut next_wave,
+                            );
+                        }
+                    }
+                }
+                wave = next_wave;
+                wave_no += 1;
+            }
+            // Waves exhausted with attempts still pending (the MAX_WAVES
+            // backstop): force each survivor's terminal outcome.
+            for e in wave {
+                self.finalize_exhausted(k, stage, &mut live, &mut stats, &e);
+            }
+
+            if let Some(b) = breaker {
+                stats.breaker_trips = b.trips();
+                stats.breaker_final = b.state();
+            }
+            let mut in_budget = 0u64;
+            let mut entered = 0u64;
+            for (ri, l) in live.iter().enumerate() {
+                if l.shed {
+                    continue;
+                }
+                entered += 1;
+                if l.ready_us - entry_ready[ri] <= shares[k] + 1e-9 {
+                    in_budget += 1;
+                }
+            }
+            stats.attainment = if entered == 0 {
+                1.0
+            } else {
+                in_budget as f64 / entered as f64
+            };
+            stage_stats.push(stats);
+            stage_wave0.push(ShardedReport::default());
+            // wave-0 reports are informational for multi-stage runs;
+            // the placeholder keeps the vec aligned without cloning a
+            // full report per stage. The degenerate path stores the
+            // real one.
+        }
+
+        let records = requests
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| {
+                let l = &live[ri];
+                PipelineRecord {
+                    id: r.id,
+                    arrival_us: r.arrival_us,
+                    done_us: if l.shed { r.arrival_us } else { l.ready_us },
+                    shed: l.shed,
+                    degraded_stages: l.degraded.clone(),
+                    attempts: l.attempts,
+                }
+            })
+            .collect();
+        Ok(PipelineOutcome {
+            slo_us: self.spec.slo_us,
+            records,
+            stage_stats,
+            stage_wave0,
+        })
+    }
+
+    /// The policy's verdict on one failed attempt: retry, fall back, or
+    /// shed.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_failure(
+        &self,
+        k: usize,
+        stage: &StageSpec,
+        detect_us: f64,
+        e: &Entry,
+        live: &mut [LiveReq],
+        stats: &mut StageStats,
+        breaker: Option<&mut CircuitBreaker>,
+        retry_budget: Option<&mut RetryBudget>,
+        next_wave: &mut Vec<Entry>,
+    ) {
+        match &self.spec.policy {
+            StagePolicy::NaiveRetry {
+                max_attempts,
+                shed_backoff_us,
+            } => {
+                let l = &mut live[e.ri];
+                l.budget.consume(detect_us - l.ready_us);
+                if e.attempt + 1 < *max_attempts {
+                    let ready = detect_us + shed_backoff_us.max(0.0);
+                    l.budget.consume(ready - detect_us);
+                    l.ready_us = ready;
+                    next_wave.push(Entry {
+                        ri: e.ri,
+                        id: e.id,
+                        ready_us: ready,
+                        candidates: stage.candidates,
+                        attempt: e.attempt + 1,
+                    });
+                } else {
+                    Self::naive_terminal(k, l);
+                }
+            }
+            StagePolicy::Budgeted(b) => {
+                let l = &mut live[e.ri];
+                l.budget.consume(detect_us - l.ready_us);
+                let breaker_admits = breaker.is_some_and(|br| br.admits_retry(detect_us));
+                let attempts_left = e.attempt + 1 < b.max_attempts;
+                let budget_left = !l.budget.is_exhausted();
+                let granted = breaker_admits
+                    && attempts_left
+                    && budget_left
+                    && retry_budget.is_some_and(|rb| {
+                        let ok = rb.take(detect_us);
+                        if !ok {
+                            stats.retries_denied += 1;
+                        }
+                        ok
+                    });
+                if granted {
+                    let ready = detect_us + b.shed_backoff_us.max(0.0);
+                    l.budget.consume(ready - detect_us);
+                    l.ready_us = ready;
+                    next_wave.push(Entry {
+                        ri: e.ri,
+                        id: e.id,
+                        ready_us: ready,
+                        candidates: stage.candidates_at(e.attempt + 1),
+                        attempt: e.attempt + 1,
+                    });
+                } else {
+                    Self::fall_back(k, stage, detect_us, l, stats);
+                }
+            }
+        }
+    }
+
+    /// Terminal outcome for a naive request out of attempts: keep the
+    /// earliest late completion as the (late) answer, else shed.
+    fn naive_terminal(k: usize, l: &mut LiveReq) {
+        if l.best_late_done_us.is_finite() {
+            let done = l.best_late_done_us;
+            l.budget.consume(done - l.ready_us);
+            l.ready_us = l.ready_us.max(done);
+            l.degraded[k] = false;
+        } else {
+            l.shed = true;
+        }
+    }
+
+    /// Serve the stage from its fallback at `now`: ranking keeps
+    /// retrieval-order scores, filtering is skipped — both at zero
+    /// stage cost — and retrieval, which has no fallback, sheds.
+    fn fall_back(k: usize, stage: &StageSpec, now: f64, l: &mut LiveReq, stats: &mut StageStats) {
+        if stage.kind.has_fallback() {
+            stats.fallbacks += 1;
+            l.budget.consume(now - l.ready_us);
+            l.ready_us = l.ready_us.max(now);
+            l.degraded[k] = true;
+        } else {
+            l.shed = true;
+        }
+    }
+
+    /// Forced terminal outcome when the wave backstop fires.
+    fn finalize_exhausted(
+        &self,
+        k: usize,
+        stage: &StageSpec,
+        live: &mut [LiveReq],
+        stats: &mut StageStats,
+        e: &Entry,
+    ) {
+        let l = &mut live[e.ri];
+        match &self.spec.policy {
+            StagePolicy::NaiveRetry { .. } => Self::naive_terminal(k, l),
+            StagePolicy::Budgeted(_) => Self::fall_back(k, stage, l.ready_us, l, stats),
+        }
+    }
+
+    /// The derived batch stage `k` scores for attempt `e`: the original
+    /// request payload for stage 0, a seeded candidate batch of the
+    /// attempt's candidate count for later stages.
+    fn stage_batch(&self, k: usize, e: &Entry, requests: &[Request]) -> Batch {
+        if k == 0 {
+            return requests[e.ri].batch.clone();
+        }
+        let seed = self
+            .spec
+            .seed
+            .wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ e.id.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            ^ (u64::from(e.attempt) << 56);
+        Batch::generate(self.tiers[k].model, e.candidates, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Fault, FaultKind, FaultPlan, ResilienceConfig};
+    use crate::request::WorkloadSpec;
+    use crate::runtime::{BatchPolicy, ServeConfig};
+    use proptest::prelude::*;
+    use recflex_baselines::TorchRecBackend;
+    use recflex_data::{ModelConfig, ModelPreset, Placement};
+    use recflex_sim::{GpuArch, Interconnect};
+
+    fn setup() -> (ModelConfig, GpuArch) {
+        (ModelPreset::A.scaled(0.01), GpuArch::v100())
+    }
+
+    fn stage_config() -> ServeConfig {
+        ServeConfig {
+            streams: 4,
+            policy: BatchPolicy::Split { cap: 256 },
+            // Admission runs off the pipeline's per-attempt deadlines,
+            // not a tier-level SLO.
+            slo_deadline_us: None,
+            closed_loop: false,
+            hot_shard_cap: None,
+        }
+    }
+
+    fn stage_tier<'a>(
+        model: &'a ModelConfig,
+        arch: &'a GpuArch,
+        shards: usize,
+        plan: FaultPlan,
+    ) -> ShardedServeRuntime<'a> {
+        ShardedServeRuntime::build_resilient(
+            model,
+            arch,
+            Placement::balance(model, shards),
+            stage_config(),
+            Interconnect::nvlink(),
+            ResilienceConfig {
+                plan,
+                ..ResilienceConfig::default()
+            },
+            &vec![1.0; model.features.len()],
+            |m| Box::new(TorchRecBackend::compile(m)),
+        )
+    }
+
+    fn stall(shard: usize, start: f64, end: f64) -> Fault {
+        Fault {
+            start_us: start,
+            end_us: end,
+            kind: FaultKind::Stall { shard },
+        }
+    }
+
+    fn budgeted_spec(slo_us: f64, stages: Vec<StageSpec>) -> PipelineSpec {
+        PipelineSpec {
+            slo_us,
+            stages,
+            policy: StagePolicy::Budgeted(BudgetedPolicy::for_slo(slo_us)),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn one_stage_pipeline_is_byte_identical_to_the_plain_tier() -> Result<(), ServeError> {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 42);
+        let plain = stage_tier(&m, &arch, 2, FaultPlan::none()).serve(&reqs)?;
+        let pipe = PipelineRuntime::new(
+            budgeted_spec(50_000.0, vec![StageSpec::retrieval(64, 1.0)]),
+            vec![stage_tier(&m, &arch, 2, FaultPlan::none())],
+        )?;
+        let out = pipe.serve(&reqs)?;
+        assert_eq!(
+            serde_json::to_string(&plain).ok(),
+            serde_json::to_string(&out.stage_wave0[0]).ok(),
+            "degenerate pipeline must reproduce the tier byte-for-byte"
+        );
+        assert_eq!(out.records.len(), reqs.len());
+        for (rec, plain_rec) in out.records.iter().zip(&plain.records) {
+            assert_eq!(rec.id, plain_rec.base.id);
+            assert_eq!(rec.done_us, plain_rec.base.done_us);
+            assert_eq!(rec.shed, plain_rec.base.shed != ShedReason::None);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn multi_stage_clean_run_answers_everything_without_amplification() -> Result<(), ServeError> {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 24, 7);
+        let spec = budgeted_spec(
+            60_000.0,
+            vec![
+                StageSpec::retrieval(64, 0.3),
+                StageSpec::filtering(48, 0.2),
+                StageSpec::ranking(32, 0.5).with_ladder(vec![16, 8]),
+            ],
+        );
+        let mk = || {
+            PipelineRuntime::new(
+                spec.clone(),
+                vec![
+                    stage_tier(&m, &arch, 2, FaultPlan::none()),
+                    stage_tier(&m, &arch, 2, FaultPlan::none()),
+                    stage_tier(&m, &arch, 2, FaultPlan::none()),
+                ],
+            )
+        };
+        let a = mk()?.serve(&reqs)?;
+        let b = mk()?.serve(&reqs)?;
+        let report = a.report();
+        assert_eq!(report.offered, 24);
+        assert_eq!(report.answered, 24);
+        assert_eq!(report.degraded_answers, 0);
+        assert!((report.amplification - 1.0).abs() < 1e-12);
+        assert!(report.availability >= 0.95, "{}", report.availability);
+        // Stage order is preserved and budgets propagate: every answer
+        // lands within the end-to-end SLO.
+        for rec in &a.records {
+            assert!(rec.latency_us() <= spec.slo_us + 1e-9);
+            assert!(rec.done_us >= rec.arrival_us);
+        }
+        assert_eq!(a.records, b.records, "pipeline runs replay bit-for-bit");
+        assert_eq!(a.stage_stats, b.stage_stats);
+        Ok(())
+    }
+
+    #[test]
+    fn budgeted_policy_beats_naive_retry_under_a_ranking_stall() -> Result<(), ServeError> {
+        let (m, arch) = setup();
+        let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 42);
+        let span = reqs.last().map_or(0.0, |r| r.arrival_us);
+        let slo_us = 8_000.0;
+        let stages = vec![
+            StageSpec::retrieval(64, 0.4),
+            StageSpec::ranking(32, 0.6).with_ladder(vec![16]),
+        ];
+        let rank_fault = FaultPlan::scripted(vec![stall(0, 0.2 * span, 0.9 * span)]);
+        let run = |policy: StagePolicy| {
+            let pipe = PipelineRuntime::new(
+                PipelineSpec {
+                    slo_us,
+                    stages: stages.clone(),
+                    policy,
+                    seed: 11,
+                },
+                vec![
+                    stage_tier(&m, &arch, 2, FaultPlan::none()),
+                    stage_tier(&m, &arch, 2, rank_fault.clone()),
+                ],
+            )?;
+            Ok::<_, ServeError>(pipe.serve(&reqs)?.report())
+        };
+        let naive = run(StagePolicy::NaiveRetry {
+            max_attempts: 6,
+            shed_backoff_us: 100.0,
+        })?;
+        let budgeted = run(StagePolicy::Budgeted(BudgetedPolicy::for_slo(slo_us)))?;
+
+        assert!(
+            budgeted.availability >= 0.95,
+            "budgeted availability {}",
+            budgeted.availability
+        );
+        assert!(
+            budgeted.availability > naive.availability,
+            "budgeted {} vs naive {}",
+            budgeted.availability,
+            naive.availability
+        );
+        assert!(
+            budgeted.p99_us < naive.p99_us,
+            "budgeted p99 {} vs naive {}",
+            budgeted.p99_us,
+            naive.p99_us
+        );
+        assert!(
+            budgeted.amplification <= 1.2,
+            "budgeted amplification {}",
+            budgeted.amplification
+        );
+        assert!(
+            naive.amplification > budgeted.amplification,
+            "naive {} vs budgeted {}",
+            naive.amplification,
+            budgeted.amplification
+        );
+        let rank = &budgeted.stages[1];
+        assert!(rank.fallbacks > 0, "the stall must force fallbacks");
+        assert!(rank.breaker_trips >= 1, "sustained failure must trip");
+        assert!(budgeted.degraded_answers > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_and_back() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            signal: PressureSignal::Instantaneous,
+            trip_threshold: 1.0,
+            cooldown_us: 100.0,
+        });
+        assert_eq!(b.state(), BreakerStateStat::Closed);
+        b.observe(10.0, false);
+        assert_eq!(b.state(), BreakerStateStat::Closed);
+        b.observe(20.0, true);
+        assert_eq!(b.state(), BreakerStateStat::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.admits_retry(50.0), "cooldown blocks retries");
+        assert!(b.admits_retry(130.0), "cooldown elapsed: one probe");
+        assert_eq!(b.state(), BreakerStateStat::HalfOpen);
+        assert!(!b.admits_retry(131.0), "only one probe in flight");
+        b.observe(140.0, true);
+        assert_eq!(b.state(), BreakerStateStat::Open, "probe failure reopens");
+        assert_eq!(b.trips(), 2);
+        assert!(b.admits_retry(260.0));
+        b.observe(270.0, false);
+        assert_eq!(b.state(), BreakerStateStat::Closed, "probe success closes");
+        let states: Vec<BreakerStateStat> = b.transitions().iter().map(|&(_, s)| s).collect();
+        assert_eq!(
+            states,
+            vec![
+                BreakerStateStat::Open,
+                BreakerStateStat::HalfOpen,
+                BreakerStateStat::Open,
+                BreakerStateStat::HalfOpen,
+                BreakerStateStat::Closed,
+            ]
+        );
+    }
+
+    #[test]
+    fn retry_budget_spends_and_refills_tokens() {
+        let mut rb = RetryBudget::new(RetryBudgetConfig {
+            burst: 2.0,
+            refill_per_ms: 1.0,
+        });
+        assert!(rb.take(0.0));
+        assert!(rb.take(0.0));
+        assert!(!rb.take(0.0), "bucket empty");
+        assert!(!rb.take(500.0), "half a token refilled: still denied");
+        assert!(rb.take(1_000.0), "a full token refilled");
+        assert!(!rb.take(1_000.0));
+        // Refill never overshoots the burst cap.
+        assert!(rb.take(1_000_000.0));
+        assert!(rb.take(1_000_000.0));
+        assert!(!rb.take(1_000_000.0));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let (m, arch) = setup();
+        let mk_spec = |stages: Vec<StageSpec>| budgeted_spec(10_000.0, stages);
+        let err = |spec: PipelineSpec, n_tiers: usize| {
+            let tiers = (0..n_tiers)
+                .map(|_| stage_tier(&m, &arch, 2, FaultPlan::none()))
+                .collect();
+            PipelineRuntime::new(spec, tiers).err()
+        };
+        assert!(err(mk_spec(vec![]), 0).is_some(), "no stages");
+        assert!(
+            err(mk_spec(vec![StageSpec::retrieval(8, 0.25); 4]), 4).is_some(),
+            "too many stages"
+        );
+        assert!(
+            err(mk_spec(vec![StageSpec::retrieval(8, 0.5)]), 2).is_some(),
+            "tier count mismatch"
+        );
+        assert!(
+            err(mk_spec(vec![StageSpec::retrieval(0, 0.5)]), 1).is_some(),
+            "zero candidates"
+        );
+        assert!(
+            err(mk_spec(vec![StageSpec::retrieval(8, 0.0)]), 1).is_some(),
+            "zero budget fraction"
+        );
+        assert!(
+            err(
+                mk_spec(vec![StageSpec::ranking(8, 0.5).with_ladder(vec![4, 0])]),
+                1
+            )
+            .is_some(),
+            "zero ladder rung"
+        );
+        let mut bad_slo = mk_spec(vec![StageSpec::retrieval(8, 0.5)]);
+        bad_slo.slo_us = f64::NAN;
+        assert!(err(bad_slo, 1).is_some(), "non-finite slo");
+    }
+
+    proptest! {
+        /// Budget shares never over-commit: for any fraction vector the
+        /// per-stage shares are non-negative and sum to at most the
+        /// end-to-end total.
+        #[test]
+        fn stage_shares_sum_to_at_most_the_slo(
+            total in 0.0f64..100_000.0,
+            len in 1usize..4,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = proptest::TestRng::for_case("stage_shares", seed);
+            let fracs: Vec<f64> = (0..len).map(|_| rng.next_f64() * 4.0).collect();
+            let shares = DeadlineBudget::stage_shares(total, &fracs);
+            prop_assert_eq!(shares.len(), fracs.len());
+            for s in &shares {
+                prop_assert!(*s >= 0.0);
+            }
+            let sum: f64 = shares.iter().sum();
+            prop_assert!(sum <= total * (1.0 + 1e-12) + 1e-9, "{} > {}", sum, total);
+        }
+
+        /// An exhausted budget never goes negative, no matter what gets
+        /// consumed (including bogus negative charges).
+        #[test]
+        fn budget_remaining_is_never_negative(
+            total in 0.0f64..50_000.0,
+            len in 0usize..12,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = proptest::TestRng::for_case("budget_charges", seed);
+            // Charges in [-1000, 20000): bogus negative charges included.
+            let charges: Vec<f64> = (0..len).map(|_| rng.next_f64() * 21_000.0 - 1_000.0).collect();
+            let mut budget = DeadlineBudget::new(total);
+            let mut prev = budget.remaining_us();
+            for c in charges {
+                budget.consume(c);
+                let rem = budget.remaining_us();
+                prop_assert!(rem >= 0.0, "remaining {} < 0", rem);
+                prop_assert!(rem <= prev + 1e-12, "remaining must be monotone");
+                prev = rem;
+            }
+            prop_assert!(budget.spent_us() >= 0.0);
+            prop_assert!(budget.total_us() >= 0.0);
+        }
+    }
+}

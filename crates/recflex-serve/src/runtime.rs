@@ -229,7 +229,27 @@ enum EventKind {
 impl ServeRuntime<'_> {
     /// Serve a request stream with a fixed engine.
     pub fn serve(&self, requests: &[Request]) -> Result<ServeReport, ServeError> {
-        self.run(requests, None)
+        self.run(requests, None, None)
+    }
+
+    /// Serve with a per-request **absolute** admission deadline
+    /// (`deadlines[i]` is the wall-clock µs instant request `i` must
+    /// finish by). Overrides the uniform [`ServeConfig::slo_deadline_us`]
+    /// gate: a request whose remaining time is already spent, or whose
+    /// remaining time the device backlog exceeds, sheds at admission.
+    /// The plumbing a pipeline stage uses to thread its share of the
+    /// end-to-end SLO through this runtime.
+    pub fn serve_with_deadlines(
+        &self,
+        requests: &[Request],
+        deadlines: &[f64],
+    ) -> Result<ServeReport, ServeError> {
+        if deadlines.len() != requests.len() {
+            return Err(ServeError::Policy(
+                "deadlines must be given for every request",
+            ));
+        }
+        self.run(requests, None, Some(deadlines))
     }
 
     /// Serve a request stream with drift-triggered background retuning.
@@ -238,13 +258,14 @@ impl ServeRuntime<'_> {
         requests: &[Request],
         retune: &mut RetunePolicy<'_>,
     ) -> Result<ServeReport, ServeError> {
-        self.run(requests, Some(retune))
+        self.run(requests, Some(retune), None)
     }
 
     fn run(
         &self,
         requests: &[Request],
         mut retune: Option<&mut RetunePolicy<'_>>,
+        deadlines: Option<&[f64]>,
     ) -> Result<ServeReport, ServeError> {
         match self.config.policy {
             BatchPolicy::Split { cap: 0 } => {
@@ -385,7 +406,7 @@ impl ServeRuntime<'_> {
                     }
                 }
                 EventKind::Arrival => {
-                    st.admit(cursor, now, self, requests, &mut retune)?;
+                    st.admit(cursor, now, self, requests, &mut retune, deadlines)?;
                     cursor += 1;
                 }
                 EventKind::Flush => {
@@ -449,6 +470,7 @@ impl RunState<'_> {
         rt: &ServeRuntime<'_>,
         requests: &[Request],
         retune: &mut Option<&mut RetunePolicy<'_>>,
+        deadlines: Option<&[f64]>,
     ) -> Result<(), ServeError> {
         let req = &requests[ri];
         self.arrival_eff_us[ri] = if rt.config.closed_loop {
@@ -459,9 +481,15 @@ impl RunState<'_> {
 
         // SLO admission: if the device already owes more work than the
         // deadline, this request cannot finish in time — shed it now
-        // rather than poison the queue for everyone behind it.
-        if let Some(deadline) = rt.config.slo_deadline_us {
-            if self.executor.backlog_us() > deadline {
+        // rather than poison the queue for everyone behind it. A
+        // per-request absolute deadline (the pipeline's remaining
+        // budget share) overrides the uniform config gate.
+        let admission_window = match deadlines {
+            Some(d) => Some(d[ri] - self.arrival_eff_us[ri]),
+            None => rt.config.slo_deadline_us,
+        };
+        if let Some(deadline) = admission_window {
+            if deadline < 0.0 || self.executor.backlog_us() > deadline {
                 self.records[ri] = Some(RequestRecord {
                     id: req.id,
                     batch_size: req.batch.batch_size,
@@ -621,23 +649,37 @@ impl RunState<'_> {
             .get()
             .run(rt.model, rt.tables, &batch, rt.arch)?;
         self.launches += u64::from(run.kernel_launches);
-        // Canary: the candidate shadow-executes a deterministic fraction
-        // of chunks. Its cost is accounted in the lifecycle stats, never
-        // submitted to the device — shadowing cannot perturb latencies.
+        // Canary: the candidate sees a deterministic fraction of chunks.
+        // In shadow mode (the default) its cost is accounted in the
+        // lifecycle stats, never submitted to the device — shadowing
+        // cannot perturb latencies. In split-traffic mode
+        // ([`CanaryConfig::split_traffic`]) the canaried chunk is
+        // *served by the candidate*: its device time enters the real
+        // queue, so the verdict reflects the candidate under actual
+        // queueing, while the incumbent's cost for the same chunk is a
+        // free cost-model query used only as the comparator.
         let wants_shadow = self
             .machine
             .as_mut()
             .is_some_and(LifecycleMachine::should_shadow);
+        let mut served_latency_us = run.latency_us;
         if wants_shadow {
             let shadow_run = self
                 .candidate
                 .as_ref()
                 .map(|c| c.run(rt.model, rt.tables, &batch, rt.arch));
+            let split = self
+                .machine
+                .as_ref()
+                .is_some_and(LifecycleMachine::split_traffic);
             if let (Some(machine), Some(result)) = (self.machine.as_mut(), shadow_run) {
                 match result {
                     Ok(cand_run) => {
                         let verdict =
                             machine.observe_canary(now, &[run.latency_us], &[cand_run.latency_us]);
+                        if split {
+                            served_latency_us = cand_run.latency_us;
+                        }
                         if verdict == CanaryVerdict::RollBack {
                             self.candidate = None;
                         }
@@ -659,7 +701,7 @@ impl RunState<'_> {
         let job = self.next_job;
         self.next_job += 1;
         self.chunk_owners.insert(job, owners);
-        self.executor.submit(now, job, run.latency_us);
+        self.executor.submit(now, job, served_latency_us);
         self.note_starts();
         // Zero-cost chunks retire inside `submit`; collect them here so
         // their owners don't wait for a completion event that may never

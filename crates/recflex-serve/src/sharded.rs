@@ -203,7 +203,27 @@ impl<'a> ShardedServeRuntime<'a> {
 
     /// Serve a request stream across all shards.
     pub fn serve(&self, requests: &[Request]) -> Result<ShardedReport, ServeError> {
-        self.run(requests, None)
+        self.run(requests, None, None)
+    }
+
+    /// Serve with a per-request **absolute** admission deadline
+    /// (`deadlines[i]` is the wall-clock µs instant request `i` must
+    /// finish by). Overrides the uniform [`ServeConfig::slo_deadline_us`]
+    /// gate: a request sheds at admission when its remaining time is
+    /// already spent or the worst per-shard backlog exceeds it. This is
+    /// the plumbing a pipeline stage uses to thread its share of the
+    /// end-to-end SLO budget through the tier.
+    pub fn serve_with_deadlines(
+        &self,
+        requests: &[Request],
+        deadlines: &[f64],
+    ) -> Result<ShardedReport, ServeError> {
+        if deadlines.len() != requests.len() {
+            return Err(ServeError::Policy(
+                "deadlines must be given for every request",
+            ));
+        }
+        self.run(requests, None, Some(deadlines))
     }
 
     /// Serve a request stream with drift-triggered background retuning
@@ -213,13 +233,14 @@ impl<'a> ShardedServeRuntime<'a> {
         requests: &[Request],
         retune: &mut ShardedRetunePolicy<'_>,
     ) -> Result<ShardedReport, ServeError> {
-        self.run(requests, Some(retune))
+        self.run(requests, Some(retune), None)
     }
 
     fn run(
         &self,
         requests: &[Request],
         mut retune: Option<&mut ShardedRetunePolicy<'_>>,
+        deadlines: Option<&[f64]>,
     ) -> Result<ShardedReport, ServeError> {
         match self.config.policy {
             BatchPolicy::Split { cap: 0 } => {
@@ -424,7 +445,7 @@ impl<'a> ShardedServeRuntime<'a> {
                     st.fire_deadlines(now, self, requests)?;
                 }
                 EventKind::Arrival => {
-                    st.admit(cursor, now, self, requests, &mut retune)?;
+                    st.admit(cursor, now, self, requests, &mut retune, deadlines)?;
                     cursor += 1;
                 }
                 EventKind::Flush => {
@@ -757,6 +778,7 @@ impl ShardedRunState {
         rt: &ShardedServeRuntime<'_>,
         requests: &[Request],
         retune: &mut Option<&mut ShardedRetunePolicy<'_>>,
+        deadlines: Option<&[f64]>,
     ) -> Result<(), ServeError> {
         let req = &requests[ri];
         self.arrival_eff_us[ri] = if rt.config.closed_loop {
@@ -768,9 +790,15 @@ impl ShardedRunState {
         // SLO admission: the slowest shard gates a chunk, so the tier's
         // effective backlog is the worst per-shard backlog. A shed that
         // happens while a fault is active is capacity loss, not traffic —
-        // record the reason so chaos reports can tell them apart.
-        if let Some(deadline) = rt.config.slo_deadline_us {
-            if self.max_effective_backlog_us(rt, now) > deadline {
+        // record the reason so chaos reports can tell them apart. A
+        // per-request absolute deadline (a pipeline stage's remaining
+        // budget share) overrides the uniform config gate.
+        let admission_window = match deadlines {
+            Some(d) => Some(d[ri] - self.arrival_eff_us[ri]),
+            None => rt.config.slo_deadline_us,
+        };
+        if let Some(deadline) = admission_window {
+            if deadline < 0.0 || self.max_effective_backlog_us(rt, now) > deadline {
                 let reason = if rt.resilience.plan.any_active(now) {
                     ShedReason::Fault
                 } else {
@@ -986,10 +1014,15 @@ impl ShardedRunState {
             launches_of.push(run.kernel_launches);
         }
 
-        // Canary shadowing: candidate engines replay the same shard
-        // slices so their cost is observable, but the results are never
-        // submitted to a device — accounted, not served. Shards already
-        // promoted mid-rollout are skipped (their cost is now `work_us`).
+        // Canary: candidate engines replay the same shard slices so
+        // their cost is observable. In shadow mode (the default) the
+        // results are never submitted to a device — accounted, not
+        // served. In split-traffic mode ([`CanaryConfig::split_traffic`])
+        // the canaried chunk is *served by the candidate* on its shard:
+        // the candidate's device time replaces the incumbent's in the
+        // real queue, so the verdict reflects actual queueing. Shards
+        // already promoted mid-rollout are skipped (their cost is now
+        // `work_us`).
         let wants_shadow = self
             .machine
             .as_mut()
@@ -999,6 +1032,10 @@ impl ShardedRunState {
                 .machine
                 .as_ref()
                 .map_or(0, LifecycleMachine::promoted_shards);
+            let split = self
+                .machine
+                .as_ref()
+                .is_some_and(LifecycleMachine::split_traffic);
             let mut inc = vec![0.0; num_shards];
             let mut cand = vec![0.0; num_shards];
             let mut shadow_err = false;
@@ -1012,6 +1049,9 @@ impl ShardedRunState {
                     Ok(r) => {
                         inc[s] = work_us[s];
                         cand[s] = r.latency_us;
+                        if split {
+                            work_us[s] = r.latency_us;
+                        }
                     }
                     Err(_) => {
                         shadow_err = true;
@@ -1693,7 +1733,7 @@ mod tests {
     }
 
     #[test]
-    fn one_shard_reproduces_single_device_latencies_bit_for_bit() {
+    fn one_shard_reproduces_single_device_latencies_bit_for_bit() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
         for policy in [
@@ -1715,9 +1755,7 @@ mod tests {
                 closed_loop: false,
                 hot_shard_cap: None,
             };
-            let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
-                .serve(&reqs)
-                .unwrap();
+            let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink()).serve(&reqs)?;
             let backend = TorchRecBackend::compile(&m);
             let tables = TableSet::for_model(&m);
             let single = ServeRuntime {
@@ -1727,16 +1765,17 @@ mod tests {
                 arch: &arch,
                 config,
             }
-            .serve(&reqs)
-            .unwrap();
+            .serve(&reqs)?;
             assert_eq!(sharded.flat(), single, "policy {policy:?}");
             assert!(sharded.records.iter().all(|r| r.gather_us == 0.0));
             assert!(sharded.records.iter().all(|r| r.straggler_us == 0.0));
         }
+        Ok(())
     }
 
     #[test]
-    fn one_shard_with_explicit_empty_resilience_matches_serve_runtime_bit_for_bit() {
+    fn one_shard_with_explicit_empty_resilience_matches_serve_runtime_bit_for_bit(
+    ) -> Result<(), ServeError> {
         // The satellite guard: ReplicationPolicy::None + an empty
         // FaultPlan through the resilient constructor must still be the
         // single-device runtime, record for record.
@@ -1756,9 +1795,7 @@ mod tests {
             ladder: None,
             replica_reads: false,
         };
-        let sharded = resilient_tier(&m, &arch, 1, config, resilience)
-            .serve(&reqs)
-            .unwrap();
+        let sharded = resilient_tier(&m, &arch, 1, config, resilience).serve(&reqs)?;
         let backend = TorchRecBackend::compile(&m);
         let tables = TableSet::for_model(&m);
         let single = ServeRuntime {
@@ -1768,25 +1805,23 @@ mod tests {
             arch: &arch,
             config,
         }
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         assert_eq!(sharded.flat(), single);
         assert!(sharded.records.iter().all(|r| !r.degraded));
         assert_eq!(sharded.hedge_fires, 0);
         assert_eq!(sharded.failovers, 0);
         assert!(sharded.per_replica.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn no_fault_resilient_path_is_bit_for_bit_the_plain_tier() {
+    fn no_fault_resilient_path_is_bit_for_bit_the_plain_tier() -> Result<(), ServeError> {
         // Replicas provisioned and mitigation armed, but no faults and no
         // deadline: the event loop must take the exact fault-free
         // branches and reproduce the plain tier's report fields.
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(250.0).stream(&m, 48, 7);
-        let plain = tier(&m, &arch, 4, load_config(), Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap();
+        let plain = tier(&m, &arch, 4, load_config(), Interconnect::nvlink()).serve(&reqs)?;
         let armed = resilient_tier(
             &m,
             &arch,
@@ -1800,18 +1835,18 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         assert_eq!(plain.records, armed.records);
         assert_eq!(plain.per_shard, armed.per_shard);
         assert_eq!(plain.kernel_launches, armed.kernel_launches);
         assert_eq!(plain.makespan_us, armed.makespan_us);
         assert_eq!(armed.per_replica.len(), 4, "standby lanes exist");
         assert!(armed.per_replica.iter().all(|s| s.jobs == 0), "and idle");
+        Ok(())
     }
 
     #[test]
-    fn replica_reads_spread_load_onto_replica_lanes() {
+    fn replica_reads_spread_load_onto_replica_lanes() -> Result<(), ServeError> {
         // With replica_reads on and no faults, a loaded healthy tier
         // spills primary read traffic onto the mirrored replica lanes —
         // they stop being cold standbys — and the extra capacity must
@@ -1825,11 +1860,9 @@ mod tests {
             ladder: Some(LadderConfig::failover_only()),
             replica_reads,
         };
-        let cold = resilient_tier(&m, &arch, 2, load_config(), with_reads(false))
-            .serve(&reqs)
-            .unwrap();
+        let cold = resilient_tier(&m, &arch, 2, load_config(), with_reads(false)).serve(&reqs)?;
         let warm_rt = resilient_tier(&m, &arch, 2, load_config(), with_reads(true));
-        let warm = warm_rt.serve(&reqs).unwrap();
+        let warm = warm_rt.serve(&reqs)?;
         assert!(
             warm.per_replica.iter().any(|s| s.jobs > 0),
             "replica lanes must serve read traffic"
@@ -1842,12 +1875,13 @@ mod tests {
             warm.flat().mean_latency_us(),
             cold.flat().mean_latency_us()
         );
-        let replay = warm_rt.serve(&reqs).unwrap();
+        let replay = warm_rt.serve(&reqs)?;
         assert_eq!(warm, replay, "replica reads replay bit-for-bit");
+        Ok(())
     }
 
     #[test]
-    fn replica_reads_drain_to_primaries_while_any_fault_is_active() {
+    fn replica_reads_drain_to_primaries_while_any_fault_is_active() -> Result<(), ServeError> {
         // Drain-on-fault: a fault window covering the whole run pins
         // every read on the primaries, so the replicas see zero read
         // jobs even with replica_reads enabled. (A slowdown on shard 0
@@ -1869,52 +1903,50 @@ mod tests {
             ladder: Some(LadderConfig::failover_only()),
             replica_reads: true,
         };
-        let report = resilient_tier(&m, &arch, 2, load_config(), resilience)
-            .serve(&reqs)
-            .unwrap();
+        let report = resilient_tier(&m, &arch, 2, load_config(), resilience).serve(&reqs)?;
         assert!(
             report.per_replica.iter().all(|s| s.jobs == 0),
             "an active fault must drain reads off the replicas"
         );
         assert_eq!(report.records.len(), 32);
+        Ok(())
     }
 
     #[test]
-    fn replaying_a_seed_reproduces_the_report_bit_for_bit() {
+    fn replaying_a_seed_reproduces_the_report_bit_for_bit() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(250.0).stream(&m, 48, 7);
         let rt = tier(&m, &arch, 4, load_config(), Interconnect::nvlink());
-        let a = rt.serve(&reqs).unwrap();
-        let b = rt.serve(&reqs).unwrap();
+        let a = rt.serve(&reqs)?;
+        let b = rt.serve(&reqs)?;
         assert_eq!(a, b);
         assert_eq!(a.records.len(), 48);
         assert_eq!(a.per_shard.len(), 4);
+        Ok(())
     }
 
     #[test]
-    fn more_shards_cut_device_time_under_load() {
+    fn more_shards_cut_device_time_under_load() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(150.0).stream(&m, 48, 9);
         let p50 = |shards: usize| {
             tier(&m, &arch, shards, load_config(), Interconnect::nvlink())
                 .serve(&reqs)
-                .unwrap()
-                .percentile_device_us(0.5)
+                .map(|r| r.percentile_device_us(0.5))
         };
-        let one = p50(1);
-        let two = p50(2);
-        let four = p50(4);
+        let one = p50(1)?;
+        let two = p50(2)?;
+        let four = p50(4)?;
         assert!(two <= one, "2 shards {two} vs 1 shard {one}");
         assert!(four <= two, "4 shards {four} vs 2 shards {two}");
+        Ok(())
     }
 
     #[test]
-    fn gather_and_straggler_terms_appear_with_multiple_shards() {
+    fn gather_and_straggler_terms_appear_with_multiple_shards() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 24, 3);
-        let report = tier(&m, &arch, 4, load_config(), Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap();
+        let report = tier(&m, &arch, 4, load_config(), Interconnect::nvlink()).serve(&reqs)?;
         assert!(report.mean_gather_us() > 0.0, "gather must be accounted");
         assert!(
             report.mean_straggler_us() > 0.0,
@@ -1932,38 +1964,38 @@ mod tests {
                 r.base.latency_us()
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn slower_interconnect_raises_tail_latency() {
+    fn slower_interconnect_raises_tail_latency() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 5);
         let p99 = |link: Interconnect| {
             tier(&m, &arch, 4, load_config(), link)
                 .serve(&reqs)
-                .unwrap()
-                .percentile_us(0.99)
+                .map(|r| r.percentile_us(0.99))
         };
-        assert!(p99(Interconnect::pcie()) > p99(Interconnect::nvlink()));
-        assert!(p99(Interconnect::nvlink()) > p99(Interconnect::ideal()));
+        assert!(p99(Interconnect::pcie())? > p99(Interconnect::nvlink())?);
+        assert!(p99(Interconnect::nvlink())? > p99(Interconnect::ideal())?);
+        Ok(())
     }
 
     #[test]
-    fn per_shard_stats_cover_every_chunk() {
+    fn per_shard_stats_cover_every_chunk() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 24, 13);
-        let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap();
+        let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink()).serve(&reqs)?;
         let jobs: Vec<u64> = report.per_shard.iter().map(|s| s.jobs).collect();
         // Every chunk fans out to every shard.
         assert!(jobs.iter().all(|&j| j == jobs[0] && j > 0));
         assert!(report.per_shard.iter().all(|s| s.device_us > 0.0));
         assert!(report.per_shard.iter().all(|s| s.max_queue_depth >= 1));
+        Ok(())
     }
 
     #[test]
-    fn slo_shedding_works_in_the_sharded_tier() {
+    fn slo_shedding_works_in_the_sharded_tier() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs: Vec<Request> = (0..40)
             .map(|i| Request {
@@ -1979,15 +2011,14 @@ mod tests {
             closed_loop: false,
             hot_shard_cap: None,
         };
-        let report = tier(&m, &arch, 2, config, Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap();
+        let report = tier(&m, &arch, 2, config, Interconnect::nvlink()).serve(&reqs)?;
         assert!(report.shed_rate() > 0.0, "overload must shed");
         for r in report.records.iter().filter(|r| r.base.is_shed()) {
             assert_eq!(r.base.shed, ShedReason::Admission, "no faults injected");
             assert_eq!(r.base.done_us, r.base.arrival_us);
             assert_eq!(r.device_us, 0.0);
         }
+        Ok(())
     }
 
     #[test]
@@ -2023,7 +2054,7 @@ mod tests {
     }
 
     #[test]
-    fn mitigated_crash_holds_availability_where_no_mitigation_sheds() {
+    fn mitigated_crash_holds_availability_where_no_mitigation_sheds() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(200.0).stream(&m, 64, 21);
         let baseline = resilient_tier(
@@ -2039,8 +2070,7 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         let mitigated = resilient_tier(
             &m,
             &arch,
@@ -2058,8 +2088,7 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         assert!(
             baseline.availability() < 1.0,
             "an unmitigated crash must shed: availability {}",
@@ -2089,10 +2118,11 @@ mod tests {
             mitigated.per_shard[1].downtime_us, 0.0,
             "the healthy shard reports none"
         );
+        Ok(())
     }
 
     #[test]
-    fn hedging_fires_on_deadline_and_wins_against_a_stalled_shard() {
+    fn hedging_fires_on_deadline_and_wins_against_a_stalled_shard() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 32, 17);
         let plan = FaultPlan::scripted(vec![Fault {
@@ -2113,8 +2143,7 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         let unhedged = resilient_tier(
             &m,
             &arch,
@@ -2128,8 +2157,7 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         assert!(hedged.hedge_fires > 0, "deadlines must fire on the stall");
         assert!(
             hedged.hedge_wins > 0,
@@ -2142,10 +2170,11 @@ mod tests {
             hedged.percentile_us(0.99),
             unhedged.percentile_us(0.99)
         );
+        Ok(())
     }
 
     #[test]
-    fn ladder_rung_two_serves_partial_answers_instead_of_shedding() {
+    fn ladder_rung_two_serves_partial_answers_instead_of_shedding() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(200.0).stream(&m, 48, 29);
         // No replicas and only one survivor: with the partial threshold at
@@ -2167,8 +2196,7 @@ mod tests {
                 replica_reads: false,
             },
         )
-        .serve(&reqs)
-        .unwrap();
+        .serve(&reqs)?;
         assert!(
             report.degraded_rate() > 0.0,
             "crashed-shard chunks must be served partial"
@@ -2181,10 +2209,11 @@ mod tests {
         for r in report.records.iter().filter(|r| r.degraded) {
             assert!(!r.base.is_shed(), "degraded answers are answers");
         }
+        Ok(())
     }
 
     #[test]
-    fn slowdown_and_link_faults_stretch_the_run_deterministically() {
+    fn slowdown_and_link_faults_stretch_the_run_deterministically() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 33);
         let plan = FaultPlan::scripted(vec![
@@ -2210,14 +2239,9 @@ mod tests {
             replica_reads: false,
         };
         let healthy = resilient_tier(&m, &arch, 4, load_config(), ResilienceConfig::default())
-            .serve(&reqs)
-            .unwrap();
-        let a = resilient_tier(&m, &arch, 4, load_config(), faulty.clone())
-            .serve(&reqs)
-            .unwrap();
-        let b = resilient_tier(&m, &arch, 4, load_config(), faulty)
-            .serve(&reqs)
-            .unwrap();
+            .serve(&reqs)?;
+        let a = resilient_tier(&m, &arch, 4, load_config(), faulty.clone()).serve(&reqs)?;
+        let b = resilient_tier(&m, &arch, 4, load_config(), faulty).serve(&reqs)?;
         assert_eq!(a, b, "faulty runs replay bit-for-bit");
         assert!(
             a.percentile_us(0.99) > healthy.percentile_us(0.99),
@@ -2227,6 +2251,7 @@ mod tests {
             a.mean_gather_us() > healthy.mean_gather_us(),
             "a degraded link stretches gathers"
         );
+        Ok(())
     }
 
     proptest! {
@@ -2264,11 +2289,13 @@ mod tests {
                     replica_reads: false,
                 },
             );
-            let a = rt.serve(&reqs).unwrap();
-            let b = rt.serve(&reqs).unwrap();
+            let a = rt.serve(&reqs);
+            let b = rt.serve(&reqs);
+            prop_assert!(a.is_ok() && b.is_ok(), "a faulty run must still serve");
+            let (Ok(a), Ok(b)) = (a, b) else { return };
             prop_assert_eq!(
-                serde_json::to_string(&a).unwrap(),
-                serde_json::to_string(&b).unwrap()
+                serde_json::to_string(&a).ok(),
+                serde_json::to_string(&b).ok()
             );
             prop_assert_eq!(a, b);
         }
@@ -2280,7 +2307,7 @@ mod tests {
         let shifted = shift_distribution(m, 2.5, 0.0);
         let mut reqs = WorkloadSpec::long_tail(400.0).stream(m, 16, 5);
         let mut tail = WorkloadSpec::long_tail(400.0).stream(&shifted, 24, 6);
-        let t0 = reqs.last().unwrap().arrival_us;
+        let t0 = reqs.last().map_or(0.0, |r| r.arrival_us);
         for (k, r) in tail.iter_mut().enumerate() {
             r.arrival_us += t0;
             r.id = 16 + k as u64;
@@ -2298,7 +2325,7 @@ mod tests {
     }
 
     #[test]
-    fn one_shard_retune_tier_matches_single_device_retune_bit_for_bit() {
+    fn one_shard_retune_tier_matches_single_device_retune_bit_for_bit() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let (shifted, reqs) = drifting_stream(&m);
         let config = ServeConfig {
@@ -2317,6 +2344,7 @@ mod tests {
                     shadow_fraction: 1.0,
                     window: 4,
                     min_win_margin: 0.0,
+                    split_traffic: false,
                 }),
                 ..LifecycleConfig::default()
             },
@@ -2333,8 +2361,7 @@ mod tests {
                 }),
             };
             let sharded = tier(&m, &arch, 1, config, Interconnect::nvlink())
-                .serve_with_retune(&reqs, &mut sharded_policy)
-                .unwrap();
+                .serve_with_retune(&reqs, &mut sharded_policy)?;
             let backend = TorchRecBackend::compile(&m);
             let tables = TableSet::for_model(&m);
             let mut single_policy = RetunePolicy {
@@ -2354,18 +2381,18 @@ mod tests {
                 arch: &arch,
                 config,
             }
-            .serve_with_retune(&reqs, &mut single_policy)
-            .unwrap();
+            .serve_with_retune(&reqs, &mut single_policy)?;
             assert!(
                 single.lifecycle.retunes_attempted >= 1,
                 "the stream must drift"
             );
             assert_eq!(sharded.flat(), single);
         }
+        Ok(())
     }
 
     #[test]
-    fn canary_rolls_back_a_regressed_retune_and_protects_latency() {
+    fn canary_rolls_back_a_regressed_retune_and_protects_latency() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let (_shifted, reqs) = drifting_stream(&m);
         let regressed = OutcomePlan::scripted(vec![RetuneOutcome::Regression { slowdown: 4.0 }; 8]);
@@ -2378,28 +2405,25 @@ mod tests {
                 TunedCandidate::from(Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>)
             }),
         };
-        let plain = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap();
+        let plain = tier(&m, &arch, 2, load_config(), Interconnect::nvlink()).serve(&reqs)?;
         let mut blind_policy = mk_policy(LifecycleConfig {
             outcomes: regressed.clone(),
             ..LifecycleConfig::default()
         });
         let blind = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
-            .serve_with_retune(&reqs, &mut blind_policy)
-            .unwrap();
+            .serve_with_retune(&reqs, &mut blind_policy)?;
         let mut canaried_policy = mk_policy(LifecycleConfig {
             outcomes: regressed,
             canary: Some(CanaryConfig {
                 shadow_fraction: 1.0,
                 window: 4,
                 min_win_margin: 0.0,
+                split_traffic: false,
             }),
             ..LifecycleConfig::default()
         });
         let canaried = tier(&m, &arch, 2, load_config(), Interconnect::nvlink())
-            .serve_with_retune(&reqs, &mut canaried_policy)
-            .unwrap();
+            .serve_with_retune(&reqs, &mut canaried_policy)?;
 
         assert!(
             blind.lifecycle.retunes_promoted >= 1,
@@ -2421,10 +2445,11 @@ mod tests {
             canaried.percentile_us(0.99),
             blind.percentile_us(0.99)
         );
+        Ok(())
     }
 
     #[test]
-    fn staged_rollout_promotes_every_shard_in_order() {
+    fn staged_rollout_promotes_every_shard_in_order() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let (_shifted, reqs) = drifting_stream(&m);
         let stagger = 300.0;
@@ -2437,6 +2462,7 @@ mod tests {
                     shadow_fraction: 1.0,
                     window: 3,
                     min_win_margin: 0.0,
+                    split_traffic: false,
                 }),
                 ..LifecycleConfig::default()
             },
@@ -2445,8 +2471,7 @@ mod tests {
             }),
         };
         let report = tier(&m, &arch, 3, load_config(), Interconnect::nvlink())
-            .serve_with_retune(&reqs, &mut policy)
-            .unwrap();
+            .serve_with_retune(&reqs, &mut policy)?;
         assert_eq!(report.lifecycle.retunes_promoted, 1);
         assert_eq!(report.lifecycle.engine_version, 1);
         assert_eq!(report.lifecycle.retunes_rolled_back, 0);
@@ -2467,10 +2492,11 @@ mod tests {
                 "promotions are staggered by {stagger} µs, got {gap}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn leaky_bucket_pressure_keeps_hedging_through_a_backlog_spike() {
+    fn leaky_bucket_pressure_keeps_hedging_through_a_backlog_spike() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(400.0).stream(&m, 32, 17);
         let plan = FaultPlan::scripted(vec![Fault {
@@ -2500,10 +2526,9 @@ mod tests {
                 },
             )
             .serve(&reqs)
-            .unwrap()
         };
-        let twitchy = run(PressureSignal::Instantaneous);
-        let damped = run(PressureSignal::LeakyBucket { tau_us: 50_000.0 });
+        let twitchy = run(PressureSignal::Instantaneous)?;
+        let damped = run(PressureSignal::LeakyBucket { tau_us: 50_000.0 })?;
         assert!(
             twitchy.hedge_fires > 0,
             "the spike must not suppress hedging entirely"
@@ -2517,26 +2542,26 @@ mod tests {
         );
         // Hedging sustained through the stall buys tail latency.
         assert!(damped.percentile_us(0.99) <= twitchy.percentile_us(0.99));
+        Ok(())
     }
 
     #[test]
-    fn hot_shard_cap_none_and_slack_cap_are_byte_identical() {
+    fn hot_shard_cap_none_and_slack_cap_are_byte_identical() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
         let run = |cap: Option<u32>| {
             let mut config = load_config();
             config.hot_shard_cap = cap;
-            tier(&m, &arch, 2, config, Interconnect::nvlink())
-                .serve(&reqs)
-                .unwrap()
+            tier(&m, &arch, 2, config, Interconnect::nvlink()).serve(&reqs)
         };
-        let baseline = run(None);
+        let baseline = run(None)?;
         // A cap no chunk can exceed must not perturb a single record.
-        assert_eq!(baseline, run(Some(u32::MAX)));
+        assert_eq!(baseline, run(Some(u32::MAX))?);
         assert_eq!(
-            serde_json::to_string(&baseline).unwrap(),
-            serde_json::to_string(&run(Some(u32::MAX))).unwrap()
+            serde_json::to_string(&baseline).ok(),
+            serde_json::to_string(&run(Some(u32::MAX))?).ok()
         );
+        Ok(())
     }
 
     #[test]
@@ -2545,26 +2570,22 @@ mod tests {
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 4, 42);
         let mut config = load_config();
         config.hot_shard_cap = Some(0);
-        let err = tier(&m, &arch, 2, config, Interconnect::nvlink())
-            .serve(&reqs)
-            .unwrap_err();
-        assert!(matches!(err, ServeError::Policy(_)), "{err:?}");
+        let err = tier(&m, &arch, 2, config, Interconnect::nvlink()).serve(&reqs);
+        assert!(matches!(err, Err(ServeError::Policy(_))), "{err:?}");
     }
 
     #[test]
-    fn hot_shard_cap_resplits_hot_chunks_without_losing_requests() {
+    fn hot_shard_cap_resplits_hot_chunks_without_losing_requests() -> Result<(), ServeError> {
         let (m, arch) = setup();
         let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 40, 42);
         let run = |cap: Option<u32>| {
             let mut config = load_config();
             config.policy = BatchPolicy::Unsplit; // admit whole hot batches
             config.hot_shard_cap = cap;
-            tier(&m, &arch, 2, config, Interconnect::nvlink())
-                .serve(&reqs)
-                .unwrap()
+            tier(&m, &arch, 2, config, Interconnect::nvlink()).serve(&reqs)
         };
-        let uncapped = run(None);
-        let capped = run(Some(256));
+        let uncapped = run(None)?;
+        let capped = run(Some(256))?;
         // The cap only re-splits submissions above it: every request
         // still completes, in more, narrower chunks on every lane.
         let ids = |r: &ShardedReport| {
@@ -2580,5 +2601,6 @@ mod tests {
             capped.kernel_launches,
             uncapped.kernel_launches
         );
+        Ok(())
     }
 }

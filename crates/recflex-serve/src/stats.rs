@@ -381,7 +381,7 @@ fn percentile(xs: impl Iterator<Item = f64>, q: f64) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = ((v.len() as f64 * q).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
 }

@@ -1,0 +1,224 @@
+//! Integration tests for the two request-path extensions the pipeline
+//! tier leans on:
+//!
+//! * [`ShardedServeRuntime::serve_with_deadlines`] /
+//!   [`ServeRuntime::serve_with_deadlines`] — per-request admission
+//!   deadlines overriding the tier-level SLO, used to thread per-stage
+//!   [`DeadlineBudget`](recflex_serve::DeadlineBudget) shares through a
+//!   pipeline;
+//! * [`CanaryConfig::split_traffic`] — serving the canaried fraction
+//!   from the candidate engine under real queueing instead of shadowing
+//!   it, with the default (`false`) staying bit-identical to shadow
+//!   mode.
+
+use recflex_baselines::{Backend, TorchRecBackend};
+use recflex_data::{Batch, ModelConfig, ModelPreset, Placement};
+use recflex_embedding::TableSet;
+use recflex_serve::{
+    BatchPolicy, CanaryConfig, DriftConfig, LifecycleConfig, OutcomePlan, RetuneOutcome,
+    ServeConfig, ServeError, ServeRuntime, ShardedRetunePolicy, ShardedServeRuntime, ShedReason,
+    TunedCandidate, WorkloadSpec,
+};
+use recflex_sim::{GpuArch, Interconnect};
+
+fn setup() -> (ModelConfig, GpuArch) {
+    (ModelPreset::A.scaled(0.01), GpuArch::v100())
+}
+
+fn config(slo: Option<f64>) -> ServeConfig {
+    ServeConfig {
+        streams: 4,
+        policy: BatchPolicy::Split { cap: 256 },
+        slo_deadline_us: slo,
+        closed_loop: false,
+        hot_shard_cap: None,
+    }
+}
+
+fn tier<'a>(model: &'a ModelConfig, arch: &'a GpuArch, shards: usize) -> ShardedServeRuntime<'a> {
+    ShardedServeRuntime::build(
+        model,
+        arch,
+        Placement::balance(model, shards),
+        config(None),
+        Interconnect::nvlink(),
+        |m| Box::new(TorchRecBackend::compile(m)),
+    )
+}
+
+#[test]
+fn unbounded_deadlines_match_a_tier_without_an_slo_bit_for_bit() -> Result<(), ServeError> {
+    let (m, arch) = setup();
+    let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 32, 42);
+    let rt = tier(&m, &arch, 2);
+    let plain = rt.serve(&reqs)?;
+    let deadlines = vec![f64::INFINITY; reqs.len()];
+    let budgeted = rt.serve_with_deadlines(&reqs, &deadlines)?;
+    assert_eq!(
+        serde_json::to_string(&plain).ok(),
+        serde_json::to_string(&budgeted).ok(),
+        "an unbounded deadline must not perturb the run"
+    );
+    Ok(())
+}
+
+#[test]
+fn zero_window_deadlines_shed_queued_requests_at_admission() -> Result<(), ServeError> {
+    let (m, arch) = setup();
+    // Everything arrives at once: whoever finds backlog must shed.
+    let reqs: Vec<recflex_serve::Request> = (0..12)
+        .map(|i| recflex_serve::Request {
+            id: i,
+            arrival_us: 0.0,
+            batch: Batch::generate(&m, 256, 900 + i),
+        })
+        .collect();
+    let rt = tier(&m, &arch, 2);
+    let deadlines = vec![0.0; reqs.len()];
+    let report = rt.serve_with_deadlines(&reqs, &deadlines)?;
+    let shed = report
+        .records
+        .iter()
+        .filter(|r| r.base.shed != ShedReason::None)
+        .count();
+    assert!(shed > 0, "zero admission window under backlog must shed");
+    // The first-admitted request saw an empty tier and survives.
+    assert!(
+        shed < reqs.len(),
+        "an empty tier admits a zero-window request"
+    );
+    Ok(())
+}
+
+#[test]
+fn deadline_vector_length_must_match_the_stream() {
+    let (m, arch) = setup();
+    let reqs = WorkloadSpec::long_tail(300.0).stream(&m, 4, 1);
+    let rt = tier(&m, &arch, 2);
+    assert!(matches!(
+        rt.serve_with_deadlines(&reqs, &[1_000.0]),
+        Err(ServeError::Policy(_))
+    ));
+    let backend = TorchRecBackend::compile(&m);
+    let tables = TableSet::for_model(&m);
+    let single = ServeRuntime {
+        backend: &backend,
+        model: &m,
+        tables: &tables,
+        arch: &arch,
+        config: config(None),
+    };
+    assert!(matches!(
+        single.serve_with_deadlines(&reqs, &[1_000.0]),
+        Err(ServeError::Policy(_))
+    ));
+}
+
+#[test]
+fn single_device_deadlines_override_the_config_slo() -> Result<(), ServeError> {
+    let (m, arch) = setup();
+    let backend = TorchRecBackend::compile(&m);
+    let tables = TableSet::for_model(&m);
+    let reqs: Vec<recflex_serve::Request> = (0..10)
+        .map(|i| recflex_serve::Request {
+            id: i,
+            arrival_us: i as f64,
+            batch: Batch::generate(&m, 256, 300 + i),
+        })
+        .collect();
+    // A tight tier-level SLO sheds under this burst…
+    let tight = ServeRuntime {
+        backend: &backend,
+        model: &m,
+        tables: &tables,
+        arch: &arch,
+        config: config(Some(500.0)),
+    };
+    let slo_report = tight.serve(&reqs)?;
+    assert!(slo_report.shed_rate() > 0.0);
+    // …but generous per-request deadlines on the same config admit
+    // everything: the vector overrides the tier SLO.
+    let deadlines: Vec<f64> = reqs.iter().map(|r| r.arrival_us + 1e9).collect();
+    let open = tight.serve_with_deadlines(&reqs, &deadlines)?;
+    assert_eq!(open.shed_rate(), 0.0);
+    Ok(())
+}
+
+/// In-distribution head, heavily shifted tail — drifts the monitor
+/// partway through (same shape as the lifecycle tests).
+fn drifting_stream(m: &ModelConfig) -> Vec<recflex_serve::Request> {
+    let shifted = recflex_data::shift_distribution(m, 2.5, 0.0);
+    let mut reqs = WorkloadSpec::long_tail(400.0).stream(m, 16, 5);
+    let mut tail = WorkloadSpec::long_tail(400.0).stream(&shifted, 24, 6);
+    let t0 = reqs.last().map_or(0.0, |r| r.arrival_us);
+    for (k, r) in tail.iter_mut().enumerate() {
+        r.arrival_us += t0;
+        r.id = 16 + k as u64;
+    }
+    reqs.append(&mut tail);
+    reqs
+}
+
+fn canary_policy(split_traffic: bool, outcomes: OutcomePlan) -> ShardedRetunePolicy<'static> {
+    ShardedRetunePolicy {
+        drift: DriftConfig {
+            window: 8,
+            threshold: 0.3,
+            feature_threshold: 0.5,
+        },
+        retune_latency_us: 1_000.0,
+        stagger_us: 0.0,
+        lifecycle: LifecycleConfig {
+            outcomes,
+            canary: Some(CanaryConfig {
+                shadow_fraction: 1.0,
+                window: 4,
+                min_win_margin: 0.0,
+                split_traffic,
+            }),
+            ..LifecycleConfig::default()
+        },
+        retuner: Box::new(|sm: &ModelConfig, _: &[Batch]| {
+            TunedCandidate::from(Box::new(TorchRecBackend::compile(sm)) as Box<dyn Backend>)
+        }),
+    }
+}
+
+#[test]
+fn split_traffic_off_is_bit_identical_to_shadow_mode() -> Result<(), ServeError> {
+    let (m, arch) = setup();
+    let reqs = drifting_stream(&m);
+    let regressed = || OutcomePlan::scripted(vec![RetuneOutcome::Regression { slowdown: 4.0 }; 8]);
+    let shadow =
+        tier(&m, &arch, 2).serve_with_retune(&reqs, &mut canary_policy(false, regressed()))?;
+    let plain = tier(&m, &arch, 2).serve(&reqs)?;
+    // Shadow canarying never touches the served path: request records
+    // match a tier that never retuned, exactly as before the flag.
+    assert_eq!(shadow.records, plain.records);
+    Ok(())
+}
+
+#[test]
+fn split_traffic_serves_the_canaried_fraction_from_the_candidate() -> Result<(), ServeError> {
+    let (m, arch) = setup();
+    let reqs = drifting_stream(&m);
+    let regressed = || OutcomePlan::scripted(vec![RetuneOutcome::Regression { slowdown: 4.0 }; 8]);
+    let shadow =
+        tier(&m, &arch, 2).serve_with_retune(&reqs, &mut canary_policy(false, regressed()))?;
+    let split =
+        tier(&m, &arch, 2).serve_with_retune(&reqs, &mut canary_policy(true, regressed()))?;
+    // The 4x-slower candidate actually serves the canaried chunks, so
+    // the split run's latencies diverge from shadow mode…
+    assert_ne!(split.records, shadow.records);
+    assert!(
+        split.percentile_us(1.0) > shadow.percentile_us(1.0),
+        "a regressed candidate on the serving path must stretch the tail: {} vs {}",
+        split.percentile_us(1.0),
+        shadow.percentile_us(1.0)
+    );
+    // …and the verdict still rolls the regression back.
+    assert_eq!(split.lifecycle.retunes_promoted, 0);
+    assert!(split.lifecycle.retunes_rolled_back >= 1);
+    assert!(split.lifecycle.canary_shadow_chunks > 0);
+    Ok(())
+}
